@@ -1,0 +1,213 @@
+// Command paperfigs regenerates the paper's tables and figures from
+// this repository's models and simulators.
+//
+// Usage:
+//
+//	paperfigs [-quick] [-fig ID]
+//
+// where ID is one of: 2b, 2c, 3, 4, 5, 7a, 7b, 9, 10, 11, 12, table1,
+// ablations, extras (macro cooling, misalignment, tier-resistance share), or
+// "all" (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thermalscaffold/internal/experiments"
+	"thermalscaffold/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced resolution for a fast pass")
+	fig := flag.String("fig", "all", "figure/table to regenerate (2b, 2c, 3, 4, 5, 7a, 7b, 9, 10, 11, 12, table1, ablations, extras, all)")
+	outdir := flag.String("outdir", "", "when set, also write each series/table to files in this directory")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick}
+	sel := strings.ToLower(*fig)
+	run := func(id string) bool { return sel == "all" || sel == id }
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fail("outdir", err)
+		}
+	}
+	save := func(name, content string) {
+		if *outdir == "" {
+			return
+		}
+		if err := os.WriteFile(filepath.Join(*outdir, name), []byte(content), 0o644); err != nil {
+			fail(name, err)
+		}
+	}
+	saveSeries := func(s *report.Series) { save(s.Name+".csv", s.String()) }
+
+	if run("4") {
+		r := experiments.Fig4()
+		fmt.Print(r.Anchors.String())
+		fmt.Printf("modeled k(160 nm grain) = %.1f W/m/K (paper: 105.7)\n", r.K160nm)
+		fmt.Printf("modeled k(1.9 µm grain) = %.0f W/m/K (paper: ≥500 conservative)\n\n", r.KLargeGrain)
+		fmt.Println(r.Curve.String())
+		saveSeries(r.Curve)
+		save("fig4-anchors.txt", r.Anchors.String())
+	}
+	if run("5") {
+		r, err := experiments.Fig5()
+		if err != nil {
+			fail("fig5", err)
+		}
+		fmt.Print(r.Literature.String())
+		fmt.Printf("porosity for ε=4: %.2f air fraction\n\n", r.PorosityForEps4)
+		fmt.Println(r.PorosityCurve.String())
+		saveSeries(r.PorosityCurve)
+		save("fig5-literature.txt", r.Literature.String())
+	}
+	if run("7a") {
+		r, err := experiments.Fig7a(o)
+		if err != nil {
+			fail("fig7a", err)
+		}
+		fmt.Println(r.Table.String())
+		save("fig7a-table.txt", r.Table.String())
+	}
+	if run("7b") {
+		r := experiments.Fig7b()
+		fmt.Println(r.Series.String())
+		saveSeries(r.Series)
+	}
+	if run("3") {
+		r, err := experiments.Fig3(0, 0)
+		if err != nil {
+			fail("fig3", err)
+		}
+		fmt.Printf("Fig. 3: single-pillar 3 K cooling reach: %.1f µm (ultra-low-k) vs %.1f µm (thermal dielectric)\n\n",
+			r.ReachULK*1e6, r.ReachTD*1e6)
+		fmt.Println(r.WithoutTD.String())
+		fmt.Println(r.WithTD.String())
+		saveSeries(r.WithoutTD)
+		saveSeries(r.WithTD)
+	}
+	if run("2b") {
+		r, err := experiments.Fig2b(o)
+		if err != nil {
+			fail("fig2b", err)
+		}
+		fmt.Println(r.Table.String())
+		save("fig2b-table.txt", r.Table.String())
+	}
+	if run("2c") {
+		r, err := experiments.Fig2c(o)
+		if err != nil {
+			fail("fig2c", err)
+		}
+		fmt.Println(r.Table.String())
+		save("fig2c-table.txt", r.Table.String())
+	}
+	if run("9") {
+		r, err := experiments.Fig9(o, 0)
+		if err != nil {
+			fail("fig9", err)
+		}
+		fmt.Println(r.Table.String())
+		save("fig9-table.txt", r.Table.String())
+		for _, byStrat := range r.Curves {
+			for _, s := range byStrat {
+				fmt.Println(s.String())
+				saveSeries(s)
+			}
+		}
+	}
+	if run("10") {
+		r, err := experiments.Fig10(o, 0)
+		if err != nil {
+			fail("fig10", err)
+		}
+		fmt.Println(r.Conventional.String())
+		fmt.Println(r.Scaffolding.String())
+		save("fig10a-table.txt", r.Conventional.String())
+		save("fig10b-table.txt", r.Scaffolding.String())
+	}
+	if run("11") {
+		r, err := experiments.Fig11(o, 0)
+		if err != nil {
+			fail("fig11", err)
+		}
+		fmt.Println(r.Table.String())
+		save("fig11-table.txt", r.Table.String())
+	}
+	if run("12") {
+		r, err := experiments.Fig12(0, 0)
+		if err != nil {
+			fail("fig12", err)
+		}
+		fmt.Printf("Fig. 12: peak reduction — single pillar + thermal dielectric: %.1f%%; 4x pillar block, ultra-low-k: %.1f%% (paper: 40%% vs 32%%)\n\n",
+			r.SinglePillarTDReduction, r.FourPillarULKReduction)
+		fmt.Println(r.Curve.String())
+		saveSeries(r.Curve)
+	}
+	if run("table1") {
+		r, err := experiments.TableI(o)
+		if err != nil {
+			fail("table1", err)
+		}
+		fmt.Println(r.Table.String())
+		save("table1.txt", r.Table.String())
+	}
+	if run("ablations") {
+		r, err := experiments.Ablations(o)
+		if err != nil {
+			fail("ablations", err)
+		}
+		fmt.Println(r.PillarSize.String())
+		fmt.Println(r.DielectricGrade.String())
+		fmt.Printf("scheduling benefit on the conventional flow: %.1f K\n", r.SchedulingGainK)
+		fmt.Printf("interleaved memory sub-layer cost at 8 tiers: %.1f K\n\n", r.MemoryLayerK)
+		save("ablation-pillar-size.txt", r.PillarSize.String())
+		save("ablation-dielectric-grade.txt", r.DielectricGrade.String())
+	}
+	if run("extras") {
+		mc, err := experiments.MacroCooling(0, 0)
+		if err != nil {
+			fail("macro", err)
+		}
+		fmt.Printf("Observation 4b — 25 µm macro rise: %.1f K (ultra-low-k) vs %.1f K (thermal dielectric); paper: 15 °C vs 5 °C\n",
+			mc.RiseULK, mc.RiseTD)
+		mis, err := experiments.Misalignment(0, 0)
+		if err != nil {
+			fail("misalign", err)
+		}
+		fmt.Printf("Observation 4c — tolerable per-tier pillar misalignment (≤3 K): %.0f nm (ultra-low-k) vs %.0f nm (thermal dielectric); paper: 300 nm vs 1 µm\n",
+			mis.TolULK*1e9, mis.TolTD*1e9)
+		share, err := experiments.TierResistanceShare(0)
+		if err != nil {
+			fail("share", err)
+		}
+		fmt.Printf("Sec. I — tier-stack share of Tj−T0 in a 3-tier IC with advanced heatsink: %.0f%% (paper: 85%%)\n",
+			100*share)
+		het, err := experiments.Heterogeneous(o, 8)
+		if err != nil {
+			fail("hetero", err)
+		}
+		fmt.Printf("Heterogeneous 8-tier stack — per-tier pillar patterns vs aligned columns: %.1f°C vs %.1f°C (misalignment costs %.1f K)\n",
+			het.TMaxPerTierC, het.TMaxAlignedC, het.MisalignmentCostK)
+		gt, err := experiments.GatedTransient(0, 0)
+		if err != nil {
+			fail("gated", err)
+		}
+		fmt.Printf("Power-gated rotation (transient) vs all-on steady state: %.1f°C vs %.1f°C (gating buys %.1f K)\n",
+			gt.PeakRotatedC, gt.SteadyAllOnC, gt.GatingBenefitK)
+		cc, err := experiments.SolverCrossCheck(o)
+		if err != nil {
+			fail("crosscheck", err)
+		}
+		fmt.Printf("Solver cross-check (FVM vs spectral direct, 12-tier conventional stack): %.2f°C vs %.2f°C (Δ=%.2g K)\n",
+			cc.FVMPeakC, cc.SpectralPeakC, cc.DeltaK)
+	}
+}

@@ -1,0 +1,121 @@
+// Command scaffold runs a cooling co-design flow on one of the
+// studied designs and prints the thermal and penalty outcome.
+//
+// Usage:
+//
+//	scaffold [-design gemmini|rocket|fujitsu] [-strategy scaffolding|vertical|conventional]
+//	         [-tiers N] [-sink twophase|microfluidic|coldplate] [-tmax C]
+//	         [-budget F] [-grid N]
+//
+// Without -budget the tool finds the minimum penalty meeting the
+// temperature target (Table I mode); with -budget it spends that
+// footprint fraction and reports the temperature (Fig. 9 mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"thermalscaffold/internal/core"
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+)
+
+func main() {
+	designName := flag.String("design", "gemmini", "design: gemmini, rocket, fujitsu")
+	strategyName := flag.String("strategy", "scaffolding", "strategy: scaffolding, vertical, conventional")
+	tiers := flag.Int("tiers", 12, "number of stacked tiers")
+	sinkName := flag.String("sink", "twophase", "heatsink: twophase, microfluidic, coldplate")
+	tmax := flag.Float64("tmax", 125, "junction temperature limit (°C)")
+	budget := flag.Float64("budget", -1, "footprint budget (fraction); <0 = minimum-penalty search")
+	grid := flag.Int("grid", 16, "thermal grid resolution per axis")
+	sweep := flag.Bool("sweep", false, "sweep tier counts 1..-tiers at the given budget (default 10%) and print the curve")
+	flag.Parse()
+
+	var d *design.Design
+	switch strings.ToLower(*designName) {
+	case "gemmini":
+		d = design.Gemmini()
+	case "rocket":
+		d = design.Rocket()
+	case "fujitsu":
+		d = design.FujitsuResearch()
+	default:
+		fmt.Fprintf(os.Stderr, "scaffold: unknown design %q\n", *designName)
+		os.Exit(2)
+	}
+	var s core.Strategy
+	switch strings.ToLower(*strategyName) {
+	case "scaffolding", "scaffold":
+		s = core.Scaffolding
+	case "vertical", "vertical-only":
+		s = core.VerticalOnly
+	case "conventional", "conv":
+		s = core.Conventional3D
+	default:
+		fmt.Fprintf(os.Stderr, "scaffold: unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+	var sink heatsink.Model
+	switch strings.ToLower(*sinkName) {
+	case "twophase", "two-phase":
+		sink = heatsink.TwoPhase()
+	case "microfluidic":
+		sink = heatsink.Microfluidic()
+	case "coldplate":
+		sink = heatsink.ColdPlate()
+	default:
+		fmt.Fprintf(os.Stderr, "scaffold: unknown heatsink %q\n", *sinkName)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{Design: d, Sink: sink, TTargetC: *tmax, NX: *grid, NY: *grid}
+	fmt.Printf("design %s: %.2f W/tier (%.1f W/cm²), die %.3f mm², workload %s\n",
+		d.Name, d.TierPower(), d.MeanDensityWPerCm2(), d.Tier.Die.Area()*1e6, d.Workload.Name)
+	fmt.Printf("sink %s, limit %.0f°C, %d tiers, strategy %s\n", sink, *tmax, *tiers, s)
+
+	if *sweep {
+		b := *budget
+		if b < 0 {
+			b = 0.10
+		}
+		evals, err := core.SweepTiers(cfg, s, b, *tiers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaffold: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tier sweep at %.0f%% footprint budget:\n", 100*b)
+		best := 0
+		for _, e := range evals {
+			mark := " "
+			if e.Feasible {
+				mark = "*"
+				best = e.Tiers
+			}
+			fmt.Printf("  N=%2d  T=%6.1f°C %s\n", e.Tiers, e.TMaxC, mark)
+		}
+		fmt.Printf("supported tiers at %.0f°C: %d\n", *tmax, best)
+		return
+	}
+
+	var (
+		e   *core.Evaluation
+		err error
+	)
+	if *budget < 0 {
+		e, err = core.EvaluateMinPenalty(cfg, s, *tiers)
+	} else {
+		e, err = core.EvaluateAtBudget(cfg, s, *tiers, *budget)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scaffold: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(e)
+	if !e.Feasible && *budget < 0 {
+		fmt.Println("target unreachable: even saturated insertion cannot cool this stack")
+		os.Exit(1)
+	}
+}

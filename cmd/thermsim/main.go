@@ -1,0 +1,90 @@
+// Command thermsim runs a steady-state 3D-IC thermal simulation from
+// a JSON stack description and prints the peak and per-tier
+// temperatures.
+//
+// Usage:
+//
+//	thermsim -spec stack.json
+//	thermsim -example          # print an example spec and exit
+//
+// Spec format (JSON): see internal/specio. "beol" is "conventional",
+// "scaffolded", or the "paper-*" variants using the published Fig. 7a
+// values; "sink" is "twophase", "microfluidic", "coldplate", or
+// "microchannel" (Tuckerman-Pease geometry model). A non-null
+// "power_map_w_per_cm2" (nx·ny values, row-major) overrides the
+// uniform density.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermalscaffold/internal/report"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/specio"
+	"thermalscaffold/internal/units"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to the JSON stack spec")
+	example := flag.Bool("example", false, "print an example spec and exit")
+	showMap := flag.Bool("map", false, "render the top-tier temperature field as an ASCII heatmap")
+	flag.Parse()
+
+	if *example {
+		raw, err := specio.Marshal(specio.Example())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "thermsim: -spec is required (see -example)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
+		os.Exit(1)
+	}
+	sj, err := specio.Parse(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := specio.Build(sj)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 100000})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermsim: solve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("total flux: %.1f W/cm²  sink: %s\n",
+		units.WPerM2ToWPerCm2(spec.TotalFlux()), spec.Sink)
+	fmt.Printf("T_max = %s (CG iterations: %d, residual %.1e)\n",
+		units.FormatTemp(res.MaxT()), res.Field.Iterations, res.Field.Residual)
+	for t := 0; t < spec.Tiers; t++ {
+		fmt.Printf("  tier %2d: %s\n", t, units.FormatTemp(res.TierMaxT(t)))
+	}
+	if *showMap {
+		top := res.Layout.DeviceLayers[spec.Tiers-1][0]
+		vals := make([]float64, spec.NX*spec.NY)
+		for j := 0; j < spec.NY; j++ {
+			for i := 0; i < spec.NX; i++ {
+				vals[j*spec.NX+i] = units.KelvinToCelsius(res.Field.At(i, j, top))
+			}
+		}
+		h, err := report.NewHeatmap(fmt.Sprintf("tier %d device layer", spec.Tiers-1), spec.NX, spec.NY, vals, "°C")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(h.String())
+	}
+}

@@ -1,0 +1,15 @@
+// Package thermalscaffold reproduces "Thermal Scaffolding for
+// Ultra-Dense 3D Integrated Circuits" (Rich et al., DAC 2023) as a
+// pure-Go library: materials models for the nanocrystalline-diamond
+// thermal dielectric, a finite-volume 3D-IC thermal simulator, BEOL
+// homogenization, the pillar placement algorithm, the conventional
+// thermal-aware baselines (metallization, floorplanning, scheduling),
+// and a co-design engine that regenerates every table and figure of
+// the paper's evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// the paper-vs-measured comparison. The root-level benchmarks
+// (bench_test.go) time one regeneration of each experiment; the
+// cmd/paperfigs binary prints them at full fidelity.
+package thermalscaffold

@@ -1,0 +1,57 @@
+// Pillarlab studies single-pillar physics (the paper's Fig. 3 and
+// Observations 4b/4c): how far one pillar's cooling reaches with and
+// without the thermal dielectric, how much a hard macro heats when
+// pillars cannot be placed inside it, and how much tier-to-tier
+// pillar misalignment each dielectric tolerates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermalscaffold/internal/experiments"
+	"thermalscaffold/internal/pillar"
+	"thermalscaffold/internal/stack"
+)
+
+func main() {
+	// Fig. 3: lateral cooling reach of one pillar.
+	f3, err := experiments.Fig3(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("single pillar in a 95 W/cm² field (Fig. 3):")
+	fmt.Printf("  3 K cooling reach: %.1f µm (ultra-low-k) → %.1f µm (thermal dielectric)\n",
+		f3.ReachULK*1e6, f3.ReachTD*1e6)
+
+	// The analytic healing length behind it.
+	ulk, td := experiments.PillarReach()
+	fmt.Printf("  analytic healing length λ: %.1f µm → %.1f µm\n", ulk*1e6, td*1e6)
+	fmt.Printf("  (fin model: %g W/m/K pillar columns)\n", pillar.Default().EffectiveK())
+
+	// Observation 4b: hard macro with surrounding pillars.
+	mc, err := experiments.MacroCooling(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n25 µm hard macro between four pillars (Observation 4b):")
+	fmt.Printf("  macro-center rise: %.1f K (ultra-low-k) → %.1f K (thermal dielectric); paper: 15 → 5\n",
+		mc.RiseULK, mc.RiseTD)
+
+	// Observation 4c: pillar misalignment tolerance.
+	mis, err := experiments.Misalignment(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npillar misalignment across tiers (Observation 4c):")
+	fmt.Printf("  tolerable offset within 3 K: %.0f nm (ultra-low-k) → %.0f nm (thermal dielectric); paper: 300 nm → 1 µm\n",
+		mis.TolULK*1e9, mis.TolTD*1e9)
+
+	// How the spreading length scales with coverage.
+	fmt.Println("\nhealing length vs pillar column density (12 tiers):")
+	for _, cov := range []float64{0.02, 0.05, 0.10, 0.20} {
+		u := pillar.SpreadingLength(stack.ConventionalBEOL(), 12, cov, 105, true)
+		s := pillar.SpreadingLength(stack.ScaffoldedBEOL(), 12, cov, 105, true)
+		fmt.Printf("  coverage %4.0f%%: λ = %4.1f µm (ulk) / %4.1f µm (td)\n", 100*cov, u*1e6, s*1e6)
+	}
+}

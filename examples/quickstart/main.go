@@ -1,0 +1,63 @@
+// Quickstart: build a small 3-tier 3D-IC stack, solve its steady
+// temperature field, and print the peak — the minimal use of the
+// library's stack + solver API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/units"
+)
+
+func main() {
+	const nx, ny = 16, 16
+
+	// A uniform 53 W/cm² tier — the paper's per-tier Gemmini density.
+	pm := make([]float64, nx*ny)
+	for i := range pm {
+		pm[i] = units.WPerCm2ToWPerM2(53)
+	}
+
+	spec := &stack.Spec{
+		DieW: 690e-6, DieH: 660e-6, // Gemmini-sized die
+		Tiers: 3, NX: nx, NY: ny,
+		PowerMaps:     [][]float64{pm},
+		BEOL:          stack.ConventionalBEOL(),
+		Sink:          heatsink.TwoPhase(),
+		MemoryPerTier: true,
+	}
+
+	res, err := spec.Solve(solver.Options{Tol: 1e-7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("3-tier stack at %.0f W/cm² total flux\n",
+		units.WPerM2ToWPerCm2(spec.TotalFlux()))
+	fmt.Printf("peak junction temperature: %s\n", units.FormatTemp(res.MaxT()))
+	for t := 0; t < spec.Tiers; t++ {
+		fmt.Printf("  tier %d: %s\n", t, units.FormatTemp(res.TierMaxT(t)))
+	}
+
+	// Now swap in the thermal dielectric + 10% pillars and go to 12
+	// tiers — the paper's headline configuration.
+	pf := stack.NewPillarField(nx, ny)
+	for i := range pf.Coverage {
+		pf.Coverage[i] = 0.10
+	}
+	spec.Tiers = 12
+	spec.BEOL = stack.ScaffoldedBEOL()
+	spec.Pillars = pf
+	res, err = spec.Solve(solver.Options{Tol: 1e-7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n12-tier scaffolded stack at %.0f W/cm² total flux\n",
+		units.WPerM2ToWPerCm2(spec.TotalFlux()))
+	fmt.Printf("peak junction temperature: %s (limit: 125.0°C)\n",
+		units.FormatTemp(res.MaxT()))
+}

@@ -1,0 +1,3 @@
+module thermalscaffold
+
+go 1.22

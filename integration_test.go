@@ -1,0 +1,61 @@
+package thermalscaffold_test
+
+// End-to-end gate on the paper's headline claims, at regression
+// fidelity. If this test passes, the reproduction's story holds:
+// scaffolding turns a ~4-tier thermal ceiling into a 12-tier stack at
+// ~10 % footprint and ~3 % delay.
+
+import (
+	"testing"
+
+	"thermalscaffold/internal/core"
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+)
+
+func TestHeadlineReproduction(t *testing.T) {
+	cfg := core.Config{
+		Design: design.Gemmini(), Sink: heatsink.TwoPhase(),
+		NX: 12, NY: 12, TaskSpread: -1,
+	}
+
+	// Observation 1: scaffolding carries 12 tiers below 125 °C at a
+	// ~10 % footprint, ~3 % delay cost.
+	scaf, err := core.EvaluateMinPenalty(cfg, core.Scaffolding, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scaf.Feasible {
+		t.Fatalf("scaffolding cannot hold 12 tiers: %v", scaf)
+	}
+	if scaf.FootprintPenalty > 0.18 {
+		t.Errorf("scaffolding footprint %.1f%% (paper: 10%%)", 100*scaf.FootprintPenalty)
+	}
+	if scaf.DelayPenalty > 0.05 {
+		t.Errorf("scaffolding delay %.1f%% (paper: 3%%)", 100*scaf.DelayPenalty)
+	}
+
+	// Observation 2: the conventional flow cannot reach 12 tiers
+	// without several times the penalty.
+	conv, err := core.EvaluateMinPenalty(cfg, core.Conventional3D, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Feasible && conv.FootprintPenalty < 3*scaf.FootprintPenalty {
+		t.Errorf("conventional footprint %.1f%% too close to scaffolding %.1f%%",
+			100*conv.FootprintPenalty, 100*scaf.FootprintPenalty)
+	}
+
+	// The 3-4x tier-scaling claim at the 10 % design point.
+	scafN, _, err := core.MaxTiersAtBudget(cfg, core.Scaffolding, 0.10, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	convN, _, err := core.MaxTiersAtBudget(cfg, core.Conventional3D, 0.10, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scafN < 2*convN {
+		t.Errorf("tier scaling %d vs %d — below 2x (paper: 3-4x)", scafN, convN)
+	}
+}

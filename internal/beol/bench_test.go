@@ -1,0 +1,29 @@
+package beol
+
+import (
+	"testing"
+
+	"thermalscaffold/internal/materials"
+	"thermalscaffold/internal/pdk"
+)
+
+func BenchmarkHomogenizeUpperGroup(b *testing.B) {
+	spec := UpperGroupSpec(pdk.ASAP7(), pdk.ScaffoldedDielectrics(materials.KThermalDielectricMin))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Homogenize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomogenizeLowerGroup(b *testing.B) {
+	spec := LowerGroupSpec(pdk.ASAP7(), pdk.ConventionalDielectrics())
+	spec.TileX, spec.TileY, spec.NX, spec.NY = 320e-9, 320e-9, 40, 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Homogenize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

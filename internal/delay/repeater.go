@@ -1,0 +1,92 @@
+package delay
+
+import (
+	"fmt"
+	"math"
+)
+
+// Repeater models the buffer used for global-wire repeater insertion.
+type Repeater struct {
+	// ROut is the driver output resistance (Ω).
+	ROut float64
+	// CIn is the input capacitance (F).
+	CIn float64
+	// TIntrinsic is the unloaded buffer delay (s).
+	TIntrinsic float64
+}
+
+// DefaultRepeater returns a 7 nm-class global-wire buffer.
+func DefaultRepeater() Repeater {
+	return Repeater{ROut: 1.2e3, CIn: 0.4e-15, TIntrinsic: 4e-12}
+}
+
+// Validate checks the repeater parameters.
+func (r Repeater) Validate() error {
+	if r.ROut <= 0 || r.CIn <= 0 || r.TIntrinsic < 0 {
+		return fmt.Errorf("delay: bad repeater %+v", r)
+	}
+	return nil
+}
+
+// RepeatedWire is a long wire broken by optimally spaced repeaters —
+// how the upper BEOL layers actually carry global routes. Crucially,
+// the delay of a repeated wire scales with √(r·c) rather than r·c,
+// so doubling the dielectric constant costs √2 on the wire component
+// instead of 2× — part of why the thermal dielectric's delay penalty
+// stays small.
+type RepeatedWire struct {
+	Wire Wire
+	Rep  Repeater
+}
+
+// rcPerMeter returns the wire's distributed resistance and
+// capacitance per meter.
+func (rw RepeatedWire) rcPerMeter() (r, c float64) {
+	w := rw.Wire
+	r = CuResistivity / (w.Width * w.Thickness)
+	unit := w
+	unit.Length = 1
+	c = unit.Capacitance()
+	return
+}
+
+// OptimalSegment returns the repeater spacing minimizing delay per
+// length: L* = √(2·R_out·C_in·... / (r·c)) — the classic Bakoglu
+// result L* = √(2·R_b·C_b/(r·c)) with R_b, C_b the buffer parasitics.
+func (rw RepeatedWire) OptimalSegment() float64 {
+	r, c := rw.rcPerMeter()
+	return math.Sqrt(2 * rw.Rep.ROut * rw.Rep.CIn / (r * c))
+}
+
+// DelayPerMeter returns the optimally repeated wire's delay per meter
+// (s/m): with ideal sizing it approaches
+// t/L = √(2·R_b·C_b·r·c) · (1 + intrinsic share).
+func (rw RepeatedWire) DelayPerMeter() float64 {
+	r, c := rw.rcPerMeter()
+	seg := rw.OptimalSegment()
+	// Delay of one optimally loaded segment: buffer intrinsic +
+	// 0.69·(R_b·(c·seg + C_in) + r·seg·(c·seg/2 + C_in)).
+	segDelay := rw.Rep.TIntrinsic +
+		0.69*(rw.Rep.ROut*(c*seg+rw.Rep.CIn)+r*seg*(c*seg/2+rw.Rep.CIn))
+	return segDelay / seg
+}
+
+// NumRepeaters returns the repeater count for a route of length l.
+func (rw RepeatedWire) NumRepeaters(l float64) int {
+	seg := rw.OptimalSegment()
+	if seg <= 0 || l <= 0 {
+		return 0
+	}
+	return int(math.Ceil(l / seg))
+}
+
+// RepeatedDielectricPenalty returns the fractional delay increase of
+// an optimally repeated global route when the ILD permittivity moves
+// from epsOld to epsNew: √(εnew/εold) − 1, the sub-linear scaling
+// that keeps the thermal dielectric affordable on repeated routes.
+func RepeatedDielectricPenalty(epsOld, epsNew float64) float64 {
+	if epsOld <= 0 || epsNew <= epsOld {
+		return 0
+	}
+	return math.Sqrt(epsNew/epsOld) - 1
+}

@@ -1,0 +1,94 @@
+package delay
+
+import (
+	"math"
+	"testing"
+)
+
+func globalWire(eps float64) RepeatedWire {
+	return RepeatedWire{
+		Wire: Wire{Width: 40e-9, Thickness: 80e-9, Spacing: 40e-9, Length: 1e-3, Epsilon: eps},
+		Rep:  DefaultRepeater(),
+	}
+}
+
+func TestRepeaterValidate(t *testing.T) {
+	if err := DefaultRepeater().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Repeater{
+		{ROut: 0, CIn: 1e-15, TIntrinsic: 1e-12},
+		{ROut: 1e3, CIn: 0, TIntrinsic: 1e-12},
+		{ROut: 1e3, CIn: 1e-15, TIntrinsic: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestOptimalSegmentScale(t *testing.T) {
+	rw := globalWire(2)
+	seg := rw.OptimalSegment()
+	// Global-wire repeater spacing at 7 nm is tens to hundreds of µm.
+	if seg < 5e-6 || seg > 1e-3 {
+		t.Errorf("segment %g m implausible", seg)
+	}
+	// Higher ε (more capacitance) shortens the optimal segment.
+	if s4 := globalWire(4).OptimalSegment(); s4 >= seg {
+		t.Errorf("ε=4 segment %g not shorter than ε=2 segment %g", s4, seg)
+	}
+}
+
+func TestDelayPerMeterScaling(t *testing.T) {
+	d2 := globalWire(2).DelayPerMeter()
+	d4 := globalWire(4).DelayPerMeter()
+	if d4 <= d2 {
+		t.Fatal("higher ε should slow the wire")
+	}
+	ratio := d4 / d2
+	// Repeated wires scale sub-linearly: between √2 and 2, near √2.
+	if ratio < 1.2 || ratio > 1.75 {
+		t.Errorf("ε 2→4 repeated-wire ratio %g, want ≈√2", ratio)
+	}
+	// Sanity: a repeated mm-class global wire at 7 nm runs at
+	// ~0.1-2 ns/mm.
+	perMM := d2 * 1e-3
+	if perMM < 1e-11 || perMM > 5e-9 {
+		t.Errorf("delay per mm = %g s implausible", perMM)
+	}
+}
+
+func TestNumRepeaters(t *testing.T) {
+	rw := globalWire(2)
+	n := rw.NumRepeaters(1e-3)
+	if n <= 0 {
+		t.Fatal("no repeaters on a mm route")
+	}
+	if n2 := rw.NumRepeaters(2e-3); n2 < 2*n-1 {
+		t.Errorf("repeater count not ~linear in length: %d vs %d", n2, n)
+	}
+	if rw.NumRepeaters(0) != 0 {
+		t.Error("zero-length route needs no repeaters")
+	}
+}
+
+func TestRepeatedDielectricPenalty(t *testing.T) {
+	p := RepeatedDielectricPenalty(2, 4)
+	if math.Abs(p-(math.Sqrt2-1)) > 1e-12 {
+		t.Errorf("penalty %g, want √2−1", p)
+	}
+	if RepeatedDielectricPenalty(4, 2) != 0 {
+		t.Error("improvement should clamp to zero")
+	}
+	if RepeatedDielectricPenalty(0, 4) != 0 {
+		t.Error("degenerate epsOld should return 0")
+	}
+	// The repeated penalty is below the unrepeated (linear) one —
+	// the reason global routes tolerate the thermal dielectric.
+	unrepeated := 4.0/2.0 - 1
+	if p >= unrepeated {
+		t.Error("repeated penalty should undercut linear scaling")
+	}
+}

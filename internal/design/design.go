@@ -1,0 +1,282 @@
+// Package design describes the three designs the paper evaluates
+// (Sec. III-C, Fig. 8):
+//
+//  1. Gemmini — a 16×16 systolic-array DNN accelerator [16] with a
+//     256 KB scratchpad and an interleaved 3D SRAM last-level cache,
+//     one LLC slice per tier.
+//  2. Rocket — a RISC-V Rocket SoC core [15] (pipelined processing
+//     unit, I/D caches, page-table walker, FPU) running the
+//     memory-bound spmv benchmark.
+//  3. Fujitsu Research — a preliminary accelerator scaled ~100× from
+//     Gemmini (160×160 PEs, 54 MB scratchpad, 351 MB LLC),
+//     demonstrating scalability; no timing data (Table I: "n/a").
+//
+// Unit power densities are not hand-picked: each unit's density is
+// computed from the power models (systolic MAC energy, FinCACTI-style
+// SRAM, switched-capacitance logic) under the design's workload,
+// exactly as the paper derives them from PrimePower + FinCACTI.
+package design
+
+import (
+	"fmt"
+
+	"thermalscaffold/internal/delay"
+	"thermalscaffold/internal/floorplan"
+	"thermalscaffold/internal/power"
+)
+
+// Design bundles everything the co-design flows need about one chip.
+type Design struct {
+	Name string
+	// Tier is the single-tier floorplan; an N-tier 3D IC stacks N
+	// copies (Sec. III-B: "an N-tier design has N copies").
+	Tier *floorplan.Floorplan
+	// Workload drives power estimation.
+	Workload power.Workload
+	// Synthesis is the period/area model (zero value when NoTiming).
+	Synthesis delay.SynthesisModel
+	// NoTiming marks designs without timing data (Fujitsu).
+	NoTiming bool
+	// Paper holds the published headline numbers for this design,
+	// used by the experiment harness to compare shapes.
+	Paper PaperNumbers
+}
+
+// PaperNumbers records the paper's published results for a design.
+type PaperNumbers struct {
+	ScaffoldTiers            int     // max tiers with scaffolding, T<125°C
+	ConventionalTiers        int     // max tiers with conventional 3D thermal
+	ScaffoldFootprintPct     float64 // Table I scaffolding footprint penalty
+	ScaffoldDelayPct         float64 // Table I scaffolding delay penalty (0 if n/a)
+	ConventionalFootprintPct float64 // Table I conventional footprint penalty
+	ConventionalDelayPct     float64
+	VerticalOnlyFootprintPct float64
+	VerticalOnlyDelayPct     float64
+}
+
+func um(v float64) float64 { return v * 1e-6 }
+
+// rect is a helper building a floorplan rect in µm.
+func rect(x, y, w, h float64) floorplan.Rect {
+	return floorplan.Rect{X: um(x), Y: um(y), W: um(w), H: um(h)}
+}
+
+// unitFromPower builds a unit whose density spreads the model power
+// over the unit's actual layout rectangle — power is conserved even
+// when the layout block is larger than the raw array/SRAM area
+// (periphery, routing overhead).
+func unitFromPower(name string, r floorplan.Rect, watts float64, macro bool) floorplan.Unit {
+	return floorplan.Unit{Name: name, Rect: r, PowerDensity: watts / r.Area(), IsMacro: macro}
+}
+
+// macroGrid splits a memory region into rows×cols hard-macro blocks
+// separated by routing channels of width gap — the banked SRAM
+// layout visible in the paper's Fig. 8d, which leaves channels for
+// pillar insertion between macros. Total power is split evenly.
+func macroGrid(prefix string, region floorplan.Rect, rows, cols int, gap, watts float64) []floorplan.Unit {
+	w := (region.W - float64(cols+1)*gap) / float64(cols)
+	h := (region.H - float64(rows+1)*gap) / float64(rows)
+	perBlock := watts / float64(rows*cols)
+	var out []floorplan.Unit
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			blk := floorplan.Rect{
+				X: region.X + gap + float64(c)*(w+gap),
+				Y: region.Y + gap + float64(r)*(h+gap),
+				W: w, H: h,
+			}
+			out = append(out, unitFromPower(fmt.Sprintf("%s-%d", prefix, r*cols+c), blk, perBlock, true))
+		}
+	}
+	return out
+}
+
+// Gemmini returns the Gemmini accelerator design at its worst-case
+// (100 % utilization) operating point.
+func Gemmini() *Design {
+	wl := power.Matmul().WorstCase()
+	array := power.Gemmini16()
+	scratch := power.DefaultSRAM(0.25) // 256 KB
+	llc := power.DefaultSRAM(0.5)      // per-tier slice of the 3D LLC
+	ctrl := power.DefaultLogic(1.0, 0.24)
+	vector := power.DefaultLogic(1.0, 0.24)
+
+	arrayRect := rect(0, 464, 160, 160)
+	vectorRect := rect(160, 464, 530, 196)
+	scratchRect := rect(0, 232, 345, 232)
+	ctrlRect := rect(345, 232, 345, 232)
+	llcRect := rect(0, 0, 690, 232)
+
+	units := []floorplan.Unit{
+		unitFromPower("systolic-array", arrayRect, array.Power(wl.ArrayUtil), false),
+		unitFromPower("vector-unit", vectorRect, vector.PowerDensity()*vectorRect.Area(), false),
+		unitFromPower("controller", ctrlRect, ctrl.PowerDensity()*ctrlRect.Area(), false),
+	}
+	// SRAM is banked into ~100 µm hard macros with ~12 µm routing
+	// channels between them (the banked rows of Fig. 8d). Pillars can
+	// only sit in the channels; heat from bank interiors reaches them
+	// laterally — the access problem the thermal dielectric solves.
+	units = append(units, macroGrid("scratchpad", scratchRect, 2, 3, um(12), scratch.Power(wl.MemBWGBs/4))...)
+	units = append(units, macroGrid("llc", llcRect, 2, 6, um(12), llc.Power(wl.MemBWGBs/4))...)
+	tier := &floorplan.Floorplan{
+		Name:  "gemmini-tier",
+		Die:   rect(0, 0, 690, 660),
+		Units: units,
+		Nets: [][]string{
+			{"systolic-array", "scratchpad-0"},
+			{"systolic-array", "vector-unit"},
+			{"controller", "systolic-array", "llc-0"},
+			{"scratchpad-3", "llc-7"},
+		},
+	}
+	return &Design{
+		Name:      "Gemmini",
+		Tier:      tier,
+		Workload:  wl,
+		Synthesis: delay.GemminiSynthesis(),
+		Paper: PaperNumbers{
+			ScaffoldTiers: 12, ConventionalTiers: 3,
+			ScaffoldFootprintPct: 10, ScaffoldDelayPct: 3,
+			ConventionalFootprintPct: 78, ConventionalDelayPct: 17,
+			VerticalOnlyFootprintPct: 34, VerticalOnlyDelayPct: 7,
+		},
+	}
+}
+
+// Rocket returns the RISC-V Rocket SoC design under spmv.
+func Rocket() *Design {
+	wl := power.Spmv()
+	pu := power.DefaultLogic(1.25, 0.12)
+	fpu := power.DefaultLogic(1.25, 0.10)
+	ptw := power.DefaultLogic(1.25, 0.08)
+	uncore := power.DefaultLogic(1.25, 0.10)
+	icache := power.DefaultSRAM(0.016) // 16 KB 4-way
+	dcache := power.DefaultSRAM(0.016)
+
+	puRect := rect(0, 400, 300, 300)
+	fpuRect := rect(300, 400, 200, 300)
+	ptwRect := rect(500, 400, 200, 300)
+	icRect := rect(0, 0, 350, 200)
+	dcRect := rect(350, 0, 350, 200)
+	uncoreRect := rect(0, 200, 700, 200)
+
+	units := []floorplan.Unit{
+		unitFromPower("pu", puRect, pu.PowerDensity()*puRect.Area(), false),
+		unitFromPower("fpu", fpuRect, fpu.PowerDensity()*fpuRect.Area(), false),
+		unitFromPower("ptw", ptwRect, ptw.PowerDensity()*ptwRect.Area(), false),
+		unitFromPower("uncore", uncoreRect, uncore.PowerDensity()*uncoreRect.Area(), false),
+	}
+	units = append(units, macroGrid("icache", icRect, 2, 3, um(10), icache.Power(wl.MemBWGBs/6))...)
+	units = append(units, macroGrid("dcache", dcRect, 2, 3, um(10), dcache.Power(wl.MemBWGBs/4))...)
+	tier := &floorplan.Floorplan{
+		Name:  "rocket-tier",
+		Die:   rect(0, 0, 700, 700),
+		Units: units,
+		Nets: [][]string{
+			{"pu", "icache-0"},
+			{"pu", "dcache-0"},
+			{"pu", "fpu"},
+			{"pu", "ptw"},
+			{"uncore", "icache-1", "dcache-1"},
+		},
+	}
+	return &Design{
+		Name:      "Rocket",
+		Tier:      tier,
+		Workload:  wl,
+		Synthesis: delay.RocketSynthesis(),
+		Paper: PaperNumbers{
+			ScaffoldTiers: 13, ConventionalTiers: 4,
+			ScaffoldFootprintPct: 10.6, ScaffoldDelayPct: 2.6,
+			ConventionalFootprintPct: 69, ConventionalDelayPct: 13,
+			VerticalOnlyFootprintPct: 25, VerticalOnlyDelayPct: 7,
+		},
+	}
+}
+
+// FujitsuResearch returns the preliminary scaled accelerator: the
+// Gemmini architecture grown ~100× (Fig. 8b), with per-tier slices of
+// its 54 MB scratchpad and 351 MB LLC distributed across 12 tiers.
+func FujitsuResearch() *Design {
+	wl := power.Matmul().WorstCase()
+	array := power.Fujitsu160()
+	scratch := power.DefaultSRAM(54.0 / 12) // per-tier slice
+	llc := power.DefaultSRAM(351.0 / 12)
+	ctrl := power.DefaultLogic(1.0, 0.25)
+	noc := power.DefaultLogic(1.0, 0.15)
+
+	llcRect := rect(0, 0, 4200, 2210)
+	scratchRect := rect(0, 2210, 1200, 1200)
+	arrayRect := rect(1200, 2210, 1600, 1600)
+	ctrlRect := rect(2800, 2210, 1400, 1600)
+	nocRect := rect(0, 3410, 1200, 400)
+
+	units := []floorplan.Unit{
+		unitFromPower("mac-array", arrayRect, array.Power(wl.ArrayUtil), false),
+		unitFromPower("controller", ctrlRect, ctrl.PowerDensity()*ctrlRect.Area(), false),
+		unitFromPower("noc", nocRect, noc.PowerDensity()*nocRect.Area(), false),
+	}
+	units = append(units, macroGrid("scratchpad", scratchRect, 6, 6, um(20), scratch.Power(wl.MemBWGBs*4))...)
+	units = append(units, macroGrid("llc", llcRect, 10, 20, um(20), llc.Power(wl.MemBWGBs*3))...)
+	tier := &floorplan.Floorplan{
+		Name:  "fujitsu-tier",
+		Die:   rect(0, 0, 4200, 3810),
+		Units: units,
+		Nets: [][]string{
+			{"mac-array", "scratchpad-0"},
+			{"mac-array", "llc-0"},
+			{"controller", "mac-array", "noc"},
+		},
+	}
+	return &Design{
+		Name:     "Fujitsu Research",
+		Tier:     tier,
+		Workload: wl,
+		NoTiming: true,
+		Paper: PaperNumbers{
+			ScaffoldTiers: 12, ConventionalTiers: 3,
+			ScaffoldFootprintPct:     9.4,
+			ConventionalFootprintPct: 74,
+			VerticalOnlyFootprintPct: 30,
+		},
+	}
+}
+
+// All returns the three studied designs in the paper's Table I order.
+func All() []*Design {
+	return []*Design{Gemmini(), Rocket(), FujitsuResearch()}
+}
+
+// Validate checks the design's floorplan and workload.
+func (d *Design) Validate() error {
+	if d.Tier == nil {
+		return fmt.Errorf("design %s: nil tier floorplan", d.Name)
+	}
+	if err := d.Tier.Validate(); err != nil {
+		return fmt.Errorf("design %s: %w", d.Name, err)
+	}
+	if d.Tier.TotalPower() <= 0 {
+		return fmt.Errorf("design %s: no power", d.Name)
+	}
+	return nil
+}
+
+// TierPower returns the per-tier power (W).
+func (d *Design) TierPower() float64 { return d.Tier.TotalPower() }
+
+// MeanDensityWPerCm2 returns the per-tier mean power density in the
+// paper's unit.
+func (d *Design) MeanDensityWPerCm2() float64 {
+	return d.Tier.MeanPowerDensity() * 1e-4
+}
+
+// HottestUnit returns the unit with the highest power density.
+func (d *Design) HottestUnit() floorplan.Unit {
+	var best floorplan.Unit
+	for _, u := range d.Tier.Units {
+		if u.PowerDensity > best.PowerDensity {
+			best = u
+		}
+	}
+	return best
+}

@@ -1,0 +1,123 @@
+package design
+
+import (
+	"testing"
+
+	"thermalscaffold/internal/units"
+)
+
+func TestAllDesignsValidate(t *testing.T) {
+	ds := All()
+	if len(ds) != 3 {
+		t.Fatalf("expected 3 designs, got %d", len(ds))
+	}
+	for _, d := range ds {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+// TestGemminiPowerDensity: the paper stacks Gemmini to 159 W/cm² at
+// 3 tiers and 636 at 12, i.e. ~53 W/cm² per tier. Our derived
+// floorplan must land in that neighborhood.
+func TestGemminiPowerDensity(t *testing.T) {
+	g := Gemmini()
+	mean := g.MeanDensityWPerCm2()
+	if mean < 40 || mean > 68 {
+		t.Errorf("Gemmini per-tier mean %g W/cm², paper implies ~53", mean)
+	}
+	// The systolic array is the hottest unit at ~95 W/cm² (Fig. 3).
+	hot := g.HottestUnit()
+	if hot.Name != "systolic-array" {
+		t.Errorf("hottest unit = %s", hot.Name)
+	}
+	hd := units.WPerM2ToWPerCm2(hot.PowerDensity)
+	if hd < 80 || hd > 110 {
+		t.Errorf("array density %g W/cm², paper quotes 95", hd)
+	}
+}
+
+// TestRocketCoolerThanGemmini: Rocket reaches 13 tiers to Gemmini's
+// 12 — it must run somewhat cooler per tier.
+func TestRocketCoolerThanGemmini(t *testing.T) {
+	r, g := Rocket(), Gemmini()
+	if r.MeanDensityWPerCm2() >= g.MeanDensityWPerCm2() {
+		t.Errorf("Rocket (%g) should be cooler than Gemmini (%g) W/cm²",
+			r.MeanDensityWPerCm2(), g.MeanDensityWPerCm2())
+	}
+	if r.MeanDensityWPerCm2() < 25 {
+		t.Errorf("Rocket %g W/cm² implausibly cold", r.MeanDensityWPerCm2())
+	}
+}
+
+// TestFujitsuScale: the Fujitsu design is a ~100× scale-up of
+// Gemmini in area and total power, at comparable power density.
+func TestFujitsuScale(t *testing.T) {
+	f, g := FujitsuResearch(), Gemmini()
+	areaRatio := f.Tier.Die.Area() / g.Tier.Die.Area()
+	if areaRatio < 20 || areaRatio > 150 {
+		t.Errorf("area scale %gx, expected ~35-100x", areaRatio)
+	}
+	powerRatio := f.TierPower() / g.TierPower()
+	if powerRatio < 15 || powerRatio > 150 {
+		t.Errorf("power scale %gx", powerRatio)
+	}
+	// Density stays in the same regime so the same cooling applies.
+	fd, gd := f.MeanDensityWPerCm2(), g.MeanDensityWPerCm2()
+	if fd < gd*0.5 || fd > gd*1.5 {
+		t.Errorf("Fujitsu density %g vs Gemmini %g W/cm² — not comparable", fd, gd)
+	}
+	if !f.NoTiming {
+		t.Error("Fujitsu design must be marked NoTiming (Table I: n/a)")
+	}
+}
+
+func TestDesignsHaveMacros(t *testing.T) {
+	// SRAM blocks are hard macros — pillar placement must avoid them.
+	for _, d := range All() {
+		if len(d.Tier.Macros()) == 0 {
+			t.Errorf("%s has no hard macros", d.Name)
+		}
+	}
+}
+
+func TestPaperNumbersPresent(t *testing.T) {
+	for _, d := range All() {
+		p := d.Paper
+		if p.ScaffoldTiers <= p.ConventionalTiers {
+			t.Errorf("%s: paper scaffold tiers %d must exceed conventional %d",
+				d.Name, p.ScaffoldTiers, p.ConventionalTiers)
+		}
+		if p.ScaffoldFootprintPct <= 0 || p.ConventionalFootprintPct <= p.ScaffoldFootprintPct {
+			t.Errorf("%s: implausible paper footprint numbers %+v", d.Name, p)
+		}
+		if d.NoTiming && p.ScaffoldDelayPct != 0 {
+			t.Errorf("%s: NoTiming design has delay numbers", d.Name)
+		}
+	}
+}
+
+func TestWorkloadsAssigned(t *testing.T) {
+	if Gemmini().Workload.ArrayUtil != 1.0 {
+		t.Error("Gemmini must run the worst-case (100%) workload")
+	}
+	if Rocket().Workload.Name != "spmv" {
+		t.Error("Rocket must run spmv")
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	d := Gemmini()
+	d.Tier = nil
+	if err := d.Validate(); err == nil {
+		t.Error("nil tier accepted")
+	}
+	d2 := Gemmini()
+	for i := range d2.Tier.Units {
+		d2.Tier.Units[i].PowerDensity = 0
+	}
+	if err := d2.Validate(); err == nil {
+		t.Error("powerless design accepted")
+	}
+}

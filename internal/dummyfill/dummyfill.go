@@ -1,0 +1,187 @@
+// Package dummyfill models the conventional thermal-aware
+// metallization baseline (Sec. III-B): Innovus timing-aware dummy
+// metal and dummy-via insertion, calibrated — as the paper calibrates
+// against TSMC's confidential fill algorithm — to the published
+// fill-density-vs-area curve of Fig. 7b.
+//
+// Two effects matter for the study:
+//
+//  1. Fill capacity is slack-limited. A routed design accepts a
+//     baseline fill fraction for free; inserting more thermal fill
+//     requires lowering placement density, i.e. growing the
+//     footprint. Fig. 7b: growing the Rocket SoC from 0.44 to
+//     0.54 mm² raises achievable fill from ~6 % to ~13 %.
+//
+//  2. Dummy vias inserted by a timing-aware flow only partially
+//     stack into vertical columns — signal routing interrupts them —
+//     so their vertical cooling value per inserted area is far below
+//     a deliberately aligned scaffolding pillar's.
+package dummyfill
+
+import (
+	"fmt"
+	"math"
+
+	"thermalscaffold/internal/materials"
+)
+
+// Model is the calibrated fill model.
+type Model struct {
+	// FreeFill is the fill fraction achievable at zero area growth
+	// (Fig. 7b at the timing-driven baseline area).
+	FreeFill float64
+	// FillPerAreaGrowth is the additional fill fraction unlocked per
+	// unit of fractional footprint growth (Fig. 7b slope: +7 % fill
+	// over +23 % area ≈ 0.31).
+	FillPerAreaGrowth float64
+	// MaxFill caps the physically routable fill fraction.
+	MaxFill float64
+	// AlignmentMax is the asymptotic fraction of inserted dummy-via
+	// fill that forms heat-conducting vertical columns through the
+	// whole BEOL at high fill density.
+	AlignmentMax float64
+	// PercolationFill is the fill fraction below which dummy vias,
+	// inserted per-layer by the timing-aware flow, essentially never
+	// stack into through-BEOL columns. Below this threshold dummy
+	// fill gives almost no vertical benefit — which is why the paper's
+	// Fig. 2c finds thermal dummy vias at a 10 % footprint budget
+	// leave T_j−T_0 ~10× higher than scaffolding at the same budget.
+	PercolationFill float64
+	// ColumnK is the effective vertical conductivity of a stacked
+	// dummy-via column (W/m/K) — size-limited copper.
+	ColumnK float64
+}
+
+// Default returns the model calibrated to Fig. 7b and Table I: the
+// fill-vs-area slope from Fig. 7b, and the percolation/alignment
+// parameters set so that 12 Gemmini tiers need ~30 % fill (78 % area
+// growth, Table I) while a 10 % area budget (9 % fill) gives almost
+// no vertical benefit (Fig. 2c).
+func Default() Model {
+	return Model{
+		FreeFill:          0.06,
+		FillPerAreaGrowth: 0.31,
+		MaxFill:           0.45,
+		AlignmentMax:      0.74,
+		PercolationFill:   0.10,
+		ColumnK:           materials.CopperConductivity(100e-9),
+	}
+}
+
+// alignedFraction returns the share of fill f that forms vertical
+// columns: zero below the percolation threshold, rising linearly to
+// AlignmentMax as fill approaches 1.
+func (m Model) alignedFraction(f float64) float64 {
+	if f <= m.PercolationFill {
+		return 0
+	}
+	return m.AlignmentMax * (f - m.PercolationFill) / (1 - m.PercolationFill)
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.FreeFill < 0 || m.FreeFill >= 1 {
+		return fmt.Errorf("dummyfill: free fill %g outside [0,1)", m.FreeFill)
+	}
+	if m.FillPerAreaGrowth <= 0 {
+		return fmt.Errorf("dummyfill: non-positive fill-per-area slope %g", m.FillPerAreaGrowth)
+	}
+	if m.MaxFill <= m.FreeFill || m.MaxFill > 1 {
+		return fmt.Errorf("dummyfill: max fill %g must be in (%g, 1]", m.MaxFill, m.FreeFill)
+	}
+	if m.AlignmentMax <= 0 || m.AlignmentMax > 1 {
+		return fmt.Errorf("dummyfill: alignment maximum %g outside (0,1]", m.AlignmentMax)
+	}
+	if m.PercolationFill < 0 || m.PercolationFill >= m.MaxFill {
+		return fmt.Errorf("dummyfill: percolation fill %g outside [0, %g)", m.PercolationFill, m.MaxFill)
+	}
+	if m.ColumnK <= 0 {
+		return fmt.Errorf("dummyfill: non-positive column conductivity")
+	}
+	return nil
+}
+
+// FillAtAreaGrowth returns the achievable dummy fill fraction when
+// the footprint is grown by the fractional amount growth (0 = the
+// timing-driven baseline area), clamped at MaxFill.
+func (m Model) FillAtAreaGrowth(growth float64) float64 {
+	if growth < 0 {
+		growth = 0
+	}
+	return math.Min(m.FreeFill+m.FillPerAreaGrowth*growth, m.MaxFill)
+}
+
+// AreaGrowthForFill inverts FillAtAreaGrowth: the footprint penalty
+// required to reach fill fraction f. Fill below the free level costs
+// nothing; fill above MaxFill is unreachable and returns an error.
+func (m Model) AreaGrowthForFill(f float64) (float64, error) {
+	if f <= m.FreeFill {
+		return 0, nil
+	}
+	if f > m.MaxFill {
+		return 0, fmt.Errorf("dummyfill: fill %g exceeds routable maximum %g", f, m.MaxFill)
+	}
+	return (f - m.FreeFill) / m.FillPerAreaGrowth, nil
+}
+
+// VerticalConductivity returns the effective through-BEOL vertical
+// conductivity (W/m/K) at dummy-via fill fraction f, starting from
+// the unfilled BEOL's base conductivity: only the aligned share of
+// the fill forms columns; the rest merely perturbs the dielectric.
+func (m Model) VerticalConductivity(base, f float64) float64 {
+	if f < 0 {
+		f = 0
+	}
+	aligned := m.alignedFraction(f)
+	// Misaligned fill still helps slightly (short vertical hops):
+	// credit it at 2 % of column conductivity.
+	misaligned := (1 - aligned) * 0.02
+	return base + f*(aligned+misaligned)*m.ColumnK
+}
+
+// FillForVerticalConductivity inverts VerticalConductivity by
+// bisection: the fill fraction needed to raise the BEOL from base to
+// target vertical conductivity. Returns an error if the target is
+// unreachable within MaxFill.
+func (m Model) FillForVerticalConductivity(base, target float64) (float64, error) {
+	if target <= base {
+		return 0, nil
+	}
+	if m.VerticalConductivity(base, m.MaxFill) < target {
+		return 0, fmt.Errorf("dummyfill: vertical conductivity %g W/m/K unreachable within routable fill maximum %.2f", target, m.MaxFill)
+	}
+	lo, hi := 0.0, m.MaxFill
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if m.VerticalConductivity(base, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Fig7bPoint is one point of the published fill-vs-area curve.
+type Fig7bPoint struct {
+	AreaMm2 float64
+	Fill    float64
+}
+
+// Fig7bCurve regenerates the Fig. 7b series for the Rocket SoC:
+// achievable fill density against placement area, from the
+// timing-driven baseline (0.44 mm²) to +23 % area.
+func (m Model) Fig7bCurve(baseAreaMm2 float64, points int) []Fig7bPoint {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]Fig7bPoint, points)
+	for i := range out {
+		growth := 0.23 * float64(i) / float64(points-1)
+		out[i] = Fig7bPoint{
+			AreaMm2: baseAreaMm2 * (1 + growth),
+			Fill:    m.FillAtAreaGrowth(growth),
+		}
+	}
+	return out
+}

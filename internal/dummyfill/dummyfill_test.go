@@ -1,0 +1,191 @@
+package dummyfill
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g (±%g)", msg, got, want, tol)
+	}
+}
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []Model{
+		{FreeFill: -0.1, FillPerAreaGrowth: 0.3, MaxFill: 0.4, AlignmentMax: 0.2, ColumnK: 100},
+		{FreeFill: 0.06, FillPerAreaGrowth: 0, MaxFill: 0.4, AlignmentMax: 0.2, ColumnK: 100},
+		{FreeFill: 0.06, FillPerAreaGrowth: 0.3, MaxFill: 0.05, AlignmentMax: 0.2, ColumnK: 100},
+		{FreeFill: 0.06, FillPerAreaGrowth: 0.3, MaxFill: 0.4, AlignmentMax: 0, ColumnK: 100},
+		{FreeFill: 0.06, FillPerAreaGrowth: 0.3, MaxFill: 0.4, AlignmentMax: 1.5, ColumnK: 100},
+		{FreeFill: 0.06, FillPerAreaGrowth: 0.3, MaxFill: 0.4, AlignmentMax: 0.2, ColumnK: 0},
+		{FreeFill: 0.06, FillPerAreaGrowth: 0.3, MaxFill: 0.4, AlignmentMax: 0.2, PercolationFill: 0.5, ColumnK: 100},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestFig7bAnchors: the Rocket SoC curve — ~6 % fill at the
+// timing-driven 0.44 mm² baseline, ~13 % at 0.54 mm² (+23 % area).
+func TestFig7bAnchors(t *testing.T) {
+	m := Default()
+	approx(t, m.FillAtAreaGrowth(0), 0.06, 1e-9, "baseline fill")
+	approx(t, m.FillAtAreaGrowth(0.23), 0.131, 0.003, "fill at +23% area")
+}
+
+func TestFillAreaRoundTrip(t *testing.T) {
+	m := Default()
+	f := func(raw float64) bool {
+		g := math.Mod(math.Abs(raw), 1.0)
+		fill := m.FillAtAreaGrowth(g)
+		if fill >= m.MaxFill {
+			return true // saturated region is not invertible
+		}
+		back, err := m.AreaGrowthForFill(fill)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-g) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAreaGrowthForFillEdges(t *testing.T) {
+	m := Default()
+	g, err := m.AreaGrowthForFill(0.03) // below free fill
+	if err != nil || g != 0 {
+		t.Errorf("below-free fill: %g, %v", g, err)
+	}
+	if _, err := m.AreaGrowthForFill(0.9); err == nil {
+		t.Error("fill beyond routable maximum accepted")
+	}
+}
+
+func TestFillMonotoneAndCapped(t *testing.T) {
+	m := Default()
+	prev := -1.0
+	for g := -0.5; g < 3; g += 0.1 {
+		f := m.FillAtAreaGrowth(g)
+		if f < prev {
+			t.Fatalf("fill not monotone at growth=%g", g)
+		}
+		if f > m.MaxFill {
+			t.Fatalf("fill %g exceeds cap", f)
+		}
+		prev = f
+	}
+}
+
+// TestVerticalConductivityScaling: fill helps vertically, but only
+// through its aligned share — far less effective than a deliberate
+// pillar of the same area.
+func TestVerticalConductivityScaling(t *testing.T) {
+	m := Default()
+	base := 0.31
+	k10 := m.VerticalConductivity(base, 0.10)
+	if k10 <= base {
+		t.Error("fill gave no vertical benefit")
+	}
+	// A scaffolding pillar region of 10 % coverage would contribute
+	// 0.10·105 = 10.5 W/m/K; dummy fill at the same area must give
+	// much less.
+	pillarEquivalent := base + 0.10*105
+	if k10 > pillarEquivalent/2 {
+		t.Errorf("dummy fill at 10%% gives %g, implausibly close to an aligned pillar's %g", k10, pillarEquivalent)
+	}
+	if m.VerticalConductivity(base, -1) != base {
+		t.Error("negative fill should clamp to base")
+	}
+}
+
+func TestFillForVerticalConductivityRoundTrip(t *testing.T) {
+	m := Default()
+	base := 0.31
+	for _, f := range []float64{0.15, 0.22, 0.30} {
+		k := m.VerticalConductivity(base, f)
+		back, err := m.FillForVerticalConductivity(base, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, back, f, 1e-6, "round trip")
+	}
+	// Already-met target needs no fill.
+	if f, err := m.FillForVerticalConductivity(5, 3); err != nil || f != 0 {
+		t.Errorf("met target: %g, %v", f, err)
+	}
+	// Absurd target is unreachable.
+	if _, err := m.FillForVerticalConductivity(base, 1e4); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+// TestPercolationThreshold: below the percolation fill, dummy vias
+// give almost no vertical benefit — the Fig. 2c mechanism: at an
+// iso-10 % footprint budget (9 % fill) thermal dummy vias leave the
+// stack essentially uncooled while scaffolding pillars (always
+// aligned) deliver their full conductivity.
+func TestPercolationThreshold(t *testing.T) {
+	m := Default()
+	base := 0.31
+	kLow := m.VerticalConductivity(base, 0.09)
+	if kLow > base+0.3 {
+		t.Errorf("sub-percolation fill gained %g W/m/K — should be nearly nothing", kLow-base)
+	}
+	kHigh := m.VerticalConductivity(base, 0.30)
+	if kHigh < 10*kLow {
+		t.Errorf("super-percolation fill (%g) should dwarf sub-percolation (%g)", kHigh, kLow)
+	}
+}
+
+// TestTwelveTierFillDemand: reaching the ~6 W/m/K vertical
+// conductivity that 12 tiers demand forces fill deep into the
+// area-growth regime — the mechanism behind the paper's 78 %
+// footprint penalty for thermal dummy vias.
+func TestTwelveTierFillDemand(t *testing.T) {
+	m := Default()
+	fill, err := m.FillForVerticalConductivity(0.31, 6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth, err := m.AreaGrowthForFill(fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if growth < 0.4 {
+		t.Errorf("area growth %g implausibly small (paper: 0.78 at 12 tiers)", growth)
+	}
+	if growth > 1.2 {
+		t.Errorf("area growth %g implausibly large", growth)
+	}
+}
+
+func TestFig7bCurve(t *testing.T) {
+	m := Default()
+	pts := m.Fig7bCurve(0.44, 10)
+	if len(pts) != 10 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	approx(t, pts[0].AreaMm2, 0.44, 1e-12, "first area")
+	approx(t, pts[len(pts)-1].AreaMm2, 0.44*1.23, 1e-9, "last area")
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Fill < pts[i-1].Fill || pts[i].AreaMm2 <= pts[i-1].AreaMm2 {
+			t.Fatalf("curve not monotone at %d", i)
+		}
+	}
+	if got := m.Fig7bCurve(0.44, 1); len(got) != 2 {
+		t.Error("degenerate point count not clamped")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"thermalscaffold/internal/core"
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/materials"
+	"thermalscaffold/internal/pillar"
+	"thermalscaffold/internal/report"
+	"thermalscaffold/internal/stack"
+)
+
+// AblationsResult collects the design-choice studies DESIGN.md calls
+// out: pillar footprint size, thermal-dielectric film grade,
+// scheduling contribution, and the interleaved memory layer's cost.
+type AblationsResult struct {
+	PillarSize      *report.Table
+	DielectricGrade *report.Table
+	SchedulingGainK float64
+	MemoryLayerK    float64
+}
+
+// Ablations runs the four studies at regression fidelity.
+func Ablations(o Options) (*AblationsResult, error) {
+	out := &AblationsResult{}
+	grid := o.grid()
+
+	// Pillar footprint size: the paper picks 100 nm to balance
+	// size-degraded conductivity against electrical/mechanical impact.
+	ps := report.NewTable("Ablation: pillar footprint (Gemmini, 10 tiers, <125°C)",
+		"side (nm)", "pillar k (W/m/K)", "footprint %")
+	for _, side := range []float64{36e-9, 100e-9, 1e-6} {
+		geo := pillar.Geometry{FootprintSide: side, KeepoutFactor: 1.05}
+		p, err := pillar.Place(pillar.Request{
+			Design: design.Gemmini(), Tiers: 10,
+			Sink: heatsink.TwoPhase(), TTargetC: 125,
+			BEOL: stack.ScaffoldedBEOL(), Geometry: geo,
+			NX: grid, NY: grid,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ps.AddRow(side*1e9, geo.EffectiveK(), 100*p.FootprintPenalty)
+	}
+	out.PillarSize = ps
+
+	// Dielectric film grade: the 105.7–500 W/m/K sweep of Sec. II.
+	dg := report.NewTable("Ablation: thermal dielectric grade (Gemmini, 12 tiers, <125°C)",
+		"in-plane k (W/m/K)", "footprint %")
+	for _, k := range []float64{materials.KThermalDielectricMin, 300, materials.KThermalDielectricMax} {
+		td := materials.ThermalDielectric(k)
+		beol := stack.ScaffoldedBEOL()
+		beol.UpperKLat *= td.KLateral / materials.KThermalDielectricMin
+		beol.UpperKVert *= td.KVertical / materials.KThermalDielectricThroughMin
+		p, err := pillar.Place(pillar.Request{
+			Design: design.Gemmini(), Tiers: 12,
+			Sink: heatsink.TwoPhase(), TTargetC: 125,
+			BEOL: beol, NX: grid, NY: grid,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dg.AddRow(k, 100*p.FootprintPenalty)
+	}
+	out.DielectricGrade = dg
+
+	// Scheduling contribution on the conventional flow.
+	off := core.Config{Design: design.Gemmini(), Sink: heatsink.TwoPhase(), NX: grid, NY: grid, TaskSpread: -1}
+	on := off
+	on.TaskSpread = 0.3
+	e0, err := core.EvaluateAtBudget(off, core.Conventional3D, 8, 0.10)
+	if err != nil {
+		return nil, err
+	}
+	e1, err := core.EvaluateAtBudget(on, core.Conventional3D, 8, 0.10)
+	if err != nil {
+		return nil, err
+	}
+	out.SchedulingGainK = e0.TMaxC - e1.TMaxC
+
+	// Memory sub-layer cost.
+	d := design.Gemmini()
+	pm := d.Tier.PowerMap(grid, grid)
+	mk := func(mem bool) (float64, error) {
+		spec := &stack.Spec{
+			DieW: d.Tier.Die.W, DieH: d.Tier.Die.H,
+			Tiers: 8, NX: grid, NY: grid,
+			PowerMaps: [][]float64{pm}, BEOL: stack.ConventionalBEOL(),
+			Sink: heatsink.TwoPhase(), MemoryPerTier: mem,
+		}
+		res, err := spec.Solve(solverOpts())
+		if err != nil {
+			return 0, err
+		}
+		return res.MaxT(), nil
+	}
+	with, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+	without, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	out.MemoryLayerK = with - without
+	return out, nil
+}

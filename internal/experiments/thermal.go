@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/materials"
+	"thermalscaffold/internal/pillar"
+	"thermalscaffold/internal/report"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/units"
+)
+
+// Fig3Result is the pillar lateral-spreading study.
+type Fig3Result struct {
+	// WithTD / WithoutTD: distance (µm) → temperature rise above the
+	// pillar column's own temperature (K) in the top tier.
+	WithTD    *report.Series
+	WithoutTD *report.Series
+	// Reach is the distance (m) at which the local rise above the
+	// pillar crosses 3 K — the paper's per-tier tolerance — i.e. the
+	// radius a single pillar keeps "cool".
+	ReachTD, ReachULK float64
+}
+
+// Fig3 regenerates the paper's Fig. 3: a single pillar constellation
+// in a uniformly heated field (peak Gemmini systolic-array power,
+// 95 W/cm²), with and without the thermal dielectric in M8–M9. The
+// thermal dielectric extends the pillar's cooling reach by several
+// µm-scale factors.
+func Fig3(tiers, n int) (*Fig3Result, error) {
+	if tiers <= 0 {
+		tiers = 6
+	}
+	if n <= 0 {
+		n = 37 // odd so a single center cell exists
+	}
+	const dom = 74e-6 // 2 µm cells at n=37
+	q := units.WPerCm2ToWPerM2(95)
+	pm := make([]float64, n*n)
+	for i := range pm {
+		pm[i] = q
+	}
+	pf := stack.NewPillarField(n, n)
+	c := n / 2
+	pf.Coverage[c*n+c] = 1.0 // fully pillared center cell
+
+	run := func(beol stack.BEOLProps) (*report.Series, []float64, error) {
+		spec := &stack.Spec{
+			DieW: dom, DieH: dom, Tiers: tiers, NX: n, NY: n,
+			PowerMaps:     [][]float64{pm},
+			BEOL:          beol,
+			Pillars:       pf,
+			Sink:          heatsink.TwoPhase(),
+			MemoryPerTier: true,
+		}
+		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+		if err != nil {
+			return nil, nil, err
+		}
+		top := res.Layout.DeviceLayers[tiers-1][0]
+		base := res.Field.At(c, c, top)
+		s := report.NewSeries(fmt.Sprintf("fig3-%s", beol.Label()), "distance_um", "temp_increase_K")
+		var rises []float64
+		cell := dom / float64(n)
+		for i := c; i < n; i++ {
+			d := float64(i-c) * cell
+			rise := res.Field.At(i, c, top) - base
+			s.Add(d/1e-6, rise)
+			rises = append(rises, rise)
+		}
+		return s, rises, nil
+	}
+	ulkSeries, ulkRise, err := run(stack.ConventionalBEOL())
+	if err != nil {
+		return nil, err
+	}
+	tdSeries, tdRise, err := run(stack.ScaffoldedBEOL())
+	if err != nil {
+		return nil, err
+	}
+	cell := dom / float64(n)
+	return &Fig3Result{
+		WithTD:    tdSeries,
+		WithoutTD: ulkSeries,
+		ReachTD:   thresholdDistance(tdRise, cell, 3.0),
+		ReachULK:  thresholdDistance(ulkRise, cell, 3.0),
+	}, nil
+}
+
+// thresholdDistance returns the distance at which the rise first
+// exceeds the threshold (or the domain edge if it never does).
+func thresholdDistance(rises []float64, cell, threshold float64) float64 {
+	for i, r := range rises {
+		if r >= threshold {
+			return float64(i) * cell
+		}
+	}
+	return float64(len(rises)) * cell
+}
+
+// Fig12Result is the power-gating co-design toy example.
+type Fig12Result struct {
+	// Curve: thermal dielectric in-plane k (W/m/K) → peak temperature
+	// reduction (%) for a single shared pillar with gated sources.
+	Curve *report.Series
+	// SinglePillarTDReduction is the reduction at the paper's nominal
+	// dielectric; FourPillarULKReduction is the 4×-pillar, no-TD
+	// comparison point (paper: 40 % vs 32 %).
+	SinglePillarTDReduction float64
+	FourPillarULKReduction  float64
+}
+
+// Fig12 regenerates the co-design toy of paper Fig. 12: four
+// fine-grained heat sources of which only one is active at a time
+// (power-gated MACs). With the thermal dielectric, a single central
+// pillar cools all four sources better than 4× the pillar area
+// without it, and the benefit grows with dielectric conductivity.
+func Fig12(tiers, n int) (*Fig12Result, error) {
+	if tiers <= 0 {
+		tiers = 6
+	}
+	if n <= 0 {
+		n = 25
+	}
+	dom := 0.5e-6 * float64(n)      // 0.5 µm cells
+	q := units.WPerCm2ToWPerM2(400) // dense gated MAC
+	c := n / 2
+	// Four gateable sources sit in the quadrants around a shared
+	// central pillar site (Fig. 12a); only one is active at a time.
+	// The active blob is ~4 µm from the pillar — beyond the
+	// ultra-low-k healing length but within the thermal dielectric's.
+	pm := make([]float64, n*n)
+	src := n / 4
+	for j := src - 1; j <= src; j++ {
+		for i := src - 1; i <= src; i++ {
+			pm[j*n+i] = q
+		}
+	}
+	solveWith := func(beol stack.BEOLProps, pf *stack.PillarField) (float64, error) {
+		spec := &stack.Spec{
+			DieW: dom, DieH: dom, Tiers: tiers, NX: n, NY: n,
+			PowerMaps:     [][]float64{pm},
+			BEOL:          beol,
+			Pillars:       pf,
+			Sink:          heatsink.TwoPhase(),
+			MemoryPerTier: true,
+		}
+		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+		if err != nil {
+			return 0, err
+		}
+		return res.MaxT() - spec.Sink.Ambient(), nil
+	}
+	noPillar := stack.NewPillarField(n, n)
+	single := stack.NewPillarField(n, n)
+	single.Coverage[c*n+c] = 1.0
+	// The comparison point: 4× the pillar area at the same shared
+	// site, without the thermal dielectric (the right-hand bar of
+	// Fig. 12b).
+	quad := stack.NewPillarField(n, n)
+	for _, off := range [][2]int{{c, c}, {c + 1, c}, {c, c + 1}, {c + 1, c + 1}} {
+		quad.Coverage[off[1]*n+off[0]] = 1.0
+	}
+
+	riseNone, err := solveWith(stack.ConventionalBEOL(), noPillar)
+	if err != nil {
+		return nil, err
+	}
+	riseQuad, err := solveWith(stack.ConventionalBEOL(), quad)
+	if err != nil {
+		return nil, err
+	}
+	curve := report.NewSeries("fig12-codesign", "dielectric_k_W_per_mK", "peak_reduction_pct")
+	var nominalRed float64
+	for _, k := range []float64{0, 50, 105.7, 200, 300, 400, 500} {
+		beol := stack.ConventionalBEOL()
+		if k > 0 {
+			td := materials.ThermalDielectric(k)
+			beol = stack.BEOLProps{
+				LowerKVert: beol.LowerKVert, LowerKLat: beol.LowerKLat,
+				UpperKVert: scaleUpper(k), UpperKLat: 0.8*td.KLateral + 0.2*242,
+			}
+		}
+		rise, err := solveWith(beol, single)
+		if err != nil {
+			return nil, err
+		}
+		red := 100 * (riseNone - rise) / riseNone
+		curve.Add(k, red)
+		if k == 105.7 {
+			nominalRed = red
+		}
+	}
+	return &Fig12Result{
+		Curve:                   curve,
+		SinglePillarTDReduction: nominalRed,
+		FourPillarULKReduction:  100 * (riseNone - riseQuad) / riseNone,
+	}, nil
+}
+
+// scaleUpper maps an in-plane dielectric conductivity to the
+// homogenized upper-group vertical conductivity, interpolating
+// between the homogenized conventional (13.3 at k=0.2) and
+// scaffolded (48.8 at k=105.7) values.
+func scaleUpper(k float64) float64 {
+	base := stack.ConventionalBEOL().UpperKVert
+	scaf := stack.ScaffoldedBEOL().UpperKVert
+	return base + (scaf-base)*k/105.7
+}
+
+// MacroCoolingResult is the Observation 4b study.
+type MacroCoolingResult struct {
+	RiseULK float64 // K, macro-center rise above pillar ring with ultra-low-k
+	RiseTD  float64 // K, same with thermal dielectric
+}
+
+// MacroCooling reproduces Observation 4b: a 25 µm × 25 µm hard macro
+// with four surrounding pillars in a 6-tier Gemmini-class stack. The
+// thermal dielectric cuts the macro's temperature contribution from
+// ~15 °C to ~5 °C.
+func MacroCooling(tiers, n int) (*MacroCoolingResult, error) {
+	if tiers <= 0 {
+		tiers = 6
+	}
+	if n <= 0 {
+		n = 25
+	}
+	const dom = 50e-6 // 2 µm cells at n=25
+	cell := dom / float64(n)
+	q := units.WPerCm2ToWPerM2(60) // busy SRAM macro
+	pm := make([]float64, n*n)
+	c := n / 2
+	half := int(12.5e-6 / cell)
+	for j := c - half; j <= c+half; j++ {
+		for i := c - half; i <= c+half; i++ {
+			pm[j*n+i] = q
+		}
+	}
+	pf := stack.NewPillarField(n, n)
+	ring := half + 2
+	for _, off := range [][2]int{{c - ring, c - ring}, {c + ring, c - ring}, {c - ring, c + ring}, {c + ring, c + ring}} {
+		pf.Coverage[off[1]*n+off[0]] = 1.0
+	}
+	run := func(beol stack.BEOLProps) (float64, error) {
+		spec := &stack.Spec{
+			DieW: dom, DieH: dom, Tiers: tiers, NX: n, NY: n,
+			PowerMaps:     [][]float64{pm},
+			BEOL:          beol,
+			Pillars:       pf,
+			Sink:          heatsink.TwoPhase(),
+			MemoryPerTier: true,
+		}
+		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+		if err != nil {
+			return 0, err
+		}
+		top := res.Layout.DeviceLayers[tiers-1][0]
+		pillarT := res.Field.At(c-ring, c-ring, top)
+		return res.Field.At(c, c, top) - pillarT, nil
+	}
+	ulk, err := run(stack.ConventionalBEOL())
+	if err != nil {
+		return nil, err
+	}
+	td, err := run(stack.ScaffoldedBEOL())
+	if err != nil {
+		return nil, err
+	}
+	return &MacroCoolingResult{RiseULK: ulk, RiseTD: td}, nil
+}
+
+// MisalignmentResult is the Observation 4c study.
+type MisalignmentResult struct {
+	// Curve: per-tier pillar offset (nm) → peak rise above the
+	// aligned case (K), for each dielectric.
+	ULK *report.Series
+	TD  *report.Series
+	// Tolerable offset (m) within 3 °C of aligned per dielectric.
+	TolULK, TolTD float64
+}
+
+// Misalignment reproduces Observation 4c: pillars on adjacent tiers
+// of heterogeneous designs cannot always align. Without the thermal
+// dielectric the nearest pillar on the next tier must be within
+// ~300 nm to stay within 3 °C per tier; the thermal dielectric
+// stretches the tolerance to ~1 µm.
+func Misalignment(tiers, n int) (*MisalignmentResult, error) {
+	if tiers <= 0 {
+		tiers = 8
+	}
+	if n <= 0 {
+		n = 41
+	}
+	dom := 0.1e-6 * float64(n) // 0.1 µm cells
+	cell := dom / float64(n)
+	// Worst-case accumulated column flux: many tiers of dense logic
+	// funneling through one pillar constellation.
+	q := units.WPerCm2ToWPerM2(2500)
+	pm := make([]float64, n*n)
+	for i := range pm {
+		pm[i] = q
+	}
+	c := n / 2
+	run := func(beol stack.BEOLProps, offsetCells int) (float64, error) {
+		fields := make([]*stack.PillarField, tiers)
+		for t := range fields {
+			pf := stack.NewPillarField(n, n)
+			x := c
+			if t%2 == 1 {
+				x = c + offsetCells
+			}
+			if x >= n {
+				x = n - 1
+			}
+			pf.Coverage[c*n+x] = 1.0
+			fields[t] = pf
+		}
+		spec := &stack.Spec{
+			DieW: dom, DieH: dom, Tiers: tiers, NX: n, NY: n,
+			PowerMaps:      [][]float64{pm},
+			BEOL:           beol,
+			PillarsPerTier: fields,
+			Sink:           heatsink.TwoPhase(),
+			MemoryPerTier:  true,
+		}
+		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+		if err != nil {
+			return 0, err
+		}
+		return res.MaxT(), nil
+	}
+	offsets := []int{0, 2, 3, 5, 10, 15, 20}
+	out := &MisalignmentResult{
+		ULK: report.NewSeries("misalignment-ulk", "offset_nm", "rise_vs_aligned_K"),
+		TD:  report.NewSeries("misalignment-td", "offset_nm", "rise_vs_aligned_K"),
+	}
+	for _, tc := range []struct {
+		beol   stack.BEOLProps
+		series *report.Series
+		tol    *float64
+	}{
+		{stack.ConventionalBEOL(), out.ULK, &out.TolULK},
+		{stack.ScaffoldedBEOL(), out.TD, &out.TolTD},
+	} {
+		aligned, err := run(tc.beol, 0)
+		if err != nil {
+			return nil, err
+		}
+		*tc.tol = 0
+		for _, off := range offsets {
+			t, err := run(tc.beol, off)
+			if err != nil {
+				return nil, err
+			}
+			rise := t - aligned
+			tc.series.Add(float64(off)*cell/1e-9, rise)
+			if rise <= 3.0 {
+				*tc.tol = float64(off) * cell
+			}
+		}
+	}
+	return out, nil
+}
+
+// TierResistanceShare quantifies the Sec. I claim that the thermal
+// resistance across the tiers contributes ~85 % of T_j−T_0 in a
+// 3-tier 3D IC with an advanced heatsink: it returns the fractional
+// contribution of the tier stack (everything above the heatsink and
+// handle) to the total rise.
+func TierResistanceShare(nx int) (float64, error) {
+	if nx <= 0 {
+		nx = 16
+	}
+	d := design.Gemmini()
+	pm := d.Tier.PowerMap(nx, nx)
+	mk := func(beol stack.BEOLProps) *stack.Spec {
+		return &stack.Spec{
+			DieW: d.Tier.Die.W, DieH: d.Tier.Die.H, Tiers: 3, NX: nx, NY: nx,
+			PowerMaps:     [][]float64{pm},
+			BEOL:          beol,
+			Sink:          heatsink.TwoPhase(),
+			MemoryPerTier: true,
+		}
+	}
+	real3 := mk(stack.ConventionalBEOL())
+	resReal, err := real3.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+	if err != nil {
+		return 0, err
+	}
+	// An idealized stack whose tier layers conduct like bulk copper:
+	// only the heatsink and handle resistance remain.
+	ideal := mk(stack.BEOLProps{LowerKVert: 400, LowerKLat: 400, UpperKVert: 400, UpperKLat: 400})
+	resIdeal, err := ideal.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+	if err != nil {
+		return 0, err
+	}
+	amb := heatsink.TwoPhase().Ambient()
+	riseReal := resReal.MaxT() - amb
+	riseIdeal := resIdeal.MaxT() - amb
+	return (riseReal - riseIdeal) / riseReal, nil
+}
+
+// PillarReach summarizes the Fig. 3 spreading lengths from the
+// analytic model for cross-checking against the simulation.
+func PillarReach() (ulk, td float64) {
+	ulk = pillar.SpreadingLength(stack.ConventionalBEOL(), 6, 0.1, 105, true)
+	td = pillar.SpreadingLength(stack.ScaffoldedBEOL(), 6, 0.1, 105, true)
+	return
+}

@@ -1,0 +1,290 @@
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AnnealOptions configures the thermal-aware simulated-annealing
+// floorplanner. The cost function mixes packed area and a thermal
+// proxy (smoothed peak power density):
+//
+//	cost = AreaWeight·(area/area₀) + (1−AreaWeight)·(peak/peak₀)
+//
+// subject to a wirelength guard — the paper keeps total wirelength
+// within 5 % of the timing-driven floorplan to preserve operating
+// frequency — implemented as a steep penalty beyond the bound.
+type AnnealOptions struct {
+	// AreaWeight ∈ [0,1]: 1 = pure area packing, 0 = pure temperature.
+	AreaWeight float64
+	// WirelengthBound is the allowed fractional HPWL increase
+	// (default 0.05).
+	WirelengthBound float64
+	// Iterations (default 400·#units).
+	Iterations int
+	// Seed for the deterministic RNG.
+	Seed int64
+	// MaxPadding is the largest whitespace margin a unit may receive
+	// (fraction of its dimensions, default 0.15). Whitespace is how
+	// the planner trades area for temperature.
+	MaxPadding float64
+}
+
+func (o AnnealOptions) withDefaults(n int) AnnealOptions {
+	if o.WirelengthBound <= 0 {
+		o.WirelengthBound = 0.05
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 400 * n
+	}
+	if o.MaxPadding <= 0 {
+		o.MaxPadding = 0.15
+	}
+	if o.AreaWeight < 0 {
+		o.AreaWeight = 0
+	}
+	if o.AreaWeight > 1 {
+		o.AreaWeight = 1
+	}
+	return o
+}
+
+// AnnealResult is the floorplanner's outcome.
+type AnnealResult struct {
+	Floorplan *Floorplan
+	Area      float64 // packed die area, m²
+	PeakProxy float64 // smoothed peak power density, W/m²
+	HPWL      float64
+	BaseHPWL  float64
+	Accepted  int // accepted moves (for diagnostics)
+}
+
+// spState is a sequence-pair floorplan state with per-unit padding.
+type spState struct {
+	plus, minus []int // permutations of unit indices
+	pad         []float64
+	rot         []bool // width/height swapped
+}
+
+func (s *spState) clone() *spState {
+	return &spState{
+		plus:  append([]int(nil), s.plus...),
+		minus: append([]int(nil), s.minus...),
+		pad:   append([]float64(nil), s.pad...),
+		rot:   append([]bool(nil), s.rot...),
+	}
+}
+
+// pack places units by sequence-pair longest-path packing and
+// returns the placed rectangles and the bounding die.
+func (s *spState) pack(units []Unit) ([]Rect, Rect) {
+	n := len(units)
+	posPlus := make([]int, n)
+	posMinus := make([]int, n)
+	for i, u := range s.plus {
+		posPlus[u] = i
+	}
+	for i, u := range s.minus {
+		posMinus[u] = i
+	}
+	w := make([]float64, n)
+	h := make([]float64, n)
+	for i, u := range units {
+		w[i], h[i] = u.Rect.W, u.Rect.H
+		if s.rot[i] && !u.IsMacro {
+			w[i], h[i] = h[i], w[i]
+		}
+		w[i] *= 1 + s.pad[i]
+		h[i] *= 1 + s.pad[i]
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	// a left of b ⇔ a before b in both sequences.
+	// a below b ⇔ a after b in plus and before b in minus.
+	for _, b := range s.plus {
+		for a := 0; a < n; a++ {
+			if a == b {
+				continue
+			}
+			if posPlus[a] < posPlus[b] && posMinus[a] < posMinus[b] {
+				x[b] = math.Max(x[b], x[a]+w[a])
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		b := s.plus[i]
+		for a := 0; a < n; a++ {
+			if a == b {
+				continue
+			}
+			if posPlus[a] > posPlus[b] && posMinus[a] < posMinus[b] {
+				y[b] = math.Max(y[b], y[a]+h[a])
+			}
+		}
+	}
+	rects := make([]Rect, n)
+	var die Rect
+	for i := range units {
+		// Center the actual unit within its padded slot.
+		padW := w[i] - w[i]/(1+s.pad[i])
+		padH := h[i] - h[i]/(1+s.pad[i])
+		rects[i] = Rect{X: x[i] + padW/2, Y: y[i] + padH/2, W: w[i] / (1 + s.pad[i]), H: h[i] / (1 + s.pad[i])}
+		die.W = math.Max(die.W, x[i]+w[i])
+		die.H = math.Max(die.H, y[i]+h[i])
+	}
+	return rects, die
+}
+
+// thermalProxy rasterizes power onto a coarse grid, applies a
+// separable smoothing kernel approximating lateral spreading, and
+// returns the peak smoothed density — a fast stand-in for the full
+// thermal solve during annealing (the paper computes an analytic
+// estimate at each step for the same reason).
+func thermalProxy(f *Floorplan) float64 {
+	const n = 16
+	pm := f.PowerMap(n, n)
+	// Two passes of a [1 2 1]/4 kernel per axis.
+	tmp := make([]float64, n*n)
+	smooth := func(src, dst []float64, strideA, strideB int) {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				idx := a*strideA + b*strideB
+				v := 2 * src[idx]
+				if b > 0 {
+					v += src[idx-strideB]
+				} else {
+					v += src[idx]
+				}
+				if b < n-1 {
+					v += src[idx+strideB]
+				} else {
+					v += src[idx]
+				}
+				dst[idx] = v / 4
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		smooth(pm, tmp, n, 1) // along x
+		smooth(tmp, pm, 1, n) // along y
+	}
+	peak := 0.0
+	for _, v := range pm {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Anneal runs thermal-aware floorplanning on f and returns the best
+// floorplan found. The input floorplan provides unit shapes, power
+// densities, and nets; its current placement seeds the baseline area
+// and wirelength.
+func Anneal(f *Floorplan, opts AnnealOptions) (*AnnealResult, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(f.Units)
+	if n < 2 {
+		return nil, errors.New("floorplan: annealing needs at least 2 units")
+	}
+	opts = opts.withDefaults(n)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	st := &spState{
+		plus:  make([]int, n),
+		minus: make([]int, n),
+		pad:   make([]float64, n),
+		rot:   make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		st.plus[i], st.minus[i] = i, i
+	}
+
+	build := func(s *spState) *Floorplan {
+		rects, die := s.pack(f.Units)
+		nf := f.Clone()
+		nf.Die = die
+		for i := range nf.Units {
+			nf.Units[i].Rect = rects[i]
+		}
+		return nf
+	}
+
+	base := build(st)
+	baseArea := base.Die.Area()
+	baseProxy := thermalProxy(base)
+	baseHPWL := base.HPWL()
+	if baseProxy <= 0 {
+		return nil, errors.New("floorplan: floorplan has no power — thermal-aware annealing is meaningless")
+	}
+
+	cost := func(nf *Floorplan) float64 {
+		// Even a "100 % temperature" weighting keeps a small area
+		// pressure: real flows cannot grow the die without bound, and
+		// the paper's pure-temperature corner lands at only +16 % area.
+		wArea := 0.25 + 0.75*opts.AreaWeight
+		c := wArea*(nf.Die.Area()/baseArea) + (1-wArea)*(thermalProxy(nf)/baseProxy)
+		if baseHPWL > 0 {
+			if excess := nf.HPWL()/baseHPWL - (1 + opts.WirelengthBound); excess > 0 {
+				c += 10 * excess
+			}
+		}
+		return c
+	}
+
+	cur := st
+	curCost := cost(base)
+	best := st.clone()
+	bestCost := curCost
+	temp := 0.5
+	cool := math.Pow(0.01/temp, 1/float64(opts.Iterations))
+	accepted := 0
+
+	for it := 0; it < opts.Iterations; it++ {
+		cand := cur.clone()
+		switch rng.Intn(4) {
+		case 0: // swap in plus
+			a, b := rng.Intn(n), rng.Intn(n)
+			cand.plus[a], cand.plus[b] = cand.plus[b], cand.plus[a]
+		case 1: // swap in both
+			a, b := rng.Intn(n), rng.Intn(n)
+			cand.plus[a], cand.plus[b] = cand.plus[b], cand.plus[a]
+			cand.minus[a], cand.minus[b] = cand.minus[b], cand.minus[a]
+		case 2: // rotate a soft unit
+			u := rng.Intn(n)
+			if !f.Units[u].IsMacro {
+				cand.rot[u] = !cand.rot[u]
+			}
+		case 3: // perturb padding
+			u := rng.Intn(n)
+			cand.pad[u] = math.Max(0, math.Min(opts.MaxPadding, cand.pad[u]+(rng.Float64()-0.4)*0.1))
+		}
+		cf := build(cand)
+		cc := cost(cf)
+		if cc < curCost || rng.Float64() < math.Exp((curCost-cc)/temp) {
+			cur, curCost = cand, cc
+			accepted++
+			if cc < bestCost {
+				best, bestCost = cand.clone(), cc
+			}
+		}
+		temp *= cool
+	}
+
+	bf := build(best)
+	if err := bf.Validate(); err != nil {
+		return nil, fmt.Errorf("floorplan: annealer produced invalid floorplan: %w", err)
+	}
+	return &AnnealResult{
+		Floorplan: bf,
+		Area:      bf.Die.Area(),
+		PeakProxy: thermalProxy(bf),
+		HPWL:      bf.HPWL(),
+		BaseHPWL:  baseHPWL,
+		Accepted:  accepted,
+	}, nil
+}

@@ -1,0 +1,251 @@
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Anneal3DOptions configures multi-tier thermal-aware floorplanning
+// (Sec. III-B: "(1) duplicating the timing-driven single-tier
+// starting floorplan ... to multiple tiers and (2) performing
+// thermal-aware floorplanning"). Tiers share the die outline; the
+// annealer perturbs each tier's placement independently, with a cost
+// that penalizes vertically stacked hot spots — the 3D-specific
+// failure a per-tier planner cannot see.
+type Anneal3DOptions struct {
+	Tiers int
+	// AreaWeight ∈ [0,1] as in AnnealOptions; area here is the shared
+	// die outline (max over tiers).
+	AreaWeight float64
+	// WirelengthBound guards per-tier HPWL (default 0.05).
+	WirelengthBound float64
+	// Iterations (default 300·units·tiers).
+	Iterations int
+	Seed       int64
+	MaxPadding float64
+}
+
+func (o Anneal3DOptions) withDefaults(nUnits int) (Anneal3DOptions, error) {
+	if o.Tiers < 2 {
+		return o, errors.New("floorplan: 3D annealing needs at least 2 tiers")
+	}
+	if o.WirelengthBound <= 0 {
+		o.WirelengthBound = 0.05
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 300 * nUnits * o.Tiers
+	}
+	if o.MaxPadding <= 0 {
+		o.MaxPadding = 0.15
+	}
+	o.AreaWeight = math.Min(math.Max(o.AreaWeight, 0), 1)
+	return o, nil
+}
+
+// Anneal3DResult carries the per-tier floorplans.
+type Anneal3DResult struct {
+	Tiers []*Floorplan
+	// Die is the shared outline (every tier fits inside it).
+	Die Rect
+	// ColumnPeak is the stacked thermal proxy: the peak over (x, y)
+	// of the tier-summed smoothed power density (W/m²).
+	ColumnPeak float64
+	// BaseColumnPeak is the proxy of the duplicated starting
+	// floorplan, for comparison.
+	BaseColumnPeak float64
+	Accepted       int
+}
+
+// columnProxy computes the stacked smoothed power peak of a set of
+// tier floorplans over a shared outline.
+func columnProxy(tiers []*Floorplan, die Rect) float64 {
+	const n = 16
+	acc := make([]float64, n*n)
+	for _, f := range tiers {
+		shared := f.Clone()
+		shared.Die = die
+		pm := shared.PowerMap(n, n)
+		for i, q := range pm {
+			acc[i] += q
+		}
+	}
+	// Smooth the accumulated map with the same kernel thermalProxy
+	// uses (acc is already a raw map).
+	sm := make([]float64, n*n)
+	smooth := func(src, dst []float64, strideA, strideB int) {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				idx := a*strideA + b*strideB
+				v := 2 * src[idx]
+				if b > 0 {
+					v += src[idx-strideB]
+				} else {
+					v += src[idx]
+				}
+				if b < n-1 {
+					v += src[idx+strideB]
+				} else {
+					v += src[idx]
+				}
+				dst[idx] = v / 4
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		smooth(acc, sm, n, 1)
+		smooth(sm, acc, 1, n)
+	}
+	peak := 0.0
+	for _, v := range acc {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Anneal3D floorplans an N-tier stack from a single-tier seed: the
+// seed is duplicated per tier, then tier placements are annealed
+// jointly so hot units land over cool regions of neighboring tiers.
+func Anneal3D(seed *Floorplan, opts Anneal3DOptions) (*Anneal3DResult, error) {
+	if err := seed.Validate(); err != nil {
+		return nil, err
+	}
+	nUnits := len(seed.Units)
+	if nUnits < 2 {
+		return nil, errors.New("floorplan: 3D annealing needs at least 2 units")
+	}
+	opts, err := opts.withDefaults(nUnits)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	states := make([]*spState, opts.Tiers)
+	for t := range states {
+		st := &spState{
+			plus:  make([]int, nUnits),
+			minus: make([]int, nUnits),
+			pad:   make([]float64, nUnits),
+			rot:   make([]bool, nUnits),
+		}
+		for i := 0; i < nUnits; i++ {
+			st.plus[i], st.minus[i] = i, i
+		}
+		states[t] = st
+	}
+
+	build := func(sts []*spState) ([]*Floorplan, Rect) {
+		tiers := make([]*Floorplan, len(sts))
+		var die Rect
+		for t, st := range sts {
+			rects, d := st.pack(seed.Units)
+			nf := seed.Clone()
+			nf.Die = d
+			for i := range nf.Units {
+				nf.Units[i].Rect = rects[i]
+			}
+			tiers[t] = nf
+			die.W = math.Max(die.W, d.W)
+			die.H = math.Max(die.H, d.H)
+		}
+		return tiers, die
+	}
+
+	baseTiers, baseDie := build(states)
+	baseArea := baseDie.Area()
+	baseProxy := columnProxy(baseTiers, baseDie)
+	if baseProxy <= 0 {
+		return nil, errors.New("floorplan: seed has no power")
+	}
+	baseHPWL := baseTiers[0].HPWL()
+
+	cost := func(tiers []*Floorplan, die Rect) float64 {
+		wArea := 0.25 + 0.75*opts.AreaWeight
+		c := wArea*(die.Area()/baseArea) + (1-wArea)*(columnProxy(tiers, die)/baseProxy)
+		if baseHPWL > 0 {
+			for _, f := range tiers {
+				if excess := f.HPWL()/baseHPWL - (1 + opts.WirelengthBound); excess > 0 {
+					c += 10 * excess
+				}
+			}
+		}
+		return c
+	}
+
+	cur := states
+	curTiers, curDie := build(cur)
+	curCost := cost(curTiers, curDie)
+	best := cloneStates(cur)
+	bestCost := curCost
+	temp := 0.5
+	cool := math.Pow(0.01/temp, 1/float64(opts.Iterations))
+	accepted := 0
+
+	for it := 0; it < opts.Iterations; it++ {
+		cand := cloneStates(cur)
+		st := cand[rng.Intn(len(cand))]
+		switch rng.Intn(4) {
+		case 0:
+			a, b := rng.Intn(nUnits), rng.Intn(nUnits)
+			st.plus[a], st.plus[b] = st.plus[b], st.plus[a]
+		case 1:
+			a, b := rng.Intn(nUnits), rng.Intn(nUnits)
+			st.plus[a], st.plus[b] = st.plus[b], st.plus[a]
+			st.minus[a], st.minus[b] = st.minus[b], st.minus[a]
+		case 2:
+			u := rng.Intn(nUnits)
+			if !seed.Units[u].IsMacro {
+				st.rot[u] = !st.rot[u]
+			}
+		case 3:
+			u := rng.Intn(nUnits)
+			st.pad[u] = math.Max(0, math.Min(opts.MaxPadding, st.pad[u]+(rng.Float64()-0.4)*0.1))
+		}
+		candTiers, candDie := build(cand)
+		cc := cost(candTiers, candDie)
+		if cc < curCost || rng.Float64() < math.Exp((curCost-cc)/temp) {
+			cur, curCost = cand, cc
+			accepted++
+			if cc < bestCost {
+				best, bestCost = cloneStates(cand), cc
+			}
+		}
+		temp *= cool
+	}
+
+	tiers, die := build(best)
+	for t, f := range tiers {
+		f.Die = die // shared outline
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("floorplan: 3D annealer produced invalid tier %d: %w", t, err)
+		}
+	}
+	return &Anneal3DResult{
+		Tiers:          tiers,
+		Die:            die,
+		ColumnPeak:     columnProxy(tiers, die),
+		BaseColumnPeak: baseProxy,
+		Accepted:       accepted,
+	}, nil
+}
+
+func cloneStates(sts []*spState) []*spState {
+	out := make([]*spState, len(sts))
+	for i, s := range sts {
+		out[i] = s.clone()
+	}
+	return out
+}
+
+// PowerMaps rasterizes each tier's power onto nx×ny grids over the
+// shared die — ready for stack.Spec.PowerMaps.
+func (r *Anneal3DResult) PowerMaps(nx, ny int) [][]float64 {
+	out := make([][]float64, len(r.Tiers))
+	for t, f := range r.Tiers {
+		out[t] = f.PowerMap(nx, ny)
+	}
+	return out
+}

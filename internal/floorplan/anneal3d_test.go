@@ -1,0 +1,100 @@
+package floorplan
+
+import (
+	"testing"
+)
+
+func TestAnneal3DProducesValidTiers(t *testing.T) {
+	res, err := Anneal3D(annealPlan(), Anneal3DOptions{Tiers: 3, AreaWeight: 0.5, Seed: 5, Iterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiers) != 3 {
+		t.Fatalf("got %d tiers", len(res.Tiers))
+	}
+	for i, f := range res.Tiers {
+		if err := f.Validate(); err != nil {
+			t.Errorf("tier %d invalid: %v", i, err)
+		}
+		if f.Die != res.Die {
+			t.Errorf("tier %d does not share the die outline", i)
+		}
+	}
+	if res.Accepted == 0 {
+		t.Error("no moves accepted")
+	}
+	if res.ColumnPeak <= 0 || res.BaseColumnPeak <= 0 {
+		t.Error("degenerate column proxies")
+	}
+}
+
+// TestAnneal3DUnstacksHotspots: the whole point — the jointly
+// annealed stack has a lower stacked-power peak than naive
+// duplication.
+func TestAnneal3DUnstacksHotspots(t *testing.T) {
+	res, err := Anneal3D(annealPlan(), Anneal3DOptions{Tiers: 4, AreaWeight: 0.3, Seed: 11, Iterations: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColumnPeak >= res.BaseColumnPeak {
+		t.Errorf("3D annealing did not reduce the stacked peak: %g vs %g",
+			res.ColumnPeak, res.BaseColumnPeak)
+	}
+	// Tiers should actually differ from one another.
+	same := true
+	a, b := res.Tiers[0], res.Tiers[1]
+	for i := range a.Units {
+		if a.Units[i].Rect != b.Units[i].Rect {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("tier placements identical — no 3D awareness")
+	}
+}
+
+func TestAnneal3DPowerMaps(t *testing.T) {
+	res, err := Anneal3D(annealPlan(), Anneal3DOptions{Tiers: 2, AreaWeight: 0.5, Seed: 1, Iterations: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := res.PowerMaps(8, 8)
+	if len(maps) != 2 || len(maps[0]) != 64 {
+		t.Fatalf("bad map shapes")
+	}
+	// Power conservation per tier.
+	cellArea := res.Die.Area() / 64
+	want := annealPlan().TotalPower()
+	for tIdx, m := range maps {
+		sum := 0.0
+		for _, q := range m {
+			sum += q * cellArea
+		}
+		if sum < want*0.99 || sum > want*1.01 {
+			t.Errorf("tier %d power %g, want %g", tIdx, sum, want)
+		}
+	}
+}
+
+func TestAnneal3DRejections(t *testing.T) {
+	if _, err := Anneal3D(annealPlan(), Anneal3DOptions{Tiers: 1}); err == nil {
+		t.Error("single tier accepted")
+	}
+	bad := annealPlan()
+	bad.Units[0].Rect.X = um(1e6)
+	if _, err := Anneal3D(bad, Anneal3DOptions{Tiers: 2}); err == nil {
+		t.Error("invalid seed accepted")
+	}
+	cold := annealPlan()
+	for i := range cold.Units {
+		cold.Units[i].PowerDensity = 0
+	}
+	if _, err := Anneal3D(cold, Anneal3DOptions{Tiers: 2}); err == nil {
+		t.Error("powerless seed accepted")
+	}
+	one := &Floorplan{Die: Rect{W: 1, H: 1}, Units: []Unit{{Name: "a", Rect: Rect{W: 1, H: 1}, PowerDensity: 1}}}
+	if _, err := Anneal3D(one, Anneal3DOptions{Tiers: 2}); err == nil {
+		t.Error("single-unit seed accepted")
+	}
+}

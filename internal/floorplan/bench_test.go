@@ -1,0 +1,29 @@
+package floorplan
+
+import "testing"
+
+func BenchmarkAnneal(b *testing.B) {
+	plan := annealPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anneal(plan, AnnealOptions{AreaWeight: 0.5, Seed: int64(i), Iterations: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerMap(b *testing.B) {
+	plan := annealPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.PowerMap(32, 32)
+	}
+}
+
+func BenchmarkThermalProxy(b *testing.B) {
+	plan := annealPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		thermalProxy(plan)
+	}
+}

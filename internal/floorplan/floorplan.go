@@ -1,0 +1,296 @@
+// Package floorplan provides floorplan geometry (rectangles,
+// functional units, hard macros), power-map rasterization, and a
+// sequence-pair simulated-annealing thermal-aware floorplanner — the
+// reproduction's substitute for the Corblivar suite the paper uses in
+// its conventional-3D baseline flow (Sec. III-B).
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rect is an axis-aligned rectangle in meters.
+type Rect struct {
+	X, Y float64 // lower-left corner
+	W, H float64
+}
+
+// Area returns W·H.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// MaxX returns the right edge.
+func (r Rect) MaxX() float64 { return r.X + r.W }
+
+// MaxY returns the top edge.
+func (r Rect) MaxY() float64 { return r.Y + r.H }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() (float64, float64) { return r.X + r.W/2, r.Y + r.H/2 }
+
+// Overlaps reports whether the interiors of r and o intersect
+// (touching edges do not count).
+func (r Rect) Overlaps(o Rect) bool {
+	return r.X < o.MaxX() && o.X < r.MaxX() && r.Y < o.MaxY() && o.Y < r.MaxY()
+}
+
+// Contains reports whether o lies entirely within r (edges may touch).
+func (r Rect) Contains(o Rect) bool {
+	return o.X >= r.X-1e-15 && o.Y >= r.Y-1e-15 && o.MaxX() <= r.MaxX()+1e-15 && o.MaxY() <= r.MaxY()+1e-15
+}
+
+// ContainsPoint reports whether (x, y) lies inside r.
+func (r Rect) ContainsPoint(x, y float64) bool {
+	return x >= r.X && x < r.MaxX() && y >= r.Y && y < r.MaxY()
+}
+
+// Intersection returns the overlapping region of r and o (zero-area
+// if disjoint).
+func (r Rect) Intersection(o Rect) Rect {
+	x0 := math.Max(r.X, o.X)
+	y0 := math.Max(r.Y, o.Y)
+	x1 := math.Min(r.MaxX(), o.MaxX())
+	y1 := math.Min(r.MaxY(), o.MaxY())
+	if x1 <= x0 || y1 <= y0 {
+		return Rect{}
+	}
+	return Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f %+.1fx%.1f µm]", r.X*1e6, r.Y*1e6, r.W*1e6, r.H*1e6)
+}
+
+// Unit is one functional unit of a floorplan.
+type Unit struct {
+	Name string
+	Rect Rect
+	// PowerDensity is the unit's active power density, W/m².
+	PowerDensity float64
+	// IsMacro marks hard macros (e.g. SRAM blocks): they cannot be
+	// reshaped by the floorplanner and pillars cannot be placed
+	// inside them.
+	IsMacro bool
+}
+
+// Power returns the unit's total power (W).
+func (u Unit) Power() float64 { return u.PowerDensity * u.Rect.Area() }
+
+// Floorplan is a single-tier floorplan: a die outline, placed units,
+// and net connectivity for wirelength estimation.
+type Floorplan struct {
+	Name  string
+	Die   Rect
+	Units []Unit
+	// Nets lists connected unit-name groups for HPWL.
+	Nets [][]string
+}
+
+// Validate checks that units fit in the die and do not overlap.
+func (f *Floorplan) Validate() error {
+	if f.Die.W <= 0 || f.Die.H <= 0 {
+		return errors.New("floorplan: empty die")
+	}
+	for i, u := range f.Units {
+		if u.Rect.W <= 0 || u.Rect.H <= 0 {
+			return fmt.Errorf("floorplan: unit %s has empty rect", u.Name)
+		}
+		if !f.Die.Contains(u.Rect) {
+			return fmt.Errorf("floorplan: unit %s %v outside die %v", u.Name, u.Rect, f.Die)
+		}
+		if u.PowerDensity < 0 {
+			return fmt.Errorf("floorplan: unit %s has negative power density", u.Name)
+		}
+		for j := i + 1; j < len(f.Units); j++ {
+			if u.Rect.Overlaps(f.Units[j].Rect) {
+				return fmt.Errorf("floorplan: units %s and %s overlap", u.Name, f.Units[j].Name)
+			}
+		}
+	}
+	for _, net := range f.Nets {
+		for _, name := range net {
+			if _, err := f.Find(name); err != nil {
+				return fmt.Errorf("floorplan: net references unknown unit %q", name)
+			}
+		}
+	}
+	return nil
+}
+
+// Find returns the unit with the given name.
+func (f *Floorplan) Find(name string) (Unit, error) {
+	for _, u := range f.Units {
+		if u.Name == name {
+			return u, nil
+		}
+	}
+	return Unit{}, fmt.Errorf("floorplan: no unit %q", name)
+}
+
+// TotalPower returns the sum of unit powers (W).
+func (f *Floorplan) TotalPower() float64 {
+	p := 0.0
+	for _, u := range f.Units {
+		p += u.Power()
+	}
+	return p
+}
+
+// MeanPowerDensity returns total power over die area (W/m²).
+func (f *Floorplan) MeanPowerDensity() float64 {
+	return f.TotalPower() / f.Die.Area()
+}
+
+// PeakPowerDensity returns the highest unit power density (W/m²).
+func (f *Floorplan) PeakPowerDensity() float64 {
+	p := 0.0
+	for _, u := range f.Units {
+		if u.PowerDensity > p {
+			p = u.PowerDensity
+		}
+	}
+	return p
+}
+
+// Macros returns the hard macros of the floorplan.
+func (f *Floorplan) Macros() []Unit {
+	var out []Unit
+	for _, u := range f.Units {
+		if u.IsMacro {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// HPWL returns the half-perimeter wirelength over all nets (m),
+// using unit centers as pin locations.
+func (f *Floorplan) HPWL() float64 {
+	total := 0.0
+	for _, net := range f.Nets {
+		if len(net) < 2 {
+			continue
+		}
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		for _, name := range net {
+			u, err := f.Find(name)
+			if err != nil {
+				continue
+			}
+			cx, cy := u.Rect.Center()
+			minX = math.Min(minX, cx)
+			minY = math.Min(minY, cy)
+			maxX = math.Max(maxX, cx)
+			maxY = math.Max(maxY, cy)
+		}
+		if maxX >= minX {
+			total += (maxX - minX) + (maxY - minY)
+		}
+	}
+	return total
+}
+
+// PowerMap rasterizes the floorplan's power density onto an nx×ny
+// grid over the die, returning W/m² per cell (row-major, x fastest).
+// Unit power is distributed by exact area overlap, so total power is
+// conserved to rounding.
+func (f *Floorplan) PowerMap(nx, ny int) []float64 {
+	out := make([]float64, nx*ny)
+	dx := f.Die.W / float64(nx)
+	dy := f.Die.H / float64(ny)
+	cellArea := dx * dy
+	for _, u := range f.Units {
+		if u.PowerDensity == 0 {
+			continue
+		}
+		i0 := int((u.Rect.X - f.Die.X) / dx)
+		i1 := int(math.Ceil((u.Rect.MaxX() - f.Die.X) / dx))
+		j0 := int((u.Rect.Y - f.Die.Y) / dy)
+		j1 := int(math.Ceil((u.Rect.MaxY() - f.Die.Y) / dy))
+		for j := max(j0, 0); j < min(j1, ny); j++ {
+			for i := max(i0, 0); i < min(i1, nx); i++ {
+				cell := Rect{X: f.Die.X + float64(i)*dx, Y: f.Die.Y + float64(j)*dy, W: dx, H: dy}
+				ov := cell.Intersection(u.Rect).Area()
+				if ov > 0 {
+					out[j*nx+i] += u.PowerDensity * ov / cellArea
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MacroAreaFraction rasterizes the hard-macro coverage of each cell
+// of an nx×ny grid over the die (row-major, x fastest): 1 means the
+// cell is entirely macro, 0 entirely placeable logic. Pillar
+// placement uses this to cap insertion in macro-dominated cells.
+func (f *Floorplan) MacroAreaFraction(nx, ny int) []float64 {
+	out := make([]float64, nx*ny)
+	dx := f.Die.W / float64(nx)
+	dy := f.Die.H / float64(ny)
+	cellArea := dx * dy
+	for _, m := range f.Macros() {
+		i0 := int((m.Rect.X - f.Die.X) / dx)
+		i1 := int(math.Ceil((m.Rect.MaxX() - f.Die.X) / dx))
+		j0 := int((m.Rect.Y - f.Die.Y) / dy)
+		j1 := int(math.Ceil((m.Rect.MaxY() - f.Die.Y) / dy))
+		for j := max(j0, 0); j < min(j1, ny); j++ {
+			for i := max(i0, 0); i < min(i1, nx); i++ {
+				cell := Rect{X: f.Die.X + float64(i)*dx, Y: f.Die.Y + float64(j)*dy, W: dx, H: dy}
+				out[j*nx+i] += cell.Intersection(m.Rect).Area() / cellArea
+			}
+		}
+	}
+	for i, v := range out {
+		if v > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the floorplan.
+func (f *Floorplan) Clone() *Floorplan {
+	c := &Floorplan{Name: f.Name, Die: f.Die}
+	c.Units = append([]Unit(nil), f.Units...)
+	for _, n := range f.Nets {
+		c.Nets = append(c.Nets, append([]string(nil), n...))
+	}
+	return c
+}
+
+// Scaled returns a copy with the die and all unit rectangles scaled
+// by √factor in each dimension, preserving each unit's total power
+// (power density scales down by factor). Used to model footprint
+// growth: the same logic spread over more area.
+func (f *Floorplan) Scaled(factor float64) *Floorplan {
+	if factor <= 0 {
+		factor = 1
+	}
+	s := math.Sqrt(factor)
+	c := f.Clone()
+	c.Die.W *= s
+	c.Die.H *= s
+	for i := range c.Units {
+		u := &c.Units[i]
+		u.Rect.X = f.Die.X + (u.Rect.X-f.Die.X)*s
+		u.Rect.Y = f.Die.Y + (u.Rect.Y-f.Die.Y)*s
+		u.Rect.W *= s
+		u.Rect.H *= s
+		u.PowerDensity /= factor
+	}
+	return c
+}
+
+// SortedUnitNames returns unit names in deterministic order.
+func (f *Floorplan) SortedUnitNames() []string {
+	names := make([]string, len(f.Units))
+	for i, u := range f.Units {
+		names[i] = u.Name
+	}
+	sort.Strings(names)
+	return names
+}

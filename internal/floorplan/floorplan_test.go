@@ -1,0 +1,200 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g (±%g)", msg, got, want, tol)
+	}
+}
+
+func um(v float64) float64 { return v * 1e-6 }
+
+// testPlan builds a small 4-unit floorplan with a hot block.
+func testPlan() *Floorplan {
+	return &Floorplan{
+		Name: "test",
+		Die:  Rect{W: um(100), H: um(100)},
+		Units: []Unit{
+			{Name: "hot", Rect: Rect{X: 0, Y: 0, W: um(40), H: um(40)}, PowerDensity: 95e4},
+			{Name: "sram", Rect: Rect{X: um(40), Y: 0, W: um(60), H: um(40)}, PowerDensity: 20e4, IsMacro: true},
+			{Name: "logic", Rect: Rect{X: 0, Y: um(40), W: um(50), H: um(60)}, PowerDensity: 60e4},
+			{Name: "ctrl", Rect: Rect{X: um(50), Y: um(40), W: um(50), H: um(60)}, PowerDensity: 40e4},
+		},
+		Nets: [][]string{{"hot", "sram"}, {"hot", "logic", "ctrl"}},
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 3, H: 4}
+	approx(t, r.Area(), 12, 1e-12, "area")
+	approx(t, r.MaxX(), 4, 1e-12, "maxx")
+	approx(t, r.MaxY(), 6, 1e-12, "maxy")
+	cx, cy := r.Center()
+	approx(t, cx, 2.5, 1e-12, "cx")
+	approx(t, cy, 4, 1e-12, "cy")
+	if !r.ContainsPoint(2, 3) || r.ContainsPoint(10, 3) {
+		t.Error("ContainsPoint wrong")
+	}
+}
+
+func TestRectOverlap(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 2, H: 2}
+	b := Rect{X: 1, Y: 1, W: 2, H: 2}
+	c := Rect{X: 2, Y: 0, W: 2, H: 2} // touches a's edge
+	if !a.Overlaps(b) {
+		t.Error("overlapping rects not detected")
+	}
+	if a.Overlaps(c) {
+		t.Error("edge-touching rects should not overlap")
+	}
+	ov := a.Intersection(b)
+	approx(t, ov.Area(), 1, 1e-12, "intersection area")
+	if got := a.Intersection(c).Area(); got != 0 {
+		t.Errorf("disjoint intersection area = %g", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	die := Rect{W: 10, H: 10}
+	if !die.Contains(Rect{X: 0, Y: 0, W: 10, H: 10}) {
+		t.Error("die should contain itself")
+	}
+	if die.Contains(Rect{X: 5, Y: 5, W: 6, H: 2}) {
+		t.Error("overflowing rect contained")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := testPlan()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping units rejected.
+	bad := f.Clone()
+	bad.Units[1].Rect = bad.Units[0].Rect
+	if err := bad.Validate(); err == nil {
+		t.Error("overlap accepted")
+	}
+	// Out-of-die unit rejected.
+	bad2 := f.Clone()
+	bad2.Units[0].Rect.X = um(90)
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-die accepted")
+	}
+	// Unknown net unit rejected.
+	bad3 := f.Clone()
+	bad3.Nets = append(bad3.Nets, []string{"ghost", "hot"})
+	if err := bad3.Validate(); err == nil {
+		t.Error("ghost net accepted")
+	}
+	// Empty die rejected.
+	if err := (&Floorplan{}).Validate(); err == nil {
+		t.Error("empty floorplan accepted")
+	}
+	// Negative power rejected.
+	bad4 := f.Clone()
+	bad4.Units[0].PowerDensity = -1
+	if err := bad4.Validate(); err == nil {
+		t.Error("negative power accepted")
+	}
+}
+
+func TestPowerAccounting(t *testing.T) {
+	f := testPlan()
+	var want float64
+	for _, u := range f.Units {
+		want += u.PowerDensity * u.Rect.Area()
+	}
+	approx(t, f.TotalPower(), want, want*1e-12, "total power")
+	approx(t, f.MeanPowerDensity(), want/f.Die.Area(), 1e-6, "mean density")
+	approx(t, f.PeakPowerDensity(), 95e4, 1e-6, "peak density")
+}
+
+func TestPowerMapConservesPower(t *testing.T) {
+	f := testPlan()
+	for _, n := range []int{8, 16, 33} {
+		pm := f.PowerMap(n, n)
+		cellArea := f.Die.Area() / float64(n*n)
+		sum := 0.0
+		for _, q := range pm {
+			sum += q * cellArea
+		}
+		approx(t, sum, f.TotalPower(), f.TotalPower()*1e-9, "power conservation")
+	}
+}
+
+func TestPowerMapLocality(t *testing.T) {
+	f := testPlan()
+	pm := f.PowerMap(10, 10)
+	// Cell (1,1) is inside "hot" (95e4); cell (8,1) inside "sram".
+	approx(t, pm[1*10+1], 95e4, 1, "hot cell")
+	approx(t, pm[1*10+8], 20e4, 1, "sram cell")
+}
+
+func TestHPWL(t *testing.T) {
+	f := testPlan()
+	got := f.HPWL()
+	// Net 1: hot(20,20) - sram(70,20): 50+0 µm. Net 2: hot(20,20),
+	// logic(25,70), ctrl(75,70): dx 55, dy 50.
+	want := um(50) + um(55) + um(50)
+	approx(t, got, want, 1e-12, "HPWL")
+	// Single-unit nets contribute nothing.
+	f.Nets = append(f.Nets, []string{"hot"})
+	approx(t, f.HPWL(), want, 1e-12, "degenerate net")
+}
+
+func TestScaled(t *testing.T) {
+	f := testPlan()
+	s := f.Scaled(1.21)
+	approx(t, s.Die.Area(), f.Die.Area()*1.21, 1e-15, "die area scales")
+	approx(t, s.TotalPower(), f.TotalPower(), f.TotalPower()*1e-12, "power preserved")
+	if err := s.Validate(); err != nil {
+		t.Errorf("scaled plan invalid: %v", err)
+	}
+	// Degenerate factor falls back to identity.
+	id := f.Scaled(0)
+	approx(t, id.Die.Area(), f.Die.Area(), 1e-18, "identity scale")
+}
+
+func TestScaledPowerDensityProperty(t *testing.T) {
+	f := testPlan()
+	fn := func(raw float64) bool {
+		factor := 1 + math.Mod(math.Abs(raw), 3)
+		s := f.Scaled(factor)
+		return math.Abs(s.MeanPowerDensity()-f.MeanPowerDensity()/factor) < 1e-3
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMacrosAndFind(t *testing.T) {
+	f := testPlan()
+	m := f.Macros()
+	if len(m) != 1 || m[0].Name != "sram" {
+		t.Errorf("Macros = %v", m)
+	}
+	if _, err := f.Find("ghost"); err == nil {
+		t.Error("found ghost unit")
+	}
+	names := f.SortedUnitNames()
+	if len(names) != 4 || names[0] != "ctrl" {
+		t.Errorf("SortedUnitNames = %v", names)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := testPlan()
+	c := f.Clone()
+	c.Units[0].PowerDensity = 0
+	c.Nets[0][0] = "changed"
+	if f.Units[0].PowerDensity == 0 || f.Nets[0][0] == "changed" {
+		t.Error("clone shares storage with original")
+	}
+}

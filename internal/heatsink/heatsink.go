@@ -1,0 +1,97 @@
+// Package heatsink models the external cooling solutions explored by
+// the paper: advanced two-phase porous-copper/diamond heatsinks [7],
+// silicon-integrated microfluidics [36], and conventional cold
+// plates. A heatsink is abstracted — exactly as the paper does — into
+// a heat transfer coefficient h (W/m²/K) against a coolant ambient
+// temperature, applied as a convective boundary on the handle-silicon
+// face of the 3D stack.
+package heatsink
+
+import (
+	"fmt"
+
+	"thermalscaffold/internal/units"
+)
+
+// Model is one heatsink technology.
+type Model struct {
+	Name string
+	// H is the effective heat transfer coefficient, W/m²/K.
+	H float64
+	// AmbientC is the coolant (inlet) temperature in °C. Two-phase
+	// boiling-water sinks force 100 °C; single-phase water can run at
+	// room temperature.
+	AmbientC float64
+	// MaxFluxWPerCm2, when positive, caps the removable heat flux
+	// (W/cm²) — "total heat removal is limited by the heatsink"
+	// (Observation 3).
+	MaxFluxWPerCm2 float64
+}
+
+// TwoPhase returns the porous two-phase heatsink of [7]: 1000 W/cm²
+// at 10 °C rise (h = 10⁶ W/m²/K) with boiling water requiring a
+// 100 °C ambient.
+func TwoPhase() Model {
+	return Model{Name: "two-phase porous", H: 1e6, AmbientC: 100, MaxFluxWPerCm2: 1000}
+}
+
+// Microfluidic returns the Si-integrated microfluidic sink of [36]:
+// 10× lower h than the two-phase sink but room-temperature water.
+func Microfluidic() Model {
+	return Model{Name: "Si microfluidic", H: 1e5, AmbientC: 25, MaxFluxWPerCm2: 300}
+}
+
+// ColdPlate returns a conventional liquid cold plate — included as a
+// pessimistic baseline technology for sensitivity sweeps.
+func ColdPlate() Model {
+	return Model{Name: "cold plate", H: 2e4, AmbientC: 25, MaxFluxWPerCm2: 100}
+}
+
+// All returns the modeled heatsink technologies, best first.
+func All() []Model { return []Model{TwoPhase(), Microfluidic(), ColdPlate()} }
+
+// Ambient returns the coolant temperature in kelvin.
+func (m Model) Ambient() float64 { return units.CelsiusToKelvin(m.AmbientC) }
+
+// DeltaT returns the temperature rise (K) across the heatsink at the
+// given heat flux (W/m²).
+func (m Model) DeltaT(fluxWPerM2 float64) float64 { return fluxWPerM2 / m.H }
+
+// BaseTemperature returns the chip-attach temperature (K) when the
+// sink removes the given flux (W/m²): ambient plus the sink's own
+// rise.
+func (m Model) BaseTemperature(fluxWPerM2 float64) float64 {
+	return m.Ambient() + m.DeltaT(fluxWPerM2)
+}
+
+// SupportsFlux reports whether the sink can remove the given flux
+// (W/m²) within its demonstrated capability.
+func (m Model) SupportsFlux(fluxWPerM2 float64) bool {
+	if m.MaxFluxWPerCm2 <= 0 {
+		return true
+	}
+	return units.WPerM2ToWPerCm2(fluxWPerM2) <= m.MaxFluxWPerCm2
+}
+
+// Validate checks physical plausibility.
+func (m Model) Validate() error {
+	if m.H <= 0 {
+		return fmt.Errorf("heatsink: %s: non-positive h=%g", m.Name, m.H)
+	}
+	if m.AmbientC < -273.15 {
+		return fmt.Errorf("heatsink: %s: ambient below absolute zero", m.Name)
+	}
+	return nil
+}
+
+func (m Model) String() string {
+	return fmt.Sprintf("%s(h=%.0e W/m²/K, ambient %.0f°C)", m.Name, m.H, m.AmbientC)
+}
+
+// HeadroomK returns the temperature budget (K) between the sink's
+// base temperature at the given flux and a junction limit given in
+// °C. Negative headroom means the limit is unreachable regardless of
+// the stack's internal resistance.
+func (m Model) HeadroomK(fluxWPerM2, tMaxC float64) float64 {
+	return units.CelsiusToKelvin(tMaxC) - m.BaseTemperature(fluxWPerM2)
+}

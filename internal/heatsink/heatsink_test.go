@@ -1,0 +1,99 @@
+package heatsink
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"thermalscaffold/internal/units"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+// TestTwoPhasePaperAnchor: [7] removes 1000 W/cm² with just 10 °C
+// rise across the heatsink, i.e. h = 10⁶ W/m²/K, at 100 °C inlet.
+func TestTwoPhasePaperAnchor(t *testing.T) {
+	m := TwoPhase()
+	flux := units.WPerCm2ToWPerM2(1000)
+	approx(t, m.DeltaT(flux), 10, 1e-9, "two-phase ΔT at 1000 W/cm²")
+	approx(t, m.AmbientC, 100, 1e-12, "two-phase ambient")
+	approx(t, m.BaseTemperature(flux), units.CelsiusToKelvin(110), 1e-9, "base temperature")
+	if !m.SupportsFlux(flux) {
+		t.Error("two-phase sink must support its rated flux")
+	}
+	if m.SupportsFlux(units.WPerCm2ToWPerM2(1500)) {
+		t.Error("two-phase sink should refuse 1.5x rated flux")
+	}
+}
+
+// TestMicrofluidicTenXLowerH: Observation 3 — microfluidics has 10×
+// reduced h but room-temperature water.
+func TestMicrofluidicTenXLowerH(t *testing.T) {
+	tp, mf := TwoPhase(), Microfluidic()
+	approx(t, tp.H/mf.H, 10, 1e-9, "h ratio")
+	if mf.AmbientC >= 30 {
+		t.Errorf("microfluidic ambient %g°C is not room temperature", mf.AmbientC)
+	}
+}
+
+func TestAllValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.String() == "" || !strings.Contains(m.String(), m.Name) {
+			t.Errorf("%s: bad String()", m.Name)
+		}
+	}
+	if len(All()) < 3 {
+		t.Error("expected at least 3 heatsink technologies")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	if err := (Model{Name: "x", H: 0}).Validate(); err == nil {
+		t.Error("zero h accepted")
+	}
+	if err := (Model{Name: "x", H: 1, AmbientC: -300}).Validate(); err == nil {
+		t.Error("sub-absolute-zero ambient accepted")
+	}
+}
+
+func TestHeadroom(t *testing.T) {
+	m := TwoPhase()
+	flux := units.WPerCm2ToWPerM2(636) // 12-tier Gemmini total flux
+	head := m.HeadroomK(flux, 125)
+	// 125 − (100 + 6.36) = 18.64 K of budget for the stack itself.
+	approx(t, head, 18.64, 0.01, "two-phase headroom at 636 W/cm²")
+	if m.HeadroomK(units.WPerCm2ToWPerM2(3000), 125) > 0 {
+		t.Error("huge flux should exhaust headroom")
+	}
+}
+
+// TestCrossoverBetweenSinks: below ~100 W/cm² room-temperature
+// microfluidics yields a cooler base than the boiling-water sink
+// (Fig. 11's crossover rationale); at very high flux the two-phase
+// sink wins.
+func TestCrossoverBetweenSinks(t *testing.T) {
+	tp, mf := TwoPhase(), Microfluidic()
+	low := units.WPerCm2ToWPerM2(50)
+	if mf.BaseTemperature(low) >= tp.BaseTemperature(low) {
+		t.Error("microfluidic should be cooler at low flux")
+	}
+	high := units.WPerCm2ToWPerM2(900)
+	if tp.BaseTemperature(high) >= mf.BaseTemperature(high) {
+		t.Error("two-phase should be cooler at very high flux")
+	}
+}
+
+func TestUncappedFlux(t *testing.T) {
+	m := Model{Name: "ideal", H: 1e7, AmbientC: 25}
+	if !m.SupportsFlux(1e12) {
+		t.Error("uncapped sink should support any flux")
+	}
+}

@@ -1,0 +1,81 @@
+package heatsink
+
+import (
+	"testing"
+
+	"thermalscaffold/internal/units"
+)
+
+func TestTuckermanPeaseValidates(t *testing.T) {
+	m := TuckermanPease()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.ChannelWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero channel accepted")
+	}
+	bad = m
+	bad.CoolantK = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative coolant k accepted")
+	}
+}
+
+// TestTuckermanPeaseH: the 1981 design demonstrated ~790 W/cm² at
+// ~71 °C rise — an effective h of order 10⁵ W/m²/K, which is exactly
+// the regime the paper assigns to Si-integrated microfluidics.
+func TestTuckermanPeaseH(t *testing.T) {
+	m := TuckermanPease()
+	h := m.EffectiveH()
+	if h < 3e4 || h > 5e5 {
+		t.Errorf("effective h = %g W/m²/K outside the microchannel regime", h)
+	}
+	// Fin augmentation must beat the bare channel floor.
+	pitch := m.ChannelWidth + m.WallWidth
+	bare := m.ChannelH() * m.ChannelWidth / pitch
+	if h <= bare {
+		t.Error("fins add nothing")
+	}
+	eff := m.FinEfficiency()
+	if eff <= 0 || eff > 1 {
+		t.Errorf("fin efficiency %g out of range", eff)
+	}
+}
+
+func TestMicrochannelGeometrySensitivity(t *testing.T) {
+	base := TuckermanPease()
+	// Narrower channels raise h (smaller hydraulic diameter).
+	narrow := base
+	narrow.ChannelWidth = 25e-6
+	if narrow.ChannelH() <= base.ChannelH() {
+		t.Error("narrower channel should raise channel h")
+	}
+	// Deeper channels add wetted area.
+	deep := base
+	deep.Depth = 600e-6
+	if deep.EffectiveH() <= base.EffectiveH() {
+		t.Error("deeper channels should raise effective h")
+	}
+}
+
+func TestMicrochannelModel(t *testing.T) {
+	m := TuckermanPease().Model()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.AmbientC > 30 {
+		t.Error("microchannel should run room-temperature water")
+	}
+	if !m.SupportsFlux(units.WPerCm2ToWPerM2(500)) {
+		t.Error("should support 500 W/cm²")
+	}
+	if m.SupportsFlux(units.WPerCm2ToWPerM2(1000)) {
+		t.Error("should refuse 1000 W/cm² (demonstrated cap 790)")
+	}
+	// Same order as the paper's abstract microfluidic model.
+	if m.H < Microfluidic().H/4 || m.H > Microfluidic().H*4 {
+		t.Errorf("derived h=%g far from the paper's 10⁵ abstraction", m.H)
+	}
+}

@@ -1,0 +1,172 @@
+package materials
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiamondModel is the effective-thermal-conductivity (ETC) model of
+// the paper's Eq. 1 for nanocrystalline diamond:
+//
+//	k_g = k0 / (1 + Λ0/d^0.75)            (size-limited grain interior)
+//	k   = k_g / (1 + R·k_g/d)             (grain-boundary resistance)
+//
+// where k0 is the single-crystal conductivity (W/m/K), Λ0 the
+// single-crystal phonon mean free path (m, applied with d in nm for
+// the d^0.75 term exactly as the paper's fit does), d the grain size
+// (m), and R the grain-boundary thermal resistance (m²K/W).
+//
+// The zero value is not useful; use DefaultDiamondModel.
+type DiamondModel struct {
+	K0      float64 // single-crystal thermal conductivity, W/m/K
+	Lambda0 float64 // phonon mean free path, nm (used against d^0.75 with d in nm)
+	R       float64 // grain-boundary thermal resistance, m²K/W
+}
+
+// DefaultDiamondModel returns the model calibrated as in the paper:
+// the grain-boundary resistance extracted from the experimental film
+// data [21-23] is R = 1.15 m²K/GW, and (K0, Λ0) are chosen so the
+// 160 nm grain film — one upper BEOL layer thick — evaluates to the
+// paper's 105.7 W/m/K.
+func DefaultDiamondModel() DiamondModel {
+	return DiamondModel{
+		K0:      2200, // single-crystal diamond, W/m/K
+		Lambda0: 180,  // nm
+		R:       1.15e-9,
+	}
+}
+
+// GrainInteriorConductivity returns k_g = k0/(1+Λ0/d^0.75) for grain
+// size d in meters.
+func (m DiamondModel) GrainInteriorConductivity(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	dNm := d / 1e-9
+	return m.K0 / (1 + m.Lambda0/math.Pow(dNm, 0.75))
+}
+
+// Conductivity returns the in-plane effective thermal conductivity
+// (W/m/K) of a polycrystalline diamond film with grain size d (m).
+func (m DiamondModel) Conductivity(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	kg := m.GrainInteriorConductivity(d)
+	return kg / (1 + m.R*kg/d)
+}
+
+// ThroughPlaneConductivity returns the effective through-plane
+// conductivity of a film of thickness t (m) with grain size d (m) and
+// film thermal boundary resistance tbr (m²K/W), using the series ETC
+// approach of [25]: the in-plane conductivity degraded by the
+// boundary resistance of the film interfaces.
+func (m DiamondModel) ThroughPlaneConductivity(d, t, tbr float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	k := m.Conductivity(d)
+	if k <= 0 {
+		return 0
+	}
+	return k / (1 + tbr*k/t)
+}
+
+// GrainSizeForConductivity inverts Conductivity by bisection on
+// [1 nm, 100 µm]; it returns an error when k is outside the model's
+// attainable range.
+func (m DiamondModel) GrainSizeForConductivity(k float64) (float64, error) {
+	lo, hi := 1e-9, 100e-6
+	klo, khi := m.Conductivity(lo), m.Conductivity(hi)
+	if k < klo || k > khi {
+		return 0, fmt.Errorf("materials: conductivity %g W/m/K outside attainable range [%g, %g]", k, klo, khi)
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		if m.Conductivity(mid) < k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}
+
+// DiamondFilmSample is one experimental film data point used to
+// anchor the model (paper Fig. 4).
+type DiamondFilmSample struct {
+	GrainSize   float64 // m
+	GrowthTempC float64 // deposition temperature, °C
+	Source      string  // citation tag
+}
+
+// ExperimentalFilms returns the three film data points of Fig. 4.
+func ExperimentalFilms() []DiamondFilmSample {
+	return []DiamondFilmSample{
+		{GrainSize: 350e-9, GrowthTempC: 500, Source: "[23]"},
+		{GrainSize: 650e-9, GrowthTempC: 400, Source: "[22]"},
+		{GrainSize: 1900e-9, GrowthTempC: 650, Source: "[21]"},
+	}
+}
+
+// MaxwellGarnett returns the effective relative permittivity of a
+// two-phase composite with spherical inclusions of permittivity
+// epsIncl at volume fraction f inside a host of permittivity epsHost
+// (paper Eq. 2). f is clamped to [0, 1].
+func MaxwellGarnett(epsHost, epsIncl, f float64) float64 {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	num := 2*epsHost + epsIncl + 2*f*(epsIncl-epsHost)
+	den := 2*epsHost + epsIncl - f*(epsIncl-epsHost)
+	return epsHost * num / den
+}
+
+// PorousDiamondEpsilon returns the relative permittivity of a
+// diamond film with air porosity fraction f, starting from the
+// non-porous film permittivity epsFilm.
+func PorousDiamondEpsilon(epsFilm, f float64) float64 {
+	return MaxwellGarnett(epsFilm, 1.0, f)
+}
+
+// PorosityForEpsilon returns the air volume fraction required to
+// bring a film of permittivity epsFilm down to target eps, by
+// bisection. It returns an error if the target is outside (1, epsFilm].
+func PorosityForEpsilon(epsFilm, target float64) (float64, error) {
+	if target > epsFilm || target <= 1 {
+		return 0, fmt.Errorf("materials: target permittivity %g outside (1, %g]", target, epsFilm)
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if PorousDiamondEpsilon(epsFilm, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// DielectricSample is one literature measurement of polycrystalline
+// diamond permittivity by grain size (paper Fig. 5).
+type DielectricSample struct {
+	GrainSize float64 // m
+	Epsilon   float64
+	Source    string
+}
+
+// DielectricLiterature returns the Fig. 5 literature review points:
+// permittivity of non-porous polycrystalline diamond films with grain
+// sizes comparable to the scaffolding layer thickness.
+func DielectricLiterature() []DielectricSample {
+	return []DielectricSample{
+		{GrainSize: 30e-9, Epsilon: 3.8, Source: "[26]"},
+		{GrainSize: 120e-9, Epsilon: 3.4, Source: "[26]"},
+		{GrainSize: 500e-9, Epsilon: 2.9, Source: "[28]"},
+		{GrainSize: 1500e-9, Epsilon: 5.2, Source: "[25]"},
+	}
+}

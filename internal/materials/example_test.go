@@ -1,0 +1,38 @@
+package materials_test
+
+import (
+	"fmt"
+
+	"thermalscaffold/internal/materials"
+)
+
+// ExampleDiamondModel_Conductivity evaluates the paper's Eq. 1 at the
+// 160 nm grain size of a single upper BEOL layer.
+func ExampleDiamondModel_Conductivity() {
+	m := materials.DefaultDiamondModel()
+	fmt.Printf("k(160 nm) = %.1f W/m/K\n", m.Conductivity(160e-9))
+	// Output: k(160 nm) = 105.7 W/m/K
+}
+
+// ExamplePorosityForEpsilon finds the air fraction that brings a
+// diamond film down to the paper's pessimistic ε = 4.
+func ExamplePorosityForEpsilon() {
+	f, err := materials.PorosityForEpsilon(materials.EpsDiamondBulk, 4.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("porosity = %.2f\n", f)
+	// Output: porosity = 0.29
+}
+
+// ExampleThermalDielectric shows the scaffolding dielectric next to
+// the ultra-low-k ILD it replaces in M8-M9.
+func ExampleThermalDielectric() {
+	td := materials.ThermalDielectric(materials.KThermalDielectricMin)
+	ulk := materials.UltraLowK()
+	fmt.Printf("in-plane conductivity gain: %.0fx\n", td.KLateral/ulk.KLateral)
+	fmt.Printf("permittivity cost: %.0fx\n", td.Epsilon/ulk.Epsilon)
+	// Output:
+	// in-plane conductivity gain: 528x
+	// permittivity cost: 2x
+}

@@ -1,0 +1,162 @@
+// Package materials models the thermal and dielectric properties of
+// every material in the 3D-IC stack studied by the paper: copper
+// interconnect, silicon device layers, ultra-low-k interlayer
+// dielectric, and the low-temperature-grown nanocrystalline diamond
+// thermal dielectric that enables thermal scaffolding.
+//
+// The diamond model implements the paper's Eq. 1 (effective thermal
+// conductivity vs. grain size, after Dong/Wen/Melnik) with the
+// published calibration R = 1.15 m²K/GW, and the paper's Eq. 2
+// (Maxwell-Garnett mixing) for the dielectric constant of porous
+// diamond films. Copper and silicon use the size-dependent values of
+// the paper's Fig. 1 table.
+package materials
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Material describes one homogeneous (possibly anisotropic) solid in
+// the stack. Conductivities are in W/m/K; VolHeatCapacity is the
+// volumetric heat capacity in J/(m³·K) used by transient simulation;
+// Epsilon is the relative dielectric permittivity (0 for conductors,
+// where it is meaningless).
+type Material struct {
+	Name            string
+	KVertical       float64 // through-plane (z) thermal conductivity, W/m/K
+	KLateral        float64 // in-plane (x,y) thermal conductivity, W/m/K
+	VolHeatCapacity float64 // J/(m³·K)
+	Epsilon         float64 // relative permittivity (dielectrics only)
+}
+
+// Isotropic reports whether the material has equal in-plane and
+// through-plane conductivity.
+func (m Material) Isotropic() bool { return m.KVertical == m.KLateral }
+
+// String implements fmt.Stringer.
+func (m Material) String() string {
+	if m.Isotropic() {
+		return fmt.Sprintf("%s(k=%.3g W/m/K)", m.Name, m.KVertical)
+	}
+	return fmt.Sprintf("%s(k⊥=%.3g, k∥=%.3g W/m/K)", m.Name, m.KVertical, m.KLateral)
+}
+
+// Validate checks the material for physically meaningful values.
+func (m Material) Validate() error {
+	if m.Name == "" {
+		return errors.New("materials: material has empty name")
+	}
+	if m.KVertical <= 0 || m.KLateral <= 0 {
+		return fmt.Errorf("materials: %s: non-positive conductivity (k⊥=%g, k∥=%g)", m.Name, m.KVertical, m.KLateral)
+	}
+	if m.VolHeatCapacity < 0 {
+		return fmt.Errorf("materials: %s: negative heat capacity %g", m.Name, m.VolHeatCapacity)
+	}
+	if m.Epsilon < 0 {
+		return fmt.Errorf("materials: %s: negative permittivity %g", m.Name, m.Epsilon)
+	}
+	return nil
+}
+
+// Iso constructs an isotropic material.
+func Iso(name string, k, cv, eps float64) Material {
+	return Material{Name: name, KVertical: k, KLateral: k, VolHeatCapacity: cv, Epsilon: eps}
+}
+
+// Aniso constructs an anisotropic material with distinct through-plane
+// and in-plane conductivities.
+func Aniso(name string, kVert, kLat, cv, eps float64) Material {
+	return Material{Name: name, KVertical: kVert, KLateral: kLat, VolHeatCapacity: cv, Epsilon: eps}
+}
+
+// Volumetric heat capacities, J/(m³·K), room temperature.
+const (
+	CvSilicon = 1.66e6
+	CvCopper  = 3.45e6
+	CvDiamond = 1.83e6
+	CvOxide   = 1.60e6
+	CvWater   = 4.18e6
+)
+
+// Canonical material constants from the paper's Fig. 1 table.
+const (
+	// KUltraLowK is the estimated thermal conductivity of porous
+	// ultra-low-k ILD (W/m/K), extracted from the porous-materials
+	// meta-analysis the paper cites ([19]).
+	KUltraLowK = 0.2
+	// EpsUltraLowK is the relative permittivity of modern ultra-low-k
+	// ILD ([17],[18]).
+	EpsUltraLowK = 2.0
+	// EpsThermalDielectric is the paper's pessimistic estimate for the
+	// porous nanocrystalline diamond film (Sec. II).
+	EpsThermalDielectric = 4.0
+	// EpsDiamondBulk is the relative permittivity of non-porous
+	// polycrystalline diamond (literature spread in Fig. 5; 5.7 is the
+	// commonly used single-crystal value).
+	EpsDiamondBulk = 5.7
+	// KThermalDielectricMin is the experimentally derived in-plane
+	// conductivity of a 160 nm grain film — the size of a single upper
+	// BEOL layer (W/m/K).
+	KThermalDielectricMin = 105.7
+	// KThermalDielectricMax is the paper's conservative estimate for a
+	// large-grained (>1 µm) thin film (W/m/K).
+	KThermalDielectricMax = 500.0
+	// KThermalDielectricThroughMin / Max bound the effective
+	// through-plane conductivity after thin-film and boundary effects
+	// (Sec. II: 30–105.7 W/m/K).
+	KThermalDielectricThroughMin = 30.0
+	KThermalDielectricThroughMax = 105.7
+)
+
+// UltraLowK returns the conventional porous ultra-low-k ILD.
+func UltraLowK() Material {
+	return Iso("ultra-low-k ILD", KUltraLowK, CvOxide, EpsUltraLowK)
+}
+
+// ThermalDielectric returns the nanocrystalline-diamond thermal
+// dielectric with the given in-plane conductivity (clamped to the
+// paper's modeled [105.7, 500] W/m/K range) and a through-plane
+// conductivity scaled within [30, 105.7] proportionally.
+func ThermalDielectric(kInPlane float64) Material {
+	if kInPlane < KThermalDielectricMin {
+		kInPlane = KThermalDielectricMin
+	}
+	if kInPlane > KThermalDielectricMax {
+		kInPlane = KThermalDielectricMax
+	}
+	// Map the in-plane range onto the through-plane range linearly:
+	// the same film-quality knob (grain size / boundary resistance)
+	// controls both.
+	t := (kInPlane - KThermalDielectricMin) / (KThermalDielectricMax - KThermalDielectricMin)
+	kThrough := KThermalDielectricThroughMin + t*(KThermalDielectricThroughMax-KThermalDielectricThroughMin)
+	return Aniso("thermal dielectric (NCD)", kThrough, kInPlane, CvDiamond, EpsThermalDielectric)
+}
+
+// Air returns still air (used for porosity mixing and free boundaries).
+func Air() Material { return Iso("air", 0.026, 1.2e3, 1.0) }
+
+// interpLogLin interpolates y over log(x) between calibration points,
+// clamping outside the data range. Points must be sorted by x.
+func interpLogLin(points [][2]float64, x float64) float64 {
+	if len(points) == 0 {
+		return math.NaN()
+	}
+	if x <= points[0][0] {
+		return points[0][1]
+	}
+	last := points[len(points)-1]
+	if x >= last[0] {
+		return last[1]
+	}
+	for i := 0; i+1 < len(points); i++ {
+		x0, y0 := points[i][0], points[i][1]
+		x1, y1 := points[i+1][0], points[i+1][1]
+		if x >= x0 && x <= x1 {
+			t := (math.Log(x) - math.Log(x0)) / (math.Log(x1) - math.Log(x0))
+			return y0 + t*(y1-y0)
+		}
+	}
+	return last[1]
+}

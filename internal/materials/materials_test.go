@@ -1,0 +1,337 @@
+package materials
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, relTol float64, msg string) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > relTol {
+			t.Errorf("%s: got %g, want 0", msg, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s: got %g, want %g (rel tol %g)", msg, got, want, relTol)
+	}
+}
+
+func TestMaterialValidate(t *testing.T) {
+	good := Iso("x", 1, 1e6, 2)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid material rejected: %v", err)
+	}
+	bad := []Material{
+		{},
+		{Name: "neg-k", KVertical: -1, KLateral: 1},
+		{Name: "zero-k", KVertical: 0, KLateral: 1},
+		{Name: "neg-cv", KVertical: 1, KLateral: 1, VolHeatCapacity: -1},
+		{Name: "neg-eps", KVertical: 1, KLateral: 1, Epsilon: -2},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("invalid material %q accepted", m.Name)
+		}
+	}
+}
+
+func TestIsotropic(t *testing.T) {
+	if !Iso("a", 3, 0, 0).Isotropic() {
+		t.Error("Iso not isotropic")
+	}
+	if Aniso("b", 3, 5, 0, 0).Isotropic() {
+		t.Error("Aniso reported isotropic")
+	}
+}
+
+func TestUltraLowKMatchesPaper(t *testing.T) {
+	m := UltraLowK()
+	approx(t, m.KVertical, 0.2, 1e-12, "ultra-low-k k")
+	approx(t, m.Epsilon, 2.0, 1e-12, "ultra-low-k eps")
+}
+
+// TestDiamondModelCalibration checks the paper's Fig. 4 anchor: a
+// 160 nm grain film (one upper BEOL layer thick) models to 105.7
+// W/m/K in-plane.
+func TestDiamondModelCalibration(t *testing.T) {
+	m := DefaultDiamondModel()
+	approx(t, m.Conductivity(160e-9), 105.7, 0.01, "k(160nm)")
+}
+
+// TestDiamondModelLargeGrain checks that large-grained (>1 µm) films
+// exceed the paper's conservative 500 W/m/K estimate, and stay under
+// the single-crystal bound.
+func TestDiamondModelLargeGrain(t *testing.T) {
+	m := DefaultDiamondModel()
+	k := m.Conductivity(1.9e-6)
+	if k < 500 {
+		t.Errorf("k(1.9µm) = %g, want ≥ 500 (paper's conservative large-grain estimate)", k)
+	}
+	if k > m.K0 {
+		t.Errorf("k(1.9µm) = %g exceeds single-crystal bound %g", k, m.K0)
+	}
+}
+
+// TestDiamondMonotoneInGrainSize: Fig. 4's curve rises monotonically
+// with grain size toward the theoretical upper bound.
+func TestDiamondMonotoneInGrainSize(t *testing.T) {
+	m := DefaultDiamondModel()
+	prev := 0.0
+	for d := 1e-9; d <= 100e-6; d *= 1.3 {
+		k := m.Conductivity(d)
+		if k <= prev {
+			t.Fatalf("conductivity not monotone: k(%g) = %g after %g", d, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestDiamondDegenerateInputs(t *testing.T) {
+	m := DefaultDiamondModel()
+	if k := m.Conductivity(0); k != 0 {
+		t.Errorf("k(0) = %g, want 0", k)
+	}
+	if k := m.Conductivity(-1); k != 0 {
+		t.Errorf("k(-1) = %g, want 0", k)
+	}
+	if k := m.ThroughPlaneConductivity(100e-9, 0, 1e-9); k != 0 {
+		t.Errorf("through-plane k with zero thickness = %g, want 0", k)
+	}
+}
+
+func TestDiamondExperimentalFilmsInRange(t *testing.T) {
+	m := DefaultDiamondModel()
+	for _, s := range ExperimentalFilms() {
+		k := m.Conductivity(s.GrainSize)
+		// Polycrystalline diamond: 100–1000 W/m/K per [20].
+		if k < 100 || k > 1000 {
+			t.Errorf("film %s (d=%g): modeled k=%g outside [100,1000]", s.Source, s.GrainSize, k)
+		}
+	}
+}
+
+func TestGrainSizeForConductivity(t *testing.T) {
+	m := DefaultDiamondModel()
+	d, err := m.GrainSizeForConductivity(105.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d, 160e-9, 0.02, "grain size for 105.7")
+	if _, err := m.GrainSizeForConductivity(1e9); err == nil {
+		t.Error("expected error for unattainable conductivity")
+	}
+	if _, err := m.GrainSizeForConductivity(0); err == nil {
+		t.Error("expected error for zero conductivity")
+	}
+}
+
+func TestGrainSizeRoundTrip(t *testing.T) {
+	m := DefaultDiamondModel()
+	f := func(raw float64) bool {
+		// Map raw into a valid grain-size range [2nm, 50µm].
+		d := 2e-9 * math.Pow(10, math.Mod(math.Abs(raw), 4))
+		k := m.Conductivity(d)
+		got, err := m.GrainSizeForConductivity(k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-d)/d < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughPlaneBelowInPlane(t *testing.T) {
+	m := DefaultDiamondModel()
+	for _, tbr := range []float64{1e-9, 5e-9, 2e-8} {
+		kt := m.ThroughPlaneConductivity(160e-9, 240e-9, tbr)
+		ki := m.Conductivity(160e-9)
+		if kt >= ki {
+			t.Errorf("tbr=%g: through-plane %g not below in-plane %g", tbr, kt, ki)
+		}
+		if kt <= 0 {
+			t.Errorf("tbr=%g: through-plane %g not positive", tbr, kt)
+		}
+	}
+}
+
+// TestThroughPlaneRange: with the experimentally demonstrated maximum
+// boundary resistance the through-plane conductivity lands near the
+// paper's 30 W/m/K floor; with an ideal (zero) boundary it recovers
+// the in-plane value.
+func TestThroughPlaneRange(t *testing.T) {
+	m := DefaultDiamondModel()
+	ideal := m.ThroughPlaneConductivity(160e-9, 240e-9, 0)
+	approx(t, ideal, m.Conductivity(160e-9), 1e-9, "ideal boundary")
+	// Find the TBR that yields 30 W/m/K: k/(1+tbr*k/t)=30.
+	k := m.Conductivity(160e-9)
+	tbr := (k/30 - 1) * 240e-9 / k
+	lossy := m.ThroughPlaneConductivity(160e-9, 240e-9, tbr)
+	approx(t, lossy, 30, 1e-6, "lossy boundary")
+}
+
+func TestMaxwellGarnettLimits(t *testing.T) {
+	// f=0 recovers the host; f=1 recovers the inclusion.
+	approx(t, MaxwellGarnett(5.7, 1, 0), 5.7, 1e-12, "f=0")
+	approx(t, MaxwellGarnett(5.7, 1, 1), 1.0, 1e-12, "f=1")
+	// Clamping.
+	approx(t, MaxwellGarnett(5.7, 1, -0.5), 5.7, 1e-12, "f<0 clamps")
+	approx(t, MaxwellGarnett(5.7, 1, 1.5), 1.0, 1e-12, "f>1 clamps")
+}
+
+func TestMaxwellGarnettMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		e := PorousDiamondEpsilon(EpsDiamondBulk, f)
+		if e > prev {
+			t.Fatalf("permittivity not monotone decreasing with porosity at f=%g", f)
+		}
+		if e < 1 || e > EpsDiamondBulk {
+			t.Fatalf("permittivity %g outside [1, %g] at f=%g", e, EpsDiamondBulk, f)
+		}
+		prev = e
+	}
+}
+
+// TestPorosityForPaperEpsilon: the paper estimates a pessimistic
+// dielectric constant of 4 for the porous diamond film; reaching it
+// from bulk 5.7 requires a modest (~30%) porosity per Eq. 2.
+func TestPorosityForPaperEpsilon(t *testing.T) {
+	f, err := PorosityForEpsilon(EpsDiamondBulk, EpsThermalDielectric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.2 || f > 0.4 {
+		t.Errorf("porosity for eps=4: got %g, want ≈0.29", f)
+	}
+	approx(t, PorousDiamondEpsilon(EpsDiamondBulk, f), 4.0, 1e-6, "round trip")
+	if _, err := PorosityForEpsilon(5.7, 6.0); err == nil {
+		t.Error("expected error for target above film permittivity")
+	}
+	if _, err := PorosityForEpsilon(5.7, 0.5); err == nil {
+		t.Error("expected error for target below vacuum")
+	}
+}
+
+func TestMaxwellGarnettQuickBounds(t *testing.T) {
+	f := func(rawF, rawE float64) bool {
+		fr := math.Mod(math.Abs(rawF), 1)
+		eps := 1 + math.Mod(math.Abs(rawE), 10)
+		e := MaxwellGarnett(eps, 1, fr)
+		return e >= 1-1e-9 && e <= eps+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopperConductivityAnchors(t *testing.T) {
+	// Fig. 7: V0-V7-scale wires 105 W/m/K; M8-M9 upper-layer wires 242.
+	approx(t, CopperConductivity(100e-9), 105, 1e-9, "Cu 100nm")
+	approx(t, CopperConductivity(7.232e-6), 242, 1e-9, "Cu 7.232µm")
+	// Clamps outside the calibrated range.
+	approx(t, CopperConductivity(1e-12), 78, 1e-9, "Cu tiny clamps")
+	approx(t, CopperConductivity(1), 400, 1e-9, "Cu huge clamps to bulk")
+}
+
+func TestCopperMonotone(t *testing.T) {
+	prev := 0.0
+	for d := 10e-9; d < 1e-3; d *= 1.5 {
+		k := CopperConductivity(d)
+		if k < prev {
+			t.Fatalf("copper conductivity decreasing at d=%g", d)
+		}
+		prev = k
+	}
+}
+
+func TestSiliconAnchors(t *testing.T) {
+	// Fig. 1: Si(vertical, 0.1µm)=30, Si(lateral, 0.1µm)=65, Si(10µm)=180.
+	approx(t, SiliconVerticalConductivity(100e-9), 30, 1e-9, "Si vert 0.1µm")
+	approx(t, SiliconLateralConductivity(100e-9), 65, 1e-9, "Si lat 0.1µm")
+	approx(t, SiliconVerticalConductivity(10e-6), 180, 1e-9, "Si vert 10µm")
+	approx(t, SiliconLateralConductivity(10e-6), 180, 1e-9, "Si lat 10µm")
+}
+
+func TestSiliconAnisotropyThinFilm(t *testing.T) {
+	// Thin films conduct better laterally than vertically.
+	for t0 := 20e-9; t0 < 5e-6; t0 *= 2 {
+		v, l := SiliconVerticalConductivity(t0), SiliconLateralConductivity(t0)
+		if v > l {
+			t.Errorf("t=%g: vertical %g exceeds lateral %g", t0, v, l)
+		}
+	}
+}
+
+func TestDeviceAndHandleSilicon(t *testing.T) {
+	d := DeviceSilicon()
+	approx(t, d.KVertical, 30, 1e-9, "device Si vert")
+	approx(t, d.KLateral, 65, 1e-9, "device Si lat")
+	h := HandleSilicon()
+	approx(t, h.KVertical, 180, 1e-9, "handle Si")
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThermalDielectricRange(t *testing.T) {
+	lo := ThermalDielectric(0) // clamps to min
+	approx(t, lo.KLateral, 105.7, 1e-9, "min in-plane")
+	approx(t, lo.KVertical, 30, 1e-9, "min through-plane")
+	hi := ThermalDielectric(1e9) // clamps to max
+	approx(t, hi.KLateral, 500, 1e-9, "max in-plane")
+	approx(t, hi.KVertical, 105.7, 1e-9, "max through-plane")
+	mid := ThermalDielectric(300)
+	if mid.KVertical <= lo.KVertical || mid.KVertical >= hi.KVertical {
+		t.Errorf("through-plane not interpolated: %g", mid.KVertical)
+	}
+	approx(t, mid.Epsilon, 4.0, 1e-12, "thermal dielectric eps")
+	if err := mid.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThermalDielectricBeatsUltraLowK(t *testing.T) {
+	td := ThermalDielectric(KThermalDielectricMin)
+	ulk := UltraLowK()
+	if r := td.KLateral / ulk.KLateral; r < 500 {
+		t.Errorf("in-plane improvement %gx, paper claims ~500x", r)
+	}
+	if r := td.Epsilon / ulk.Epsilon; r > 2.01 {
+		t.Errorf("permittivity cost %gx, paper claims ≤2x", r)
+	}
+}
+
+func TestInterpLogLinEdges(t *testing.T) {
+	if !math.IsNaN(interpLogLin(nil, 1)) {
+		t.Error("empty table should give NaN")
+	}
+	pts := [][2]float64{{1, 10}, {100, 20}}
+	approx(t, interpLogLin(pts, 10), 15, 1e-9, "log midpoint")
+}
+
+func TestDielectricLiteratureSane(t *testing.T) {
+	for _, s := range DielectricLiterature() {
+		if s.Epsilon < 1 || s.Epsilon > 10 || s.GrainSize <= 0 {
+			t.Errorf("suspicious literature sample %+v", s)
+		}
+	}
+}
+
+func TestMaterialString(t *testing.T) {
+	iso := Iso("Cu", 242, 0, 0)
+	if got := iso.String(); got != "Cu(k=242 W/m/K)" {
+		t.Errorf("String() = %q", got)
+	}
+	an := Aniso("Si", 30, 65, 0, 0)
+	if got := an.String(); got == "" || got == iso.String() {
+		t.Errorf("anisotropic String() = %q", got)
+	}
+}

@@ -1,0 +1,74 @@
+package materials
+
+// Size-dependent interconnect and device-layer conductivities from
+// the paper's Fig. 1 / Fig. 7 tables. Copper loses conductivity as
+// wire dimensions approach the electron mean free path ([29]);
+// silicon loses conductivity as layer thickness approaches the phonon
+// mean free path ([14]), with the effect stronger through-plane.
+
+// Copper calibration points (dimension m → k W/m/K): the paper's
+// V0-V7 wires (~100 nm scale) are at 105 W/m/K and the wide upper
+// M8-M9 wires (7.232 µm slice scale) at 242 W/m/K; bulk copper
+// asymptotes near 400 W/m/K.
+var copperPoints = [][2]float64{
+	{36e-9, 78},
+	{100e-9, 105},
+	{1e-6, 180},
+	{7.232e-6, 242},
+	{100e-6, 400},
+}
+
+// CopperConductivity returns the size-dependent thermal conductivity
+// (W/m/K) of a copper wire whose smallest dimension is d (m).
+func CopperConductivity(d float64) float64 {
+	return interpLogLin(copperPoints, d)
+}
+
+// Copper returns a copper material for wires of smallest dimension d.
+func Copper(d float64) Material {
+	k := CopperConductivity(d)
+	return Iso("Cu", k, CvCopper, 0)
+}
+
+// Silicon calibration points (thickness m → k W/m/K), through-plane
+// and in-plane, from [14] as tabulated in Fig. 1: a 0.1 µm 3D device
+// layer conducts 30 W/m/K vertically and 65 W/m/K laterally; 10 µm
+// handle silicon recovers 180 W/m/K.
+var (
+	siliconVerticalPoints = [][2]float64{
+		{10e-9, 6},
+		{100e-9, 30},
+		{1e-6, 100},
+		{10e-6, 180},
+	}
+	siliconLateralPoints = [][2]float64{
+		{10e-9, 20},
+		{100e-9, 65},
+		{1e-6, 120},
+		{10e-6, 180},
+	}
+)
+
+// SiliconVerticalConductivity returns the through-plane thermal
+// conductivity (W/m/K) of a silicon layer of thickness t (m).
+func SiliconVerticalConductivity(t float64) float64 {
+	return interpLogLin(siliconVerticalPoints, t)
+}
+
+// SiliconLateralConductivity returns the in-plane thermal
+// conductivity (W/m/K) of a silicon layer of thickness t (m).
+func SiliconLateralConductivity(t float64) float64 {
+	return interpLogLin(siliconLateralPoints, t)
+}
+
+// Silicon returns an anisotropic silicon material for a layer of
+// thickness t (m).
+func Silicon(t float64) Material {
+	return Aniso("Si", SiliconVerticalConductivity(t), SiliconLateralConductivity(t), CvSilicon, 11.7)
+}
+
+// HandleSilicon returns the thick (10 µm) handle wafer silicon.
+func HandleSilicon() Material { return Silicon(10e-6) }
+
+// DeviceSilicon returns the thin (0.1 µm) 3D device-layer silicon.
+func DeviceSilicon() Material { return Silicon(100e-9) }

@@ -1,0 +1,195 @@
+// Package mesh provides rectilinear, non-uniform 3-D grids for the
+// finite-volume thermal solver. A Grid is defined by its cell
+// boundary coordinates along each axis; cells are indexed (i, j, k)
+// with i fastest (x), then j (y), then k (z). z points from the
+// heatsink (k=0) toward the top tier, matching the paper's stack
+// orientation where heat flows down to the sink.
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Grid is a rectilinear grid defined by cell-boundary coordinates.
+// Xs has NX+1 entries, strictly increasing, and similarly for Ys/Zs.
+type Grid struct {
+	Xs, Ys, Zs []float64
+}
+
+// New validates boundary coordinate slices and builds a Grid.
+func New(xs, ys, zs []float64) (*Grid, error) {
+	for _, ax := range []struct {
+		name string
+		v    []float64
+	}{{"x", xs}, {"y", ys}, {"z", zs}} {
+		if len(ax.v) < 2 {
+			return nil, fmt.Errorf("mesh: axis %s needs at least 2 boundaries, got %d", ax.name, len(ax.v))
+		}
+		for i := 1; i < len(ax.v); i++ {
+			if ax.v[i] <= ax.v[i-1] {
+				return nil, fmt.Errorf("mesh: axis %s boundaries not strictly increasing at %d (%g after %g)", ax.name, i, ax.v[i], ax.v[i-1])
+			}
+		}
+	}
+	return &Grid{Xs: xs, Ys: ys, Zs: zs}, nil
+}
+
+// Uniform builds a grid covering [0,lx]×[0,ly]×[0,lz] with nx×ny×nz
+// equal cells.
+func Uniform(lx, ly, lz float64, nx, ny, nz int) (*Grid, error) {
+	if lx <= 0 || ly <= 0 || lz <= 0 {
+		return nil, errors.New("mesh: non-positive extent")
+	}
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, errors.New("mesh: need at least one cell per axis")
+	}
+	return &Grid{
+		Xs: linspace(0, lx, nx+1),
+		Ys: linspace(0, ly, ny+1),
+		Zs: linspace(0, lz, nz+1),
+	}, nil
+}
+
+func linspace(a, b float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a + (b-a)*float64(i)/float64(n-1)
+	}
+	out[n-1] = b
+	return out
+}
+
+// NX returns the number of cells along x.
+func (g *Grid) NX() int { return len(g.Xs) - 1 }
+
+// NY returns the number of cells along y.
+func (g *Grid) NY() int { return len(g.Ys) - 1 }
+
+// NZ returns the number of cells along z.
+func (g *Grid) NZ() int { return len(g.Zs) - 1 }
+
+// NumCells returns the total cell count.
+func (g *Grid) NumCells() int { return g.NX() * g.NY() * g.NZ() }
+
+// Index returns the flat index of cell (i, j, k).
+func (g *Grid) Index(i, j, k int) int {
+	return (k*g.NY()+j)*g.NX() + i
+}
+
+// Coords inverts Index.
+func (g *Grid) Coords(idx int) (i, j, k int) {
+	nx, ny := g.NX(), g.NY()
+	i = idx % nx
+	j = (idx / nx) % ny
+	k = idx / (nx * ny)
+	return
+}
+
+// DX returns the width of cell column i.
+func (g *Grid) DX(i int) float64 { return g.Xs[i+1] - g.Xs[i] }
+
+// DY returns the depth of cell row j.
+func (g *Grid) DY(j int) float64 { return g.Ys[j+1] - g.Ys[j] }
+
+// DZ returns the height of cell layer k.
+func (g *Grid) DZ(k int) float64 { return g.Zs[k+1] - g.Zs[k] }
+
+// CX returns the x-coordinate of the center of column i.
+func (g *Grid) CX(i int) float64 { return (g.Xs[i] + g.Xs[i+1]) / 2 }
+
+// CY returns the y-coordinate of the center of row j.
+func (g *Grid) CY(j int) float64 { return (g.Ys[j] + g.Ys[j+1]) / 2 }
+
+// CZ returns the z-coordinate of the center of layer k.
+func (g *Grid) CZ(k int) float64 { return (g.Zs[k] + g.Zs[k+1]) / 2 }
+
+// Volume returns the volume of cell (i, j, k).
+func (g *Grid) Volume(i, j, k int) float64 {
+	return g.DX(i) * g.DY(j) * g.DZ(k)
+}
+
+// LX returns the grid extent along x.
+func (g *Grid) LX() float64 { return g.Xs[len(g.Xs)-1] - g.Xs[0] }
+
+// LY returns the grid extent along y.
+func (g *Grid) LY() float64 { return g.Ys[len(g.Ys)-1] - g.Ys[0] }
+
+// LZ returns the grid extent along z.
+func (g *Grid) LZ() float64 { return g.Zs[len(g.Zs)-1] - g.Zs[0] }
+
+// FindX returns the index of the cell column containing x, clamping
+// to the valid range at the extremes.
+func (g *Grid) FindX(x float64) int { return findCell(g.Xs, x) }
+
+// FindY returns the index of the cell row containing y.
+func (g *Grid) FindY(y float64) int { return findCell(g.Ys, y) }
+
+// FindZ returns the index of the cell layer containing z.
+func (g *Grid) FindZ(z float64) int { return findCell(g.Zs, z) }
+
+func findCell(bounds []float64, v float64) int {
+	n := len(bounds) - 1
+	if v <= bounds[0] {
+		return 0
+	}
+	if v >= bounds[n] {
+		return n - 1
+	}
+	// sort.SearchFloat64s returns the first index with bounds[i] >= v.
+	i := sort.SearchFloat64s(bounds, v)
+	if bounds[i] == v {
+		return min(i, n-1)
+	}
+	return i - 1
+}
+
+// ZLayerBuilder accumulates stacked z-layers, each subdivided into a
+// number of cells, producing the z boundary coordinates for a chip
+// stack grid. Layers are added bottom (heatsink side) first.
+type ZLayerBuilder struct {
+	zs   []float64
+	tags []string // tag per cell layer
+}
+
+// NewZLayerBuilder starts a builder at z = 0.
+func NewZLayerBuilder() *ZLayerBuilder {
+	return &ZLayerBuilder{zs: []float64{0}}
+}
+
+// Add appends a physical layer of the given thickness subdivided into
+// cells equal slices, tagging each resulting cell layer. It returns
+// the builder for chaining. Non-positive thickness or cells panic:
+// stack construction is programmer-controlled.
+func (b *ZLayerBuilder) Add(tag string, thickness float64, cells int) *ZLayerBuilder {
+	if thickness <= 0 || cells < 1 {
+		panic(fmt.Sprintf("mesh: bad layer %q: thickness=%g cells=%d", tag, thickness, cells))
+	}
+	z0 := b.zs[len(b.zs)-1]
+	for c := 1; c <= cells; c++ {
+		b.zs = append(b.zs, z0+thickness*float64(c)/float64(cells))
+		b.tags = append(b.tags, tag)
+	}
+	return b
+}
+
+// Bounds returns the accumulated z boundary coordinates.
+func (b *ZLayerBuilder) Bounds() []float64 { return b.zs }
+
+// Tags returns one tag per cell layer, bottom first.
+func (b *ZLayerBuilder) Tags() []string { return b.tags }
+
+// NumLayers returns the number of cell layers accumulated.
+func (b *ZLayerBuilder) NumLayers() int { return len(b.tags) }
+
+// LayersTagged returns the indices of cell layers with the given tag.
+func (b *ZLayerBuilder) LayersTagged(tag string) []int {
+	var out []int
+	for i, t := range b.tags {
+		if t == tag {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package pdk
+
+import (
+	"fmt"
+	"math"
+)
+
+// ILV models the ultra-dense inter-layer vias that electrically
+// connect 3D tiers (Fig. 1): nanoscale BEOL vias at sub-100 nm pitch
+// with limited aspect ratios ([3]). Their density is what
+// distinguishes monolithic 3D from TSV-based stacking and what buys
+// the memory-bandwidth benefits the paper's intro cites ([1]).
+type ILV struct {
+	Pitch    float64 // m
+	Diameter float64 // m
+	// MaxAspectRatio bounds depth/diameter for a manufacturable via.
+	MaxAspectRatio float64
+	// SignalFraction is the share of ILV sites used for signals (the
+	// rest carry power/ground).
+	SignalFraction float64
+}
+
+// DefaultILV returns the paper's regime: <100 nm pitch, 2:1
+// pitch/diameter, aspect ratio limited to ~10.
+func DefaultILV() ILV {
+	return ILV{Pitch: 100e-9, Diameter: 50e-9, MaxAspectRatio: 10, SignalFraction: 0.5}
+}
+
+// Validate checks geometry.
+func (v ILV) Validate() error {
+	if v.Pitch <= 0 || v.Diameter <= 0 || v.Diameter > v.Pitch {
+		return fmt.Errorf("pdk: bad ILV geometry %+v", v)
+	}
+	if v.MaxAspectRatio <= 0 {
+		return fmt.Errorf("pdk: bad ILV aspect ratio %g", v.MaxAspectRatio)
+	}
+	if v.SignalFraction < 0 || v.SignalFraction > 1 {
+		return fmt.Errorf("pdk: bad ILV signal fraction %g", v.SignalFraction)
+	}
+	return nil
+}
+
+// MaxDepth returns the deepest via the aspect-ratio limit allows.
+func (v ILV) MaxDepth() float64 { return v.Diameter * v.MaxAspectRatio }
+
+// CanCross reports whether a single ILV can traverse the given
+// vertical distance (m) — e.g. one tier's BEOL stack. Monolithic 3D
+// works precisely because the tier pitch stays within nanoscale via
+// reach; TSV-class depths (tens of µm) fail here.
+func (v ILV) CanCross(depth float64) bool { return depth <= v.MaxDepth() }
+
+// DensityPerMm2 returns ILV sites per mm².
+func (v ILV) DensityPerMm2() float64 {
+	per := 1e-3 / v.Pitch
+	return per * per
+}
+
+// SignalBandwidthGBs returns the aggregate tier-to-tier signal
+// bandwidth (GB/s) across an area of mm² at the given toggle
+// frequency — the "high memory-to-compute bandwidth" of ultra-dense
+// 3D ([1]).
+func (v ILV) SignalBandwidthGBs(areaMm2, freqGHz float64) float64 {
+	if areaMm2 < 0 || freqGHz < 0 {
+		return 0
+	}
+	signals := v.DensityPerMm2() * areaMm2 * v.SignalFraction
+	return signals * freqGHz * 1e9 / 8 / 1e9 // bit/s per signal → GB/s
+}
+
+// Resistance returns one ILV's electrical resistance (Ω) over the
+// given depth, treating it as a copper cylinder with size-degraded
+// resistivity.
+func (v ILV) Resistance(depth float64) float64 {
+	if depth <= 0 {
+		return 0
+	}
+	// Scaled-copper resistivity worsens at nanoscale diameters.
+	rho := 4.0e-8 * (1 + 40e-9/v.Diameter)
+	area := math.Pi * v.Diameter * v.Diameter / 4
+	return rho * depth / area
+}

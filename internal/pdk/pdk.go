@@ -1,0 +1,186 @@
+// Package pdk models the BEOL (back-end-of-line) metal stack of an
+// ASAP7-like 7 nm predictive PDK — the interconnect geometry the
+// paper builds its physical designs on ([11]).
+//
+// The stack has nine metal layers (M1–M9) and the via layers between
+// them (V0 below M1 up to V8 below M9). The paper's thermal study
+// lumps these into two groups: the lower layers (V0–M7, 700 nm
+// total), always fabricated with ultra-low-k dielectric, and the
+// upper layers (M8/V8/M9, 240 nm total — two 80 nm metal layers and
+// one 80 nm via layer) where thermal scaffolding substitutes the
+// nanocrystalline-diamond thermal dielectric.
+package pdk
+
+import (
+	"fmt"
+
+	"thermalscaffold/internal/materials"
+)
+
+// LayerType distinguishes routing metal layers from via layers.
+type LayerType int
+
+const (
+	Metal LayerType = iota
+	Via
+)
+
+func (t LayerType) String() string {
+	if t == Metal {
+		return "metal"
+	}
+	return "via"
+}
+
+// Layer is one BEOL layer of the stack.
+type Layer struct {
+	Name      string
+	Type      LayerType
+	Thickness float64 // m
+	Pitch     float64 // routing pitch, m (metal layers)
+	MinWidth  float64 // minimum wire/via width, m
+	// Density is the nominal metal area fraction of the layer in a
+	// routed design (before dummy fill), used for thermal
+	// homogenization.
+	Density float64
+	// Upper marks the M8/V8/M9 group that can carry the thermal
+	// dielectric.
+	Upper bool
+}
+
+// Stack is an ordered BEOL layer stack, bottom (V0) first.
+type Stack struct {
+	Layers []Layer
+}
+
+// ASAP7 returns the ASAP7-like 9-metal stack used throughout the
+// paper. Thicknesses follow the pitch classes of [11]: 36 nm for
+// M1–M3 and their vias, 48 nm for M4–M5, 64 nm for M6–M7, and 80 nm
+// for the upper M8/V8/M9 group. The lower group totals 700 nm and the
+// upper group 240 nm (940 nm BEOL per tier), matching the dimensions
+// called out in the paper's Figs. 1–2.
+func ASAP7() *Stack {
+	mk := func(name string, t LayerType, th, pitch, w, density float64, upper bool) Layer {
+		return Layer{Name: name, Type: t, Thickness: th, Pitch: pitch, MinWidth: w, Density: density, Upper: upper}
+	}
+	nm := func(v float64) float64 { return v * 1e-9 }
+	return &Stack{Layers: []Layer{
+		mk("V0", Via, nm(36), nm(36), nm(18), 0.05, false),
+		mk("M1", Metal, nm(36), nm(36), nm(18), 0.20, false),
+		mk("V1", Via, nm(36), nm(36), nm(18), 0.05, false),
+		mk("M2", Metal, nm(36), nm(36), nm(18), 0.20, false),
+		mk("V2", Via, nm(36), nm(36), nm(18), 0.05, false),
+		mk("M3", Metal, nm(36), nm(36), nm(18), 0.20, false),
+		mk("V3", Via, nm(36), nm(36), nm(18), 0.05, false),
+		mk("M4", Metal, nm(48), nm(48), nm(24), 0.20, false),
+		mk("V4", Via, nm(48), nm(48), nm(24), 0.05, false),
+		mk("M5", Metal, nm(48), nm(48), nm(24), 0.20, false),
+		mk("V5", Via, nm(48), nm(48), nm(24), 0.05, false),
+		mk("M6", Metal, nm(64), nm(64), nm(32), 0.20, false),
+		mk("V6", Via, nm(64), nm(64), nm(32), 0.05, false),
+		mk("M7", Metal, nm(64), nm(64), nm(32), 0.20, false),
+		mk("V7", Via, nm(64), nm(64), nm(32), 0.05, false),
+		mk("M8", Metal, nm(80), nm(80), nm(40), 0.20, true),
+		mk("V8", Via, nm(80), nm(80), nm(40), 0.05, true),
+		mk("M9", Metal, nm(80), nm(80), nm(40), 0.20, true),
+	}}
+}
+
+// Find returns the layer with the given name.
+func (s *Stack) Find(name string) (Layer, error) {
+	for _, l := range s.Layers {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Layer{}, fmt.Errorf("pdk: no layer %q in stack", name)
+}
+
+// Lower returns the V0–M7 layer group.
+func (s *Stack) Lower() []Layer {
+	var out []Layer
+	for _, l := range s.Layers {
+		if !l.Upper {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Upper returns the M8/V8/M9 layer group.
+func (s *Stack) Upper() []Layer {
+	var out []Layer
+	for _, l := range s.Layers {
+		if l.Upper {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// LowerThickness returns the total thickness of the V0–M7 group.
+func (s *Stack) LowerThickness() float64 { return sumThickness(s.Lower()) }
+
+// UpperThickness returns the total thickness of the M8/V8/M9 group.
+func (s *Stack) UpperThickness() float64 { return sumThickness(s.Upper()) }
+
+// TotalThickness returns the full BEOL thickness per tier.
+func (s *Stack) TotalThickness() float64 { return sumThickness(s.Layers) }
+
+func sumThickness(layers []Layer) float64 {
+	t := 0.0
+	for _, l := range layers {
+		t += l.Thickness
+	}
+	return t
+}
+
+// MeanMetalDensity returns the thickness-weighted metal density of
+// the given layer group.
+func MeanMetalDensity(layers []Layer) float64 {
+	var num, den float64
+	for _, l := range layers {
+		num += l.Density * l.Thickness
+		den += l.Thickness
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DielectricPlan assigns an interlayer dielectric to each BEOL group.
+type DielectricPlan struct {
+	Lower materials.Material // V0–M7 ILD
+	Upper materials.Material // M8/V8/M9 ILD
+}
+
+// ConventionalDielectrics uses ultra-low-k ILD everywhere — the
+// baseline BEOL.
+func ConventionalDielectrics() DielectricPlan {
+	return DielectricPlan{Lower: materials.UltraLowK(), Upper: materials.UltraLowK()}
+}
+
+// ScaffoldedDielectrics keeps ultra-low-k in the lower layers and
+// fabricates the upper M8/V8/M9 group with the thermal dielectric of
+// in-plane conductivity kInPlane (Sec. III-A: "only the uppermost
+// 240 nm ... is fabricated with the thermal dielectric").
+func ScaffoldedDielectrics(kInPlane float64) DielectricPlan {
+	return DielectricPlan{Lower: materials.UltraLowK(), Upper: materials.ThermalDielectric(kInPlane)}
+}
+
+// DielectricFor returns the plan's dielectric for the given layer.
+func (p DielectricPlan) DielectricFor(l Layer) materials.Material {
+	if l.Upper {
+		return p.Upper
+	}
+	return p.Lower
+}
+
+// Device-layer constants used by the stack builder (paper Fig. 1).
+const (
+	// DeviceSiliconThickness is the 3D device layer thickness [13].
+	DeviceSiliconThickness = 100e-9
+	// HandleSiliconThickness is the thinned handle wafer [12].
+	HandleSiliconThickness = 10e-6
+)

@@ -1,0 +1,129 @@
+package pdk
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/materials"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+// TestASAP7GroupThicknesses checks the paper's stack dimensions: the
+// upper thermal-dielectric group is exactly 240 nm (two 80 nm metals
+// + one 80 nm via), the lower group 700 nm, 940 nm total.
+func TestASAP7GroupThicknesses(t *testing.T) {
+	s := ASAP7()
+	approx(t, s.UpperThickness(), 240e-9, 1e-15, "upper group")
+	approx(t, s.LowerThickness(), 700e-9, 1e-15, "lower group")
+	approx(t, s.TotalThickness(), 940e-9, 1e-15, "total BEOL")
+}
+
+func TestASAP7LayerCountsAndOrder(t *testing.T) {
+	s := ASAP7()
+	if len(s.Layers) != 18 {
+		t.Fatalf("layer count = %d, want 18 (9 metal + 9 via)", len(s.Layers))
+	}
+	metals, vias := 0, 0
+	for _, l := range s.Layers {
+		switch l.Type {
+		case Metal:
+			metals++
+		case Via:
+			vias++
+		}
+		if l.Thickness <= 0 || l.Pitch <= 0 || l.MinWidth <= 0 {
+			t.Errorf("layer %s has non-positive geometry", l.Name)
+		}
+		if l.Density <= 0 || l.Density >= 1 {
+			t.Errorf("layer %s density %g outside (0,1)", l.Name, l.Density)
+		}
+	}
+	if metals != 9 || vias != 9 {
+		t.Errorf("got %d metals, %d vias", metals, vias)
+	}
+	if s.Layers[0].Name != "V0" || s.Layers[17].Name != "M9" {
+		t.Errorf("stack order wrong: %s..%s", s.Layers[0].Name, s.Layers[17].Name)
+	}
+}
+
+func TestUpperGroupIsM8V8M9(t *testing.T) {
+	s := ASAP7()
+	up := s.Upper()
+	if len(up) != 3 {
+		t.Fatalf("upper group has %d layers", len(up))
+	}
+	names := map[string]bool{}
+	for _, l := range up {
+		names[l.Name] = true
+		approx(t, l.Thickness, 80e-9, 1e-15, l.Name+" thickness")
+	}
+	for _, want := range []string{"M8", "V8", "M9"} {
+		if !names[want] {
+			t.Errorf("upper group missing %s", want)
+		}
+	}
+	if len(s.Lower())+len(up) != len(s.Layers) {
+		t.Error("lower+upper don't partition the stack")
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := ASAP7()
+	l, err := s.Find("M8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Upper || l.Type != Metal {
+		t.Errorf("M8 = %+v", l)
+	}
+	if _, err := s.Find("M42"); err == nil {
+		t.Error("bogus layer found")
+	}
+}
+
+func TestMeanMetalDensity(t *testing.T) {
+	s := ASAP7()
+	d := MeanMetalDensity(s.Layers)
+	if d <= 0.05 || d >= 0.20 {
+		t.Errorf("mean density %g outside (via, metal) densities", d)
+	}
+	if MeanMetalDensity(nil) != 0 {
+		t.Error("empty group should have zero density")
+	}
+}
+
+func TestDielectricPlans(t *testing.T) {
+	s := ASAP7()
+	conv := ConventionalDielectrics()
+	m8, _ := s.Find("M8")
+	m1, _ := s.Find("M1")
+	if conv.DielectricFor(m8).Name != materials.UltraLowK().Name {
+		t.Error("conventional upper dielectric is not ultra-low-k")
+	}
+	scaf := ScaffoldedDielectrics(materials.KThermalDielectricMin)
+	if got := scaf.DielectricFor(m8); got.KLateral != 105.7 {
+		t.Errorf("scaffolded upper dielectric k = %g", got.KLateral)
+	}
+	if got := scaf.DielectricFor(m1); got.Name != materials.UltraLowK().Name {
+		t.Error("scaffolded lower dielectric must stay ultra-low-k")
+	}
+	// Permittivity of the scaffolded upper layers is the paper's 4.
+	approx(t, scaf.Upper.Epsilon, 4.0, 1e-12, "scaffolded eps")
+}
+
+func TestLayerTypeString(t *testing.T) {
+	if Metal.String() != "metal" || Via.String() != "via" {
+		t.Error("LayerType strings wrong")
+	}
+}
+
+func TestDeviceLayerConstants(t *testing.T) {
+	approx(t, DeviceSiliconThickness, 100e-9, 1e-18, "device Si")
+	approx(t, HandleSiliconThickness, 10e-6, 1e-15, "handle Si")
+}

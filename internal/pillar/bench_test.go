@@ -1,0 +1,30 @@
+package pillar
+
+import (
+	"testing"
+
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/stack"
+)
+
+func BenchmarkPlaceScaffold12(b *testing.B) {
+	req := Request{
+		Design: design.Gemmini(), Tiers: 12,
+		Sink: heatsink.TwoPhase(), TTargetC: 125,
+		BEOL: stack.ScaffoldedBEOL(), NX: 12, NY: 12,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpreadingLength(b *testing.B) {
+	beol := stack.ScaffoldedBEOL()
+	for i := 0; i < b.N; i++ {
+		SpreadingLength(beol, 12, 0.1, 105, true)
+	}
+}

@@ -1,0 +1,173 @@
+package pillar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"thermalscaffold/internal/floorplan"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/units"
+)
+
+// DiscretePlacement is the coordinate-level realization of a
+// Placement: actual pillar locations on the die, exactly as the
+// paper's flow exports Innovus stripe coordinates. Pillars are laid
+// in a grid at each heat source's required pitch, skipping hard
+// macros, with leftover demand pushed to the macro-gap channels —
+// "P_min pillars are placed between the macro gaps and in a grid at
+// the required pitch within the heat source" (Sec. III-A).
+type DiscretePlacement struct {
+	Points []Point
+	// PerUnit counts pillars realized within each unit.
+	PerUnit map[string]int
+	// Field is the rasterized coverage of the discrete pillars.
+	Field *stack.PillarField
+}
+
+// maxDiscretePillars bounds coordinate materialization: beyond this,
+// enumerating individual 100 nm pillars is pointless (the paper's own
+// flow switches to repeating a tile pattern — see Sec. III-A on the
+// Fujitsu design).
+const maxDiscretePillars = 4_000_000
+
+// Discretize converts a coverage-level placement into pillar
+// coordinates over the design's floorplan. The field resolution of
+// the returned rasterization matches the placement grid.
+func (p *Placement) Discretize(req Request) (*DiscretePlacement, error) {
+	r, err := (&req).withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if p.TotalPillars > maxDiscretePillars {
+		return nil, fmt.Errorf("pillar: %d pillars exceed the %d coordinate-materialization bound; use the tile-repetition flow", p.TotalPillars, maxDiscretePillars)
+	}
+	tier := r.Design.Tier
+	macros := macroRects(tier)
+	out := &DiscretePlacement{PerUnit: map[string]int{}}
+	for _, up := range p.Units {
+		if up.Pillars == 0 || up.Pitch <= 0 {
+			continue
+		}
+		u, err := tier.Find(up.Unit)
+		if err != nil {
+			return nil, err
+		}
+		var region []floorplan.Rect
+		if u.IsMacro {
+			// Macro units receive their pillars in the surrounding
+			// channel: a one-pitch-wide ring around the macro, clipped
+			// to the die.
+			region = ringAround(u.Rect, up.Pitch, tier.Die)
+		} else {
+			region = []floorplan.Rect{u.Rect}
+		}
+		placed := 0
+		for _, reg := range region {
+			pts := GridPlace(reg, up.Pitch, macros)
+			need := up.Pillars - placed
+			if need <= 0 {
+				break
+			}
+			if len(pts) > need {
+				pts = pts[:need]
+			}
+			out.Points = append(out.Points, pts...)
+			placed += len(pts)
+		}
+		out.PerUnit[up.Unit] = placed
+	}
+	out.Field = FieldFromPoints(out.Points, tier.Die, r.NX, r.NY, r.Geometry)
+	return out, nil
+}
+
+// macroRects extracts macro rectangles.
+func macroRects(f *floorplan.Floorplan) []floorplan.Rect {
+	var out []floorplan.Rect
+	for _, m := range f.Macros() {
+		out = append(out, m.Rect)
+	}
+	return out
+}
+
+// ringAround returns up to four rectangles forming a band of the
+// given width around r, clipped to the die.
+func ringAround(r floorplan.Rect, width float64, die floorplan.Rect) []floorplan.Rect {
+	band := floorplan.Rect{X: r.X - width, Y: r.Y - width, W: r.W + 2*width, H: r.H + 2*width}
+	var out []floorplan.Rect
+	add := func(c floorplan.Rect) {
+		c = c.Intersection(die)
+		if c.Area() > 0 {
+			out = append(out, c)
+		}
+	}
+	add(floorplan.Rect{X: band.X, Y: band.Y, W: band.W, H: width})   // bottom
+	add(floorplan.Rect{X: band.X, Y: r.MaxY(), W: band.W, H: width}) // top
+	add(floorplan.Rect{X: band.X, Y: r.Y, W: width, H: r.H})         // left
+	add(floorplan.Rect{X: r.MaxX(), Y: r.Y, W: width, H: r.H})       // right
+	return out
+}
+
+// VerifyTemperature re-simulates the stack with the discrete pillar
+// rasterization (instead of the idealized coverage profile) and
+// returns the achieved peak (°C). The paper's flow performs the same
+// check and "fill is increased past P_min" when uniformity is poor.
+func (d *DiscretePlacement) VerifyTemperature(req Request) (float64, error) {
+	r, err := (&req).withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	tier := r.Design.Tier
+	pm := tier.PowerMap(r.NX, r.NY)
+	spec := &stack.Spec{
+		DieW: tier.Die.W, DieH: tier.Die.H,
+		Tiers: r.Tiers, NX: r.NX, NY: r.NY,
+		PowerMaps:     [][]float64{pm},
+		BEOL:          r.BEOL,
+		Pillars:       d.Field,
+		PillarK:       r.Geometry.EffectiveK(),
+		Sink:          r.Sink,
+		MemoryPerTier: !r.NoMemoryPerTier,
+	}
+	res, err := spec.Solve(solver.Options{Tol: r.Tol, MaxIter: 80000})
+	if err != nil {
+		return 0, err
+	}
+	return units.KelvinToCelsius(res.MaxT()), nil
+}
+
+// NearestPillarDistance returns, for a point on the die, the distance
+// to the closest placed pillar — the quantity bounded by the
+// misalignment analysis (Observation 4c).
+func (d *DiscretePlacement) NearestPillarDistance(x, y float64) float64 {
+	best := math.Inf(1)
+	for _, p := range d.Points {
+		dx, dy := p.X-x, p.Y-y
+		if r := math.Hypot(dx, dy); r < best {
+			best = r
+		}
+	}
+	return best
+}
+
+// CoverageHistogram summarizes pillar density per floorplan unit,
+// sorted densest first — the per-heat-source view of Fig. 8a's
+// pillar overlay.
+func (d *DiscretePlacement) CoverageHistogram(f *floorplan.Floorplan, g Geometry) []UnitPlacement {
+	var out []UnitPlacement
+	for _, u := range f.Units {
+		n := d.PerUnit[u.Name]
+		if n == 0 {
+			continue
+		}
+		cov := float64(n) * g.Area() / u.Rect.Area()
+		up := UnitPlacement{Unit: u.Name, Coverage: cov, Pillars: n}
+		if n > 0 {
+			up.Pitch = math.Sqrt(u.Rect.Area() / float64(n))
+		}
+		out = append(out, up)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Coverage > out[j].Coverage })
+	return out
+}

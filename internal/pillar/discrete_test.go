@@ -1,0 +1,173 @@
+package pillar
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/floorplan"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/stack"
+)
+
+// discreteReq returns a placement request with µm-scale pillars so
+// coordinate materialization stays small in tests.
+func discreteReq(tiers int) Request {
+	return Request{
+		Design: design.Gemmini(), Tiers: tiers,
+		Sink: heatsink.TwoPhase(), TTargetC: 125,
+		BEOL:     stack.ScaffoldedBEOL(),
+		Geometry: Geometry{FootprintSide: 2e-6, KeepoutFactor: 1.05},
+		NX:       12, NY: 12,
+	}
+}
+
+func TestDiscretizeRealizesPlacement(t *testing.T) {
+	req := discreteReq(10)
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible || p.TotalPillars == 0 {
+		t.Fatalf("placement unusable: %+v", p)
+	}
+	d, err := p.Discretize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) == 0 {
+		t.Fatal("no pillars materialized")
+	}
+	// Realized counts approach the requested P_min (grid clipping and
+	// macro keepout may drop some).
+	total := 0
+	for _, n := range d.PerUnit {
+		total += n
+	}
+	if total < p.TotalPillars/3 {
+		t.Errorf("realized %d of %d pillars", total, p.TotalPillars)
+	}
+	// No pillar lands inside a hard macro.
+	for _, m := range design.Gemmini().Tier.Macros() {
+		for _, pt := range d.Points {
+			if m.Rect.ContainsPoint(pt.X, pt.Y) {
+				t.Fatalf("pillar %+v inside macro %s", pt, m.Name)
+			}
+		}
+	}
+	// All pillars are on the die.
+	die := design.Gemmini().Tier.Die
+	for _, pt := range d.Points {
+		if !die.ContainsPoint(pt.X, pt.Y) {
+			t.Fatalf("pillar %+v off die", pt)
+		}
+	}
+	if err := d.Field.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretizeVerifyTemperature(t *testing.T) {
+	req := discreteReq(8)
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Discretize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tC, err := d.VerifyTemperature(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The discrete realization should land near the idealized result;
+	// the paper's flow increases fill when it does not.
+	if math.Abs(tC-p.TMaxC) > 8 {
+		t.Errorf("discrete verification %g°C far from idealized %g°C", tC, p.TMaxC)
+	}
+	if tC < req.Sink.AmbientC {
+		t.Errorf("verified temperature %g below ambient", tC)
+	}
+}
+
+func TestDiscretizeBoundsPillarCount(t *testing.T) {
+	req := Request{
+		Design: design.Gemmini(), Tiers: 12,
+		Sink: heatsink.TwoPhase(), TTargetC: 125,
+		BEOL: stack.ScaffoldedBEOL(), NX: 12, NY: 12,
+	}
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalPillars <= maxDiscretePillars {
+		t.Skipf("placement small enough to materialize (%d)", p.TotalPillars)
+	}
+	if _, err := p.Discretize(req); err == nil {
+		t.Error("expected coordinate-materialization bound error")
+	}
+}
+
+func TestNearestPillarDistance(t *testing.T) {
+	d := &DiscretePlacement{Points: []Point{{X: 0, Y: 0}, {X: 10e-6, Y: 0}}}
+	if got := d.NearestPillarDistance(2e-6, 0); math.Abs(got-2e-6) > 1e-12 {
+		t.Errorf("nearest = %g", got)
+	}
+	if got := d.NearestPillarDistance(9e-6, 0); math.Abs(got-1e-6) > 1e-12 {
+		t.Errorf("nearest = %g", got)
+	}
+	empty := &DiscretePlacement{}
+	if !math.IsInf(empty.NearestPillarDistance(0, 0), 1) {
+		t.Error("empty placement should report +Inf")
+	}
+}
+
+func TestCoverageHistogram(t *testing.T) {
+	req := discreteReq(10)
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Discretize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := d.CoverageHistogram(design.Gemmini().Tier, req.Geometry)
+	if len(hist) == 0 {
+		t.Fatal("empty histogram")
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Coverage > hist[i-1].Coverage {
+			t.Fatal("histogram not sorted by coverage")
+		}
+	}
+	// The hottest unit should be among the densest entries.
+	top := hist[0].Unit
+	if top != "systolic-array" && top != "vector-unit" && top != "controller" {
+		t.Errorf("densest unit %q is not a hot logic block", top)
+	}
+}
+
+func TestRingAround(t *testing.T) {
+	die := floorplan.Rect{W: 100e-6, H: 100e-6}
+	r := floorplan.Rect{X: 40e-6, Y: 40e-6, W: 20e-6, H: 20e-6}
+	ring := ringAround(r, 5e-6, die)
+	if len(ring) != 4 {
+		t.Fatalf("expected 4 band rects, got %d", len(ring))
+	}
+	for _, b := range ring {
+		if b.Overlaps(r) {
+			t.Errorf("band %v overlaps the macro", b)
+		}
+		if !die.Contains(b) {
+			t.Errorf("band %v outside die", b)
+		}
+	}
+	// A macro at the die corner gets a clipped ring.
+	corner := floorplan.Rect{X: 0, Y: 0, W: 10e-6, H: 10e-6}
+	clipped := ringAround(corner, 5e-6, die)
+	if len(clipped) == 0 || len(clipped) > 4 {
+		t.Errorf("corner ring has %d rects", len(clipped))
+	}
+}

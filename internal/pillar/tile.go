@@ -1,0 +1,103 @@
+package pillar
+
+import (
+	"fmt"
+
+	"thermalscaffold/internal/floorplan"
+	"thermalscaffold/internal/stack"
+)
+
+// TilePattern supports the paper's scaled-design flow (Sec. III-A):
+// "In the preliminary scaled Fujitsu Research design, this placement
+// algorithm is run on a single multiply-accumulate, generating a
+// pattern of pillars which is repeated across the MAC array." A
+// pattern is a coverage field over one tile, stamped periodically
+// over a region of the full die.
+type TilePattern struct {
+	// TileW, TileH is the tile extent (m).
+	TileW, TileH float64
+	// NX, NY is the pattern resolution within the tile.
+	NX, NY int
+	// Coverage is the pillar coverage within the tile.
+	Coverage []float64
+}
+
+// PatternFromField captures a placement's coverage over a window of
+// the die as a repeatable tile pattern.
+func PatternFromField(f *stack.PillarField, die floorplan.Rect, window floorplan.Rect) (*TilePattern, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if !die.Contains(window) {
+		return nil, fmt.Errorf("pillar: window %v outside die %v", window, die)
+	}
+	cellW := die.W / float64(f.NX)
+	cellH := die.H / float64(f.NY)
+	i0 := int((window.X - die.X) / cellW)
+	j0 := int((window.Y - die.Y) / cellH)
+	nx := int(window.W/cellW + 0.5)
+	ny := int(window.H/cellH + 0.5)
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("pillar: window %v smaller than one field cell", window)
+	}
+	p := &TilePattern{TileW: window.W, TileH: window.H, NX: nx, NY: ny, Coverage: make([]float64, nx*ny)}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			si := min(i0+i, f.NX-1)
+			sj := min(j0+j, f.NY-1)
+			p.Coverage[j*nx+i] = f.Coverage[sj*f.NX+si]
+		}
+	}
+	return p, nil
+}
+
+// Mean returns the pattern's mean coverage.
+func (p *TilePattern) Mean() float64 {
+	if len(p.Coverage) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range p.Coverage {
+		s += c
+	}
+	return s / float64(len(p.Coverage))
+}
+
+// Stamp repeats the pattern periodically across region on a pillar
+// field over the given die, averaging the pattern into each field
+// cell by sampling at the cell center. Cells outside region are left
+// untouched.
+func (p *TilePattern) Stamp(f *stack.PillarField, die, region floorplan.Rect) error {
+	if p.TileW <= 0 || p.TileH <= 0 || p.NX < 1 || p.NY < 1 {
+		return fmt.Errorf("pillar: degenerate tile pattern %+v", p)
+	}
+	if len(p.Coverage) != p.NX*p.NY {
+		return fmt.Errorf("pillar: pattern has %d cells, want %d", len(p.Coverage), p.NX*p.NY)
+	}
+	cellW := die.W / float64(f.NX)
+	cellH := die.H / float64(f.NY)
+	for j := 0; j < f.NY; j++ {
+		for i := 0; i < f.NX; i++ {
+			cx := die.X + (float64(i)+0.5)*cellW
+			cy := die.Y + (float64(j)+0.5)*cellH
+			if !region.ContainsPoint(cx, cy) {
+				continue
+			}
+			// Position within the repeating tile.
+			tx := modPos(cx-region.X, p.TileW)
+			ty := modPos(cy-region.Y, p.TileH)
+			pi := min(int(tx/p.TileW*float64(p.NX)), p.NX-1)
+			pj := min(int(ty/p.TileH*float64(p.NY)), p.NY-1)
+			f.Coverage[j*f.NX+i] = p.Coverage[pj*p.NX+pi]
+		}
+	}
+	return nil
+}
+
+func modPos(v, m float64) float64 {
+	r := v - float64(int(v/m))*m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

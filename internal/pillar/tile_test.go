@@ -1,0 +1,136 @@
+package pillar
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/floorplan"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/units"
+)
+
+func TestPatternFromFieldAndStamp(t *testing.T) {
+	die := floorplan.Rect{W: 100e-6, H: 100e-6}
+	f := stack.NewPillarField(10, 10)
+	// A distinctive pattern in the lower-left 20 µm window.
+	f.Coverage[0] = 0.4
+	f.Coverage[1] = 0.1
+	f.Coverage[10] = 0.2
+	f.Coverage[11] = 0.3
+	window := floorplan.Rect{W: 20e-6, H: 20e-6}
+	p, err := PatternFromField(f, die, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NX != 2 || p.NY != 2 {
+		t.Fatalf("pattern is %dx%d, want 2x2", p.NX, p.NY)
+	}
+	if math.Abs(p.Mean()-0.25) > 1e-12 {
+		t.Errorf("pattern mean %g", p.Mean())
+	}
+	// Stamp across the whole die: the pattern repeats every 20 µm.
+	out := stack.NewPillarField(10, 10)
+	if err := p.Stamp(out, die, die); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Period 20 µm = 2 field cells: cell (2,0) repeats cell (0,0).
+	if out.Coverage[2] != out.Coverage[0] || out.Coverage[22] != out.Coverage[2] {
+		t.Error("pattern does not repeat periodically")
+	}
+	if math.Abs(out.Coverage[0]-0.4) > 1e-12 {
+		t.Errorf("stamped origin coverage %g", out.Coverage[0])
+	}
+	// Mean over the die equals the pattern mean.
+	if math.Abs(out.Mean()-p.Mean()) > 1e-12 {
+		t.Errorf("stamped mean %g vs pattern %g", out.Mean(), p.Mean())
+	}
+}
+
+func TestPatternRejections(t *testing.T) {
+	die := floorplan.Rect{W: 100e-6, H: 100e-6}
+	f := stack.NewPillarField(10, 10)
+	if _, err := PatternFromField(f, die, floorplan.Rect{X: 90e-6, Y: 0, W: 20e-6, H: 10e-6}); err == nil {
+		t.Error("out-of-die window accepted")
+	}
+	if _, err := PatternFromField(f, die, floorplan.Rect{W: 1e-6, H: 1e-6}); err == nil {
+		t.Error("sub-cell window accepted")
+	}
+	bad := &TilePattern{TileW: 0, TileH: 1, NX: 1, NY: 1, Coverage: []float64{0}}
+	if err := bad.Stamp(f, die, die); err == nil {
+		t.Error("degenerate pattern accepted")
+	}
+	short := &TilePattern{TileW: 1e-6, TileH: 1e-6, NX: 2, NY: 2, Coverage: []float64{0}}
+	if err := short.Stamp(f, die, die); err == nil {
+		t.Error("short coverage accepted")
+	}
+}
+
+// TestFujitsuTiledFlow: run placement on one MAC-array window of the
+// Fujitsu design, repeat the pattern across the array region, and
+// verify the full-die stack still meets temperature — the paper's
+// scalability demonstration.
+func TestFujitsuTiledFlow(t *testing.T) {
+	d := design.FujitsuResearch()
+	req := Request{
+		Design: d, Tiers: 8,
+		Sink: heatsink.TwoPhase(), TTargetC: 125,
+		BEOL: stack.ScaffoldedBEOL(), NX: 16, NY: 16,
+	}
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible {
+		t.Fatalf("Fujitsu placement infeasible at 8 tiers: %g°C", p.TMaxC)
+	}
+	// Capture the pattern over the MAC array's window and re-stamp it
+	// across the array (the repetition the paper applies).
+	array, err := d.Tier.Find("mac-array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellW := d.Tier.Die.W / 16
+	cellH := d.Tier.Die.H / 16
+	// Sample the representative MAC tile from the array's interior
+	// (corner cells blend with neighboring units at this resolution).
+	acx, acy := array.Rect.Center()
+	window := floorplan.Rect{
+		X: d.Tier.Die.X + math.Floor((acx-d.Tier.Die.X)/cellW)*cellW,
+		Y: d.Tier.Die.Y + math.Floor((acy-d.Tier.Die.Y)/cellH)*cellH,
+		W: cellW, H: cellH,
+	}
+	pat, err := PatternFromField(p.Field, d.Tier.Die, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Mean() <= 0 {
+		t.Fatal("array window has no pillars to repeat")
+	}
+	tiled := stack.NewPillarField(16, 16)
+	copy(tiled.Coverage, p.Field.Coverage)
+	if err := pat.Stamp(tiled, d.Tier.Die, array.Rect); err != nil {
+		t.Fatal(err)
+	}
+	spec := &stack.Spec{
+		DieW: d.Tier.Die.W, DieH: d.Tier.Die.H,
+		Tiers: 8, NX: 16, NY: 16,
+		PowerMaps:     [][]float64{d.Tier.PowerMap(16, 16)},
+		BEOL:          stack.ScaffoldedBEOL(),
+		Pillars:       tiled,
+		Sink:          heatsink.TwoPhase(),
+		MemoryPerTier: true,
+	}
+	res, err := spec.Solve(solver.Options{Tol: 1e-6, MaxIter: 80000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := units.KelvinToCelsius(res.MaxT()); c > 127 {
+		t.Errorf("tiled pattern runs at %g°C, placement promised %g", c, p.TMaxC)
+	}
+}

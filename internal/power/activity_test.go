@@ -1,0 +1,101 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTracesValidate(t *testing.T) {
+	for _, tr := range []Trace{MatmulTrace(), SpmvTrace()} {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", tr.Name, err)
+		}
+		if tr.Period() <= 0 {
+			t.Errorf("%s: non-positive period", tr.Name)
+		}
+	}
+	if err := (Trace{}).Validate(); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := Trace{Phases: []Phase{{Name: "x", Duration: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-duration phase accepted")
+	}
+	bad2 := Trace{Phases: []Phase{{Name: "x", Duration: 1, ArrayUtil: 1.5}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range utilization accepted")
+	}
+}
+
+// TestMatmulTraceMatchesWorkload: the compute phase runs at the
+// paper's simulated 72 % utilization, and bursts at 100 %.
+func TestMatmulTraceMatchesWorkload(t *testing.T) {
+	tr := MatmulTrace()
+	var compute, burst *Phase
+	for i := range tr.Phases {
+		switch tr.Phases[i].Name {
+		case "compute":
+			compute = &tr.Phases[i]
+		case "burst":
+			burst = &tr.Phases[i]
+		}
+	}
+	if compute == nil || burst == nil {
+		t.Fatal("missing canonical phases")
+	}
+	if math.Abs(compute.ArrayUtil-0.72) > 1e-12 {
+		t.Errorf("compute utilization %g, paper: 0.72", compute.ArrayUtil)
+	}
+	if burst.ArrayUtil != 1.0 {
+		t.Errorf("burst utilization %g, want 1.0", burst.ArrayUtil)
+	}
+	if tr.PeakUtil() != 1.0 {
+		t.Errorf("peak utilization %g", tr.PeakUtil())
+	}
+	if tr.MeanUtil() >= tr.PeakUtil() || tr.MeanUtil() <= 0 {
+		t.Errorf("mean utilization %g out of order", tr.MeanUtil())
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	tr := MatmulTrace()
+	if got := tr.PhaseAt(0); got.Name != "load" {
+		t.Errorf("t=0 phase %q", got.Name)
+	}
+	if got := tr.PhaseAt(10e-6); got.Name != "compute" {
+		t.Errorf("t=10µs phase %q", got.Name)
+	}
+	// Wraps around the period.
+	if got := tr.PhaseAt(tr.Period() + 10e-6); got.Name != "compute" {
+		t.Errorf("wrapped phase %q", got.Name)
+	}
+	// Negative times wrap too.
+	if got := tr.PhaseAt(-1e-6); got.Name == "" {
+		t.Error("negative time returned empty phase")
+	}
+	if (Trace{}).PhaseAt(1) != (Phase{}) {
+		t.Error("empty trace should return zero phase")
+	}
+}
+
+// TestTracePower: peak power equals the worst phase and exceeds the
+// mean; the paper's thermal design point is the peak.
+func TestTracePower(t *testing.T) {
+	a := Gemmini16()
+	tr := MatmulTrace()
+	peak := tr.PeakPower(a)
+	mean := tr.MeanPower(a)
+	if peak <= mean {
+		t.Errorf("peak %g not above mean %g", peak, mean)
+	}
+	if math.Abs(peak-a.Power(1.0)) > 1e-15 {
+		t.Errorf("peak power %g should be the 100%% burst (%g)", peak, a.Power(1.0))
+	}
+	// spmv averages well below matmul.
+	if SpmvTrace().MeanPower(a) >= mean {
+		t.Error("spmv should average below matmul")
+	}
+	if (Trace{}).MeanPower(a) != 0 || (Trace{}).MeanUtil() != 0 {
+		t.Error("empty trace should have zero power")
+	}
+}

@@ -1,0 +1,190 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheConfig describes an SRAM cache for the FinCACTI-style
+// geometry model ([33]): capacity, organization, and technology.
+type CacheConfig struct {
+	CapacityBytes int
+	Associativity int
+	LineBytes     int
+	Banks         int
+	// TechNm is the process node (drawn feature size), nm.
+	TechNm float64
+	// Vdd in volts.
+	Vdd float64
+}
+
+// GemminiLLCConfig returns the 4 MB last-level cache of the Gemmini
+// design (Fig. 8b) at 7 nm.
+func GemminiLLCConfig() CacheConfig {
+	return CacheConfig{CapacityBytes: 4 << 20, Associativity: 16, LineBytes: 64, Banks: 8, TechNm: 7, Vdd: 0.7}
+}
+
+// RocketCacheConfig returns the Rocket core's 16 kB 4-way cache.
+func RocketCacheConfig() CacheConfig {
+	return CacheConfig{CapacityBytes: 16 << 10, Associativity: 4, LineBytes: 64, Banks: 1, TechNm: 7, Vdd: 0.7}
+}
+
+// Validate checks the configuration.
+func (c CacheConfig) Validate() error {
+	if c.CapacityBytes <= 0 {
+		return fmt.Errorf("power: cache capacity %d", c.CapacityBytes)
+	}
+	if c.Associativity < 1 || c.LineBytes < 1 || c.Banks < 1 {
+		return fmt.Errorf("power: bad cache organization %+v", c)
+	}
+	if c.CapacityBytes%(c.LineBytes*c.Associativity*c.Banks) != 0 {
+		return fmt.Errorf("power: capacity %d not divisible by line×assoc×banks", c.CapacityBytes)
+	}
+	if c.TechNm <= 0 || c.Vdd <= 0 {
+		return fmt.Errorf("power: bad technology %+v", c)
+	}
+	return nil
+}
+
+// CacheModel carries the geometry-derived cache characteristics.
+type CacheModel struct {
+	Config CacheConfig
+	// Subarray organization per bank.
+	RowsPerSubarray  int
+	ColsPerSubarray  int
+	SubarraysPerBank int
+	// AreaM2 is the total layout area (m²), including the array
+	// overhead (decoders, sense amps, routing).
+	AreaM2 float64
+	// AccessEnergyPJ is the energy per full line access.
+	AccessEnergyPJ float64
+	// LatencyNs is the bank access latency.
+	LatencyNs float64
+	// LeakageW is the standby leakage.
+	LeakageW float64
+}
+
+// SRAM bitcell and wire technology constants at deeply scaled nodes.
+const (
+	// bitcellAreaF2 is the 6T SRAM bitcell area in F² (FinFET-era
+	// high-density cells run 250–350 F²).
+	bitcellAreaF2 = 300
+	// arrayEfficiency is the fraction of macro area that is bitcells.
+	arrayEfficiency = 0.45
+	// cBitPerCellF is the bitline capacitance contributed per cell (F).
+	cBitPerCellF = 0.08e-15
+	// cWordPerCellF is the wordline capacitance per cell (F).
+	cWordPerCellF = 0.05e-15
+	// leakagePerBitW is the per-bit standby leakage (W) — ~10 mW/MB
+	// at 7 nm with low-leakage bitcells.
+	leakagePerBitW = 1.2e-9
+	// senseEnergyPJ is the sense-amplifier + output driver energy per
+	// accessed bit (pJ).
+	senseEnergyPJ = 0.02
+	// maxSubarrayRows bounds bitline length for latency.
+	maxSubarrayRows = 512
+	// maxSubarrayCols bounds wordline length.
+	maxSubarrayCols = 1024
+)
+
+// NewCacheModel derives geometry, energy, latency, and leakage from
+// the configuration, in the FinCACTI style: partition each bank into
+// subarrays bounded by bitline/wordline length, then charge the
+// wordline, the bitlines of one subarray, and the sense path per
+// access.
+func NewCacheModel(cfg CacheConfig) (*CacheModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bits := float64(cfg.CapacityBytes) * 8
+	bitsPerBank := bits / float64(cfg.Banks)
+
+	// Square-ish subarray partitioning under the row/col bounds.
+	rows := int(math.Min(maxSubarrayRows, math.Ceil(math.Sqrt(bitsPerBank))))
+	cols := int(math.Ceil(bitsPerBank / float64(rows)))
+	subs := 1
+	for cols > maxSubarrayCols {
+		cols = (cols + 1) / 2
+		subs *= 2
+	}
+
+	f := cfg.TechNm * 1e-9
+	cellArea := bitcellAreaF2 * f * f
+	area := bits * cellArea / arrayEfficiency
+
+	// Energy per line access: one wordline (cols cells), the accessed
+	// subarray's bitlines (rows cells each, line-width columns), plus
+	// sensing for the line bits.
+	v2 := cfg.Vdd * cfg.Vdd
+	lineBits := float64(cfg.LineBytes) * 8
+	eWord := float64(cols) * cWordPerCellF * v2
+	eBit := lineBits * float64(rows) * cBitPerCellF * v2 * 0.25 // reduced bitline swing
+	eSense := lineBits * senseEnergyPJ * 1e-12
+	// Bank-level routing (H-tree): driving the line across ~√(bank
+	// area) of wire at full swing.
+	const cWirePerM = 2e-10 // F/m
+	bankArea := bits * cellArea / arrayEfficiency / float64(cfg.Banks)
+	eRoute := lineBits * cWirePerM * math.Sqrt(bankArea) * v2
+	accessJ := eWord + eBit + eSense + eRoute
+
+	// Latency: decode (log2 rows) + wordline RC + bitline RC + sense.
+	decode := 0.05 * math.Log2(float64(rows)+1)
+	word := 0.002 * float64(cols) / 100
+	bit := 0.004 * float64(rows) / 100
+	latency := 0.12 + decode + word + bit
+
+	return &CacheModel{
+		Config:           cfg,
+		RowsPerSubarray:  rows,
+		ColsPerSubarray:  cols,
+		SubarraysPerBank: subs,
+		AreaM2:           area,
+		AccessEnergyPJ:   accessJ * 1e12,
+		LatencyNs:        latency,
+		LeakageW:         bits * leakagePerBitW,
+	}, nil
+}
+
+// Power returns the cache power (W) at the given access rate
+// (accesses per second).
+func (m *CacheModel) Power(accessesPerSec float64) float64 {
+	if accessesPerSec < 0 {
+		accessesPerSec = 0
+	}
+	return m.LeakageW + accessesPerSec*m.AccessEnergyPJ*1e-12
+}
+
+// PowerAtBandwidth returns power (W) while serving bwGBs gigabytes
+// per second of line-sized traffic.
+func (m *CacheModel) PowerAtBandwidth(bwGBs float64) float64 {
+	if bwGBs < 0 {
+		bwGBs = 0
+	}
+	accesses := bwGBs * 1e9 / float64(m.Config.LineBytes)
+	return m.Power(accesses)
+}
+
+// PowerDensity returns W/m² at the given bandwidth.
+func (m *CacheModel) PowerDensity(bwGBs float64) float64 {
+	return m.PowerAtBandwidth(bwGBs) / m.AreaM2
+}
+
+// MaxBandwidthGBs returns the bank-limited streaming bandwidth at
+// the given clock frequency: one line per bank per access latency.
+func (m *CacheModel) MaxBandwidthGBs(freqGHz float64) float64 {
+	issueNs := math.Max(m.LatencyNs, 1/freqGHz)
+	linesPerSec := float64(m.Config.Banks) / (issueNs * 1e-9)
+	return linesPerSec * float64(m.Config.LineBytes) / 1e9
+}
+
+// AsSRAM converts the geometry model into the simple SRAM summary
+// used by the floorplans, for cross-checking the two models.
+func (m *CacheModel) AsSRAM() SRAM {
+	capMB := float64(m.Config.CapacityBytes) / (1 << 20)
+	return SRAM{
+		CapacityMB:     capMB,
+		AreaPerMBMm2:   m.AreaM2 * 1e6 / capMB,
+		LeakMWPerMB:    m.LeakageW * 1e3 / capMB,
+		AccessPJPerBit: m.AccessEnergyPJ / (float64(m.Config.LineBytes) * 8),
+	}
+}

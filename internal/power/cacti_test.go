@@ -1,0 +1,133 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCacheConfigValidate(t *testing.T) {
+	if err := GemminiLLCConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := RocketCacheConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CacheConfig{
+		{CapacityBytes: 0, Associativity: 4, LineBytes: 64, Banks: 1, TechNm: 7, Vdd: 0.7},
+		{CapacityBytes: 1 << 20, Associativity: 0, LineBytes: 64, Banks: 1, TechNm: 7, Vdd: 0.7},
+		{CapacityBytes: 1000, Associativity: 4, LineBytes: 64, Banks: 1, TechNm: 7, Vdd: 0.7}, // not divisible
+		{CapacityBytes: 1 << 20, Associativity: 4, LineBytes: 64, Banks: 1, TechNm: 0, Vdd: 0.7},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGemminiLLCGeometry(t *testing.T) {
+	m, err := NewCacheModel(GemminiLLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 MB at 7 nm: ~1-2 mm² with overhead.
+	areaMm2 := m.AreaM2 * 1e6
+	if areaMm2 < 0.5 || areaMm2 > 4 {
+		t.Errorf("4 MB LLC area %g mm² implausible", areaMm2)
+	}
+	if m.RowsPerSubarray > 512 || m.ColsPerSubarray > 1024 {
+		t.Errorf("subarray %dx%d exceeds bounds", m.RowsPerSubarray, m.ColsPerSubarray)
+	}
+	// Line access energy: tens of pJ at 7 nm.
+	if m.AccessEnergyPJ < 3 || m.AccessEnergyPJ > 200 {
+		t.Errorf("access energy %g pJ implausible", m.AccessEnergyPJ)
+	}
+	// Latency: sub-ns to a few ns.
+	if m.LatencyNs < 0.1 || m.LatencyNs > 5 {
+		t.Errorf("latency %g ns implausible", m.LatencyNs)
+	}
+	// Leakage: tens of mW for 4 MB.
+	if m.LeakageW < 0.005 || m.LeakageW > 1 {
+		t.Errorf("leakage %g W implausible", m.LeakageW)
+	}
+}
+
+// TestCacheScaling: a larger cache is bigger, leakier, and no faster.
+func TestCacheScaling(t *testing.T) {
+	small, err := NewCacheModel(RocketCacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewCacheModel(GemminiLLCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.AreaM2 <= small.AreaM2 || big.LeakageW <= small.LeakageW {
+		t.Error("bigger cache should cost more area and leakage")
+	}
+	if big.LatencyNs < small.LatencyNs {
+		t.Error("bigger cache should not be faster")
+	}
+	// Area scales ~linearly with capacity.
+	ratio := big.AreaM2 / small.AreaM2
+	capRatio := float64(big.Config.CapacityBytes) / float64(small.Config.CapacityBytes)
+	if ratio < capRatio*0.8 || ratio > capRatio*1.2 {
+		t.Errorf("area ratio %g vs capacity ratio %g", ratio, capRatio)
+	}
+}
+
+// TestBankingHelpsBandwidth: more banks, more streaming bandwidth.
+func TestBankingHelpsBandwidth(t *testing.T) {
+	cfg := GemminiLLCConfig()
+	m8, _ := NewCacheModel(cfg)
+	cfg.Banks = 16
+	m16, err := NewCacheModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m16.MaxBandwidthGBs(1) <= m8.MaxBandwidthGBs(1) {
+		t.Error("doubling banks should raise bandwidth")
+	}
+	if m8.MaxBandwidthGBs(1) < 10 {
+		t.Errorf("LLC bandwidth %g GB/s too low to feed the array", m8.MaxBandwidthGBs(1))
+	}
+}
+
+func TestCachePower(t *testing.T) {
+	m, _ := NewCacheModel(GemminiLLCConfig())
+	if m.Power(0) != m.LeakageW {
+		t.Error("idle power should be leakage")
+	}
+	if m.Power(-5) != m.LeakageW {
+		t.Error("negative access rate should clamp")
+	}
+	p64 := m.PowerAtBandwidth(64)
+	if p64 <= m.LeakageW {
+		t.Error("bandwidth adds no power")
+	}
+	// Density in the SRAM regime (a few to tens of W/cm²).
+	d := m.PowerDensity(64) * 1e-4
+	if d < 1 || d > 60 {
+		t.Errorf("LLC density %g W/cm² implausible", d)
+	}
+}
+
+// TestAsSRAMConsistency: the geometry model lands near the simple
+// SRAM summary the floorplans use.
+func TestAsSRAMConsistency(t *testing.T) {
+	m, _ := NewCacheModel(GemminiLLCConfig())
+	s := m.AsSRAM()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultSRAM(4)
+	if s.AreaPerMBMm2 < def.AreaPerMBMm2/3 || s.AreaPerMBMm2 > def.AreaPerMBMm2*3 {
+		t.Errorf("geometry area/MB %g vs summary %g (>3x apart)", s.AreaPerMBMm2, def.AreaPerMBMm2)
+	}
+	if s.AccessPJPerBit < def.AccessPJPerBit/4 || s.AccessPJPerBit > def.AccessPJPerBit*4 {
+		t.Errorf("geometry pJ/bit %g vs summary %g (>4x apart)", s.AccessPJPerBit, def.AccessPJPerBit)
+	}
+	if math.Abs(s.CapacityMB-4) > 1e-12 {
+		t.Errorf("capacity %g MB", s.CapacityMB)
+	}
+}

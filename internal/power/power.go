@@ -1,0 +1,203 @@
+// Package power estimates functional-unit power for the studied
+// designs — the reproduction's substitute for the paper's Synopsys
+// VCS activity simulation + PrimePower flow and the FinCACTI SRAM
+// model ([33]).
+//
+// Three model families cover every unit in the floorplans:
+//
+//   - SystolicArray: MAC-energy-based power for the Gemmini and
+//     Fujitsu Research processing arrays, calibrated so the 16×16
+//     Gemmini array at full utilization dissipates the 95 W/cm² the
+//     paper quotes (Fig. 3).
+//   - SRAM: a FinCACTI-style capacity/area/leakage/access-energy
+//     model for scratchpads and the 3D last-level cache.
+//   - Logic: switched-capacitance power density for random logic
+//     (controllers, processing units).
+//
+// Workloads carry utilization and bandwidth, including the paper's
+// matmul (72 % peak utilization, scaled to 100 % for the worst case)
+// and the memory-bound spmv benchmark used for the Rocket core.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// SystolicArray models a Rows×Cols MAC array.
+type SystolicArray struct {
+	Rows, Cols  int
+	MACEnergyPJ float64 // energy per MAC operation, pJ
+	PEAreaUm2   float64 // area per processing element, µm²
+	PEStaticUW  float64 // static power per PE, µW
+	FreqGHz     float64
+}
+
+// Gemmini16 returns the 16×16 Gemmini systolic array ([16]) at 1 GHz
+// (the paper's 1 ns synthesis target), calibrated to 95 W/cm² at
+// full utilization.
+func Gemmini16() SystolicArray {
+	return SystolicArray{Rows: 16, Cols: 16, MACEnergyPJ: 0.095, PEAreaUm2: 100, PEStaticUW: 0.5, FreqGHz: 1.0}
+}
+
+// Fujitsu160 returns the preliminary Fujitsu Research accelerator's
+// 160×160 array (Fig. 8b) — 100× the PEs of Gemmini — with the same
+// PE technology.
+func Fujitsu160() SystolicArray {
+	a := Gemmini16()
+	a.Rows, a.Cols = 160, 160
+	return a
+}
+
+// NumPEs returns Rows·Cols.
+func (s SystolicArray) NumPEs() int { return s.Rows * s.Cols }
+
+// Area returns the array area (m²).
+func (s SystolicArray) Area() float64 {
+	return float64(s.NumPEs()) * s.PEAreaUm2 * 1e-12
+}
+
+// Power returns the array power (W) at the given utilization ∈ [0,1].
+func (s SystolicArray) Power(util float64) float64 {
+	util = clamp01(util)
+	n := float64(s.NumPEs())
+	dynamic := n * s.MACEnergyPJ * 1e-12 * s.FreqGHz * 1e9 * util
+	static := n * s.PEStaticUW * 1e-6
+	return dynamic + static
+}
+
+// PowerDensity returns W/m² at the given utilization.
+func (s SystolicArray) PowerDensity(util float64) float64 {
+	return s.Power(util) / s.Area()
+}
+
+// Validate checks the array parameters.
+func (s SystolicArray) Validate() error {
+	if s.Rows < 1 || s.Cols < 1 {
+		return fmt.Errorf("power: array %dx%d has no PEs", s.Rows, s.Cols)
+	}
+	if s.MACEnergyPJ <= 0 || s.PEAreaUm2 <= 0 || s.FreqGHz <= 0 {
+		return fmt.Errorf("power: non-positive array parameters %+v", s)
+	}
+	return nil
+}
+
+// SRAM is a FinCACTI-style memory model.
+type SRAM struct {
+	CapacityMB     float64
+	AreaPerMBMm2   float64 // layout area per MB, mm²
+	LeakMWPerMB    float64 // leakage, mW/MB
+	AccessPJPerBit float64 // dynamic access energy, pJ/bit
+}
+
+// DefaultSRAM returns a 7 nm FinFET SRAM model of the given capacity:
+// ~25 Mb/mm² density, 10 mW/MB leakage, 0.15 pJ/bit access energy —
+// consistent with FinCACTI's deeply scaled FinFET projections.
+func DefaultSRAM(capacityMB float64) SRAM {
+	return SRAM{CapacityMB: capacityMB, AreaPerMBMm2: 0.32, LeakMWPerMB: 10, AccessPJPerBit: 0.15}
+}
+
+// Area returns the macro area (m²).
+func (s SRAM) Area() float64 { return s.CapacityMB * s.AreaPerMBMm2 * 1e-6 }
+
+// Power returns total power (W) while serving the given bandwidth
+// (GB/s).
+func (s SRAM) Power(bwGBs float64) float64 {
+	if bwGBs < 0 {
+		bwGBs = 0
+	}
+	leak := s.CapacityMB * s.LeakMWPerMB * 1e-3
+	dyn := bwGBs * 1e9 * 8 * s.AccessPJPerBit * 1e-12
+	return leak + dyn
+}
+
+// PowerDensity returns W/m² at the given bandwidth.
+func (s SRAM) PowerDensity(bwGBs float64) float64 { return s.Power(bwGBs) / s.Area() }
+
+// Validate checks the SRAM parameters.
+func (s SRAM) Validate() error {
+	if s.CapacityMB <= 0 || s.AreaPerMBMm2 <= 0 {
+		return fmt.Errorf("power: degenerate SRAM %+v", s)
+	}
+	if s.LeakMWPerMB < 0 || s.AccessPJPerBit < 0 {
+		return fmt.Errorf("power: negative SRAM energy parameters %+v", s)
+	}
+	return nil
+}
+
+// Logic models random-logic power by switched capacitance:
+// P/A = C″·V²·f·α with C″ the effective switching capacitance per
+// area.
+type Logic struct {
+	CapPerMm2NF float64 // effective switched capacitance, nF/mm²
+	Vdd         float64 // V
+	Activity    float64 // switching activity factor ∈ [0,1]
+	FreqGHz     float64
+	LeakWPerMm2 float64 // leakage per area, W/mm²
+}
+
+// DefaultLogic returns 7 nm logic at the given frequency and
+// activity.
+func DefaultLogic(freqGHz, activity float64) Logic {
+	return Logic{CapPerMm2NF: 6, Vdd: 0.7, Activity: clamp01(activity), FreqGHz: freqGHz, LeakWPerMm2: 0.05}
+}
+
+// PowerDensity returns W/m².
+func (l Logic) PowerDensity() float64 {
+	dyn := l.CapPerMm2NF * 1e-9 * 1e6 * l.Vdd * l.Vdd * l.FreqGHz * 1e9 * l.Activity // nF/mm² → F/m²
+	leak := l.LeakWPerMm2 * 1e6
+	return dyn + leak
+}
+
+// Workload captures the activity profile driving power estimation.
+type Workload struct {
+	Name string
+	// ArrayUtil is the systolic-array (or pipeline) utilization ∈ [0,1].
+	ArrayUtil float64
+	// LogicActivity is the switching activity of control logic.
+	LogicActivity float64
+	// MemBWGBs is the memory bandwidth demanded of caches, GB/s.
+	MemBWGBs float64
+}
+
+// Matmul is the dense matrix-multiplication workload run on the
+// systolic arrays; the simulated VCS activity peaks at 72 %
+// utilization (Sec. III-C).
+func Matmul() Workload {
+	return Workload{Name: "matmul", ArrayUtil: 0.72, LogicActivity: 0.25, MemBWGBs: 64}
+}
+
+// Spmv is the memory-bound sparse matrix-vector benchmark from
+// riscv-tests ([32]) used for the Rocket core — representative of
+// workloads that exploit ultra-dense 3D's memory bandwidth.
+func Spmv() Workload {
+	return Workload{Name: "spmv", ArrayUtil: 0.55, LogicActivity: 0.20, MemBWGBs: 96}
+}
+
+// WorstCase scales the workload's utilization to 100 % — the paper
+// scales systolic array power from the simulated 72 % to 100 % to
+// bound the thermal worst case.
+func (w Workload) WorstCase() Workload {
+	w.Name = w.Name + "-worst"
+	w.ArrayUtil = 1.0
+	return w
+}
+
+// UtilizationScale returns the power ratio of the worst case to this
+// workload for a pure-dynamic unit.
+func (w Workload) UtilizationScale() float64 {
+	if w.ArrayUtil <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / w.ArrayUtil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

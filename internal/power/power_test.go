@@ -1,0 +1,159 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thermalscaffold/internal/units"
+)
+
+func approx(t *testing.T, got, want, relTol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Abs(want) {
+		t.Errorf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+// TestGemminiArrayPaperAnchor: the 16×16 Gemmini array at peak
+// dissipates the 95 W/cm² the paper uses in Fig. 3.
+func TestGemminiArrayPaperAnchor(t *testing.T) {
+	a := Gemmini16()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPEs() != 256 {
+		t.Fatalf("NumPEs = %d", a.NumPEs())
+	}
+	d := units.WPerM2ToWPerCm2(a.PowerDensity(1.0))
+	approx(t, d, 95, 0.03, "Gemmini peak density (W/cm²)")
+}
+
+// TestUtilizationScaling: power at 72 % utilization scales to ~100 %
+// by the paper's worst-case factor (dynamic dominates).
+func TestUtilizationScaling(t *testing.T) {
+	a := Gemmini16()
+	p72 := a.Power(0.72)
+	p100 := a.Power(1.0)
+	ratio := p100 / p72
+	if ratio < 1.3 || ratio > 1/0.72+0.01 {
+		t.Errorf("72→100%% scaling ratio %g outside (1.3, 1.39]", ratio)
+	}
+	// Static floor: zero utilization still burns leakage.
+	if a.Power(0) <= 0 {
+		t.Error("no static power at idle")
+	}
+	// Clamping.
+	if a.Power(2.0) != a.Power(1.0) {
+		t.Error("utilization not clamped")
+	}
+	if a.Power(-1) != a.Power(0) {
+		t.Error("negative utilization not clamped")
+	}
+}
+
+// TestFujitsuScale: the Fujitsu array has 100× the PEs at the same
+// technology, so ~100× the power and area and equal power density.
+func TestFujitsuScale(t *testing.T) {
+	g, f := Gemmini16(), Fujitsu160()
+	if f.NumPEs() != 100*g.NumPEs() {
+		t.Fatalf("Fujitsu PEs = %d", f.NumPEs())
+	}
+	approx(t, f.Area(), 100*g.Area(), 1e-9, "area scale")
+	approx(t, f.Power(1), 100*g.Power(1), 1e-9, "power scale")
+	approx(t, f.PowerDensity(1), g.PowerDensity(1), 1e-9, "density invariant")
+}
+
+func TestArrayValidateRejections(t *testing.T) {
+	bad := []SystolicArray{
+		{Rows: 0, Cols: 16, MACEnergyPJ: 1, PEAreaUm2: 1, FreqGHz: 1},
+		{Rows: 16, Cols: 16, MACEnergyPJ: 0, PEAreaUm2: 1, FreqGHz: 1},
+		{Rows: 16, Cols: 16, MACEnergyPJ: 1, PEAreaUm2: -1, FreqGHz: 1},
+		{Rows: 16, Cols: 16, MACEnergyPJ: 1, PEAreaUm2: 1, FreqGHz: 0},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSRAMModel(t *testing.T) {
+	s := DefaultSRAM(4) // the Gemmini 4 MB LLC
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Area(), 4*0.32*1e-6, 1e-12, "area")
+	// Leakage only at zero bandwidth.
+	approx(t, s.Power(0), 0.04, 1e-9, "leakage")
+	// Dynamic adds with bandwidth: 64 GB/s · 8 b · 0.15 pJ/b ≈ 77 mW.
+	approx(t, s.Power(64)-s.Power(0), 64e9*8*0.15e-12, 1e-9, "dynamic")
+	// Negative bandwidth clamps.
+	approx(t, s.Power(-5), s.Power(0), 1e-12, "clamp")
+	// SRAM runs an order of magnitude cooler than the systolic array.
+	sd := units.WPerM2ToWPerCm2(s.PowerDensity(64))
+	if sd < 2 || sd > 40 {
+		t.Errorf("SRAM density %g W/cm² implausible", sd)
+	}
+}
+
+func TestSRAMValidateRejections(t *testing.T) {
+	if err := (SRAM{CapacityMB: 0, AreaPerMBMm2: 1}).Validate(); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if err := (SRAM{CapacityMB: 1, AreaPerMBMm2: 1, LeakMWPerMB: -1}).Validate(); err == nil {
+		t.Error("negative leakage accepted")
+	}
+}
+
+func TestLogicDensity(t *testing.T) {
+	busy := DefaultLogic(1.0, 0.25)
+	idle := DefaultLogic(1.0, 0.0)
+	db := units.WPerM2ToWPerCm2(busy.PowerDensity())
+	di := units.WPerM2ToWPerCm2(idle.PowerDensity())
+	if db < 40 || db > 110 {
+		t.Errorf("busy logic %g W/cm² out of plausible range", db)
+	}
+	if di <= 0 || di >= db {
+		t.Errorf("idle logic density %g should be leakage-only below busy %g", di, db)
+	}
+	// Density scales linearly with frequency (dynamic part).
+	d2 := DefaultLogic(2.0, 0.25).PowerDensity() - idle.PowerDensity()
+	d1 := busy.PowerDensity() - idle.PowerDensity()
+	approx(t, d2, 2*d1, 1e-9, "frequency scaling")
+}
+
+func TestWorkloads(t *testing.T) {
+	m := Matmul()
+	approx(t, m.ArrayUtil, 0.72, 1e-12, "matmul utilization (paper Sec. III-C)")
+	w := m.WorstCase()
+	approx(t, w.ArrayUtil, 1.0, 1e-12, "worst case scales to 100%")
+	if w.Name == m.Name {
+		t.Error("worst case should be renamed")
+	}
+	approx(t, m.UtilizationScale(), 1/0.72, 1e-12, "utilization scale")
+	s := Spmv()
+	if s.MemBWGBs <= m.MemBWGBs {
+		t.Error("spmv must be memory-bound relative to matmul")
+	}
+	if s.ArrayUtil >= m.ArrayUtil {
+		t.Error("spmv is not compute-bound")
+	}
+	if !math.IsInf(Workload{}.UtilizationScale(), 1) {
+		t.Error("zero-utilization scale should be +Inf")
+	}
+}
+
+func TestPowerMonotoneInUtilQuick(t *testing.T) {
+	a := Gemmini16()
+	f := func(u1, u2 float64) bool {
+		x, y := math.Mod(math.Abs(u1), 1), math.Mod(math.Abs(u2), 1)
+		if x > y {
+			x, y = y, x
+		}
+		return a.Power(x) <= a.Power(y)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// heatRamp maps normalized intensity to ASCII shades, cool to hot.
+var heatRamp = []byte(" .:-=+*#%@")
+
+// Heatmap renders a row-major nx×ny scalar field as an ASCII shade
+// map with a value legend — enough to see hotspots and pillar shadows
+// in a terminal.
+type Heatmap struct {
+	Title  string
+	NX, NY int
+	Values []float64
+	// Unit is appended to the legend values (e.g. "°C").
+	Unit string
+}
+
+// NewHeatmap wraps a field for rendering.
+func NewHeatmap(title string, nx, ny int, values []float64, unit string) (*Heatmap, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("report: bad heatmap dims %dx%d", nx, ny)
+	}
+	if len(values) != nx*ny {
+		return nil, fmt.Errorf("report: heatmap has %d values, want %d", len(values), nx*ny)
+	}
+	return &Heatmap{Title: title, NX: nx, NY: ny, Values: values, Unit: unit}, nil
+}
+
+// Render writes the shade map, top row (max y) first.
+func (h *Heatmap) Render(w io.Writer) error {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range h.Values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	for j := h.NY - 1; j >= 0; j-- {
+		for i := 0; i < h.NX; i++ {
+			v := h.Values[j*h.NX+i]
+			idx := 0
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(heatRamp)-1))
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			b.WriteByte(heatRamp[idx])
+			b.WriteByte(heatRamp[idx]) // double width for aspect ratio
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "scale: '%c' = %.4g%s … '%c' = %.4g%s\n",
+		heatRamp[0], lo, h.Unit, heatRamp[len(heatRamp)-1], hi, h.Unit)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRendering(t *testing.T) {
+	vals := []float64{
+		1, 1, 1, 1,
+		1, 5, 5, 1,
+		1, 5, 9, 1,
+		1, 1, 1, 1,
+	}
+	h, err := NewHeatmap("tier 11", 4, 4, vals, "°C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.String()
+	if !strings.Contains(out, "tier 11") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "scale:") || !strings.Contains(out, "°C") {
+		t.Error("missing legend")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + 4 rows + legend
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	// The hottest cell (9) renders the hottest glyph; corners the
+	// coolest.
+	if !strings.Contains(out, "@@") {
+		t.Error("peak glyph missing")
+	}
+	if !strings.HasPrefix(lines[1], "  ") {
+		t.Errorf("cool corner not blank: %q", lines[1])
+	}
+	// Row order: value 9 is at j=2, so it appears on the second
+	// rendered row (top-down).
+	if !strings.Contains(lines[2], "@@") {
+		t.Errorf("peak row misplaced:\n%s", out)
+	}
+}
+
+func TestHeatmapUniformField(t *testing.T) {
+	h, err := NewHeatmap("", 2, 2, []float64{3, 3, 3, 3}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.String()
+	if strings.Count(out, string(heatRamp[0])) < 8 {
+		t.Errorf("uniform field should render all-cool:\n%s", out)
+	}
+}
+
+func TestHeatmapRejections(t *testing.T) {
+	if _, err := NewHeatmap("x", 0, 2, nil, ""); err == nil {
+		t.Error("zero dims accepted")
+	}
+	if _, err := NewHeatmap("x", 2, 2, []float64{1}, ""); err == nil {
+		t.Error("short values accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Package report renders experiment results as aligned ASCII tables
+// and CSV series for the paper-reproduction harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "n/a"
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// Series is a named (x, y...) data series — one figure curve.
+type Series struct {
+	Name    string
+	Columns []string
+	Points  [][]float64
+}
+
+// NewSeries creates a series with the given column names.
+func NewSeries(name string, columns ...string) *Series {
+	return &Series{Name: name, Columns: columns}
+}
+
+// Add appends one point.
+func (s *Series) Add(values ...float64) {
+	s.Points = append(s.Points, values)
+}
+
+// RenderCSV writes the series as CSV with a comment header.
+func (s *Series) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	b.WriteString(strings.Join(s.Columns, ","))
+	b.WriteString("\n")
+	for _, p := range s.Points {
+		for i, v := range p {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the series to a CSV string.
+func (s *Series) String() string {
+	var b strings.Builder
+	if err := s.RenderCSV(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table I", "Design", "Footprint (%)", "Delay (%)")
+	tb.AddRow("Gemmini", 9.9, 3.0)
+	tb.AddRow("Fujitsu", 9.4, math.NaN())
+	out := tb.String()
+	for _, want := range []string{"Table I", "Design", "Gemmini", "9.9", "n/a", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "A", "LongHeader")
+	tb.AddRow("xxxxxxxx", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and separator misaligned:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{99.94, "99.9"},
+		{3.14159, "3.14"},
+		{math.NaN(), "n/a"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("fig9-scaffolding", "tiers", "tmaxC")
+	s.Add(1, 105.2)
+	s.Add(2, 108.9)
+	out := s.String()
+	for _, want := range []string{"# fig9-scaffolding", "tiers,tmaxC", "1,105.2", "2,108.9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Errorf("unexpected CSV shape:\n%s", out)
+	}
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/units"
+)
+
+func TestThermalTimeConstant(t *testing.T) {
+	spec := testSpec(12)
+	tau := ThermalTimeConstant(spec)
+	// A thin stack on an h=10⁶ sink settles in tens of µs.
+	if tau < 5e-6 || tau > 5e-4 {
+		t.Errorf("time constant %g s implausible", tau)
+	}
+	thin := testSpec(2)
+	if ThermalTimeConstant(thin) >= tau {
+		t.Error("fewer tiers should settle faster")
+	}
+	noMem := testSpec(12)
+	noMem.MemoryPerTier = false
+	if ThermalTimeConstant(noMem) >= tau {
+		t.Error("memory sub-layer should add capacitance")
+	}
+}
+
+// TestRotationApproachesStatic: fast rotation lands between the
+// statically scheduled optimum and the adversarial order — the
+// paper's "similar results could be achieved by dynamic swapping".
+func TestRotationApproachesStatic(t *testing.T) {
+	spec := testSpec(4)
+	tasks := SpreadTasks(4, 0.5)
+	tau := ThermalTimeConstant(spec)
+
+	// Static bounds.
+	maps, _, err := Schedule(spec, tasks, solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := *spec
+	good.PowerMaps = maps
+	rGood, err := good.Solve(solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveAssign(spec.PowerMaps[0], 4, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *spec
+	bad.PowerMaps = naive
+	rBad, err := bad.Solve(solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodC := units.KelvinToCelsius(rGood.MaxT())
+	badC := units.KelvinToCelsius(rBad.MaxT())
+
+	// Rotate fast relative to the time constant, long enough to reach
+	// quasi-steady state.
+	res, err := SimulateRotation(spec, tasks, tau/2, tau/8, 24, solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rotations != 23 {
+		t.Errorf("expected 23 rotations, got %d", res.Rotations)
+	}
+	if res.FinalC < goodC-1.5 {
+		t.Errorf("rotation final %g°C implausibly below static optimum %g°C", res.FinalC, goodC)
+	}
+	if res.FinalC > badC+0.5 {
+		t.Errorf("rotation final %g°C above adversarial static %g°C", res.FinalC, badC)
+	}
+	// It must have heated from ambient.
+	if res.PeakC <= spec.Sink.AmbientC+1 {
+		t.Errorf("stack never heated: peak %g°C", res.PeakC)
+	}
+	// Trace shapes.
+	if len(res.Times) != len(res.Peaks) || len(res.Times) == 0 {
+		t.Fatal("empty or mismatched trace")
+	}
+	for i := 1; i < len(res.Times); i++ {
+		if res.Times[i] <= res.Times[i-1] {
+			t.Fatal("time not advancing")
+		}
+	}
+}
+
+// TestRotationHeatingMonotoneEarly: from a cold start the peak climbs
+// during the first period.
+func TestRotationHeatingMonotoneEarly(t *testing.T) {
+	spec := testSpec(3)
+	tasks := UniformTasks(3)
+	tau := ThermalTimeConstant(spec)
+	res, err := SimulateRotation(spec, tasks, tau, tau/6, 2, solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 6; i++ {
+		if res.Peaks[i] < res.Peaks[i-1]-1e-9 {
+			t.Fatalf("cold-start heating not monotone at step %d", i)
+		}
+	}
+	if math.Abs(res.PeakC-res.FinalC) > 30 {
+		t.Error("suspicious peak/final gap on uniform tasks")
+	}
+}
+
+func TestSimulateRotationRejections(t *testing.T) {
+	spec := testSpec(2)
+	tasks := UniformTasks(2)
+	if _, err := SimulateRotation(nil, tasks, 1e-5, 1e-6, 1, solver.Options{}); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := SimulateRotation(spec, UniformTasks(3), 1e-5, 1e-6, 1, solver.Options{}); err == nil {
+		t.Error("task/tier mismatch accepted")
+	}
+	if _, err := SimulateRotation(spec, tasks, 0, 1e-6, 1, solver.Options{}); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := SimulateRotation(spec, tasks, 1e-6, 1e-5, 1, solver.Options{}); err == nil {
+		t.Error("dt > period accepted")
+	}
+	if _, err := SimulateRotation(spec, tasks, 1e-5, 1e-6, 0, solver.Options{}); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	multi := testSpec(2)
+	multi.PowerMaps = [][]float64{multi.PowerMaps[0], multi.PowerMaps[0]}
+	if _, err := SimulateRotation(multi, tasks, 1e-5, 1e-6, 1, solver.Options{}); err == nil {
+		t.Error("multi-map spec accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package sched implements the thermal-aware task scheduling baseline
+// (Sec. III-B): an N-tier design has N copies of the same tier; each
+// copy is ranked by effective thermal resistance — simulated with all
+// other copies turned off — and the highest-power tasks are assigned
+// to the copies with the lowest thermal resistance (those nearest the
+// heatsink). This mimics thermal-aware task assignment of known
+// workloads in real systems; the paper notes dynamic swapping [4]
+// achieves similar results.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+)
+
+// Task is one schedulable workload with a relative power scale
+// (1.0 = the design's nominal power).
+type Task struct {
+	Name  string
+	Scale float64
+}
+
+// UniformTasks returns n identical nominal-power tasks.
+func UniformTasks(n int) []Task {
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = Task{Name: fmt.Sprintf("task-%d", i), Scale: 1}
+	}
+	return out
+}
+
+// SpreadTasks returns n tasks whose power scales span 1±spread
+// linearly — a heterogeneous workload mix for the scheduler to
+// exploit. Mean scale is 1 so total power matches the uniform case.
+func SpreadTasks(n int, spread float64) []Task {
+	out := make([]Task, n)
+	for i := range out {
+		t := 0.5
+		if n > 1 {
+			t = float64(i) / float64(n-1)
+		}
+		out[i] = Task{Name: fmt.Sprintf("task-%d", i), Scale: 1 + spread*(1-2*t)}
+	}
+	return out
+}
+
+// TierRank holds one tier's measured thermal resistance.
+type TierRank struct {
+	Tier       int
+	Resistance float64 // K/W: peak rise per watt with only this tier powered
+}
+
+// RankTiers measures each tier copy's effective thermal resistance by
+// solving the stack with only that tier powered, and returns the
+// tiers sorted by increasing resistance (coolest spot first).
+func RankTiers(spec *stack.Spec, opts solver.Options) ([]TierRank, error) {
+	if spec == nil {
+		return nil, errors.New("sched: nil spec")
+	}
+	if len(spec.PowerMaps) != 1 {
+		return nil, errors.New("sched: ranking expects a single replicated power map")
+	}
+	base := spec.PowerMaps[0]
+	n := spec.Tiers
+	cellArea := (spec.DieW / float64(spec.NX)) * (spec.DieH / float64(spec.NY))
+	tierPower := 0.0
+	for _, q := range base {
+		tierPower += q * cellArea
+	}
+	if tierPower <= 0 {
+		return nil, errors.New("sched: tier has no power")
+	}
+	zero := make([]float64, len(base))
+	ranks := make([]TierRank, n)
+	for t := 0; t < n; t++ {
+		maps := make([][]float64, n)
+		for i := range maps {
+			maps[i] = zero
+		}
+		maps[t] = base
+		s := *spec
+		s.PowerMaps = maps
+		res, err := s.Solve(opts)
+		if err != nil {
+			return nil, fmt.Errorf("sched: ranking tier %d: %w", t, err)
+		}
+		ranks[t] = TierRank{Tier: t, Resistance: (res.MaxT() - spec.Sink.Ambient()) / tierPower}
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i].Resistance < ranks[j].Resistance })
+	return ranks, nil
+}
+
+// Assign maps tasks onto tiers: the highest-power task goes to the
+// lowest-resistance tier, and so on. It returns per-tier power maps
+// (bottom tier first) scaling the base map by each tier's assigned
+// task.
+func Assign(base []float64, ranks []TierRank, tasks []Task) ([][]float64, error) {
+	if len(ranks) != len(tasks) {
+		return nil, fmt.Errorf("sched: %d tasks for %d tiers", len(tasks), len(ranks))
+	}
+	sorted := append([]Task(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Scale > sorted[j].Scale })
+	maps := make([][]float64, len(ranks))
+	for i, r := range ranks {
+		scaled := make([]float64, len(base))
+		for c := range base {
+			scaled[c] = base[c] * sorted[i].Scale
+		}
+		maps[r.Tier] = scaled
+	}
+	return maps, nil
+}
+
+// NaiveAssign assigns tasks to tiers in index order — the unscheduled
+// baseline (worst case: high-power tasks may land far from the sink).
+func NaiveAssign(base []float64, tiers int, tasks []Task) ([][]float64, error) {
+	if tiers != len(tasks) {
+		return nil, fmt.Errorf("sched: %d tasks for %d tiers", len(tasks), tiers)
+	}
+	// Adversarial order: ascending scale from the sink, so the hottest
+	// task sits farthest away.
+	sorted := append([]Task(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Scale < sorted[j].Scale })
+	maps := make([][]float64, tiers)
+	for t := 0; t < tiers; t++ {
+		scaled := make([]float64, len(base))
+		for c := range base {
+			scaled[c] = base[c] * sorted[t].Scale
+		}
+		maps[t] = scaled
+	}
+	return maps, nil
+}
+
+// Schedule runs the full pipeline: rank tiers, assign tasks, and
+// return the per-tier power maps ready for stack.Spec.PowerMaps.
+func Schedule(spec *stack.Spec, tasks []Task, opts solver.Options) ([][]float64, []TierRank, error) {
+	ranks, err := RankTiers(spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	maps, err := Assign(spec.PowerMaps[0], ranks, tasks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return maps, ranks, nil
+}

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/units"
+)
+
+func testSpec(tiers int) *stack.Spec {
+	g := design.Gemmini()
+	const nx, ny = 12, 12
+	return &stack.Spec{
+		DieW: g.Tier.Die.W, DieH: g.Tier.Die.H,
+		Tiers: tiers, NX: nx, NY: ny,
+		PowerMaps:     [][]float64{g.Tier.PowerMap(nx, ny)},
+		BEOL:          stack.ConventionalBEOL(),
+		Sink:          heatsink.TwoPhase(),
+		MemoryPerTier: true,
+	}
+}
+
+func TestTasks(t *testing.T) {
+	u := UniformTasks(4)
+	if len(u) != 4 || u[0].Scale != 1 {
+		t.Fatalf("UniformTasks = %v", u)
+	}
+	s := SpreadTasks(4, 0.2)
+	if math.Abs(s[0].Scale-1.2) > 1e-12 || math.Abs(s[3].Scale-0.8) > 1e-12 {
+		t.Errorf("SpreadTasks extremes wrong: %v", s)
+	}
+	mean := 0.0
+	for _, task := range s {
+		mean += task.Scale
+	}
+	if math.Abs(mean/4-1) > 1e-12 {
+		t.Errorf("task scales do not average to 1: %g", mean/4)
+	}
+	one := SpreadTasks(1, 0.2)
+	if math.Abs(one[0].Scale-1) > 1e-12 {
+		t.Errorf("single task scale %g, want 1", one[0].Scale)
+	}
+}
+
+// TestRankTiersOrdering: tiers nearer the heatsink have lower
+// effective thermal resistance — the paper's ranking criterion.
+func TestRankTiersOrdering(t *testing.T) {
+	spec := testSpec(4)
+	ranks, err := RankTiers(spec, solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("got %d ranks", len(ranks))
+	}
+	for i := range ranks {
+		if ranks[i].Tier != i {
+			t.Errorf("rank %d is tier %d — expected sink-adjacent tiers to rank coolest", i, ranks[i].Tier)
+		}
+		if i > 0 && ranks[i].Resistance <= ranks[i-1].Resistance {
+			t.Errorf("resistance not increasing at rank %d", i)
+		}
+	}
+	if ranks[0].Resistance <= 0 {
+		t.Error("non-positive thermal resistance")
+	}
+}
+
+func TestRankTiersRejections(t *testing.T) {
+	if _, err := RankTiers(nil, solver.Options{}); err == nil {
+		t.Error("nil spec accepted")
+	}
+	spec := testSpec(2)
+	spec.PowerMaps = [][]float64{spec.PowerMaps[0], spec.PowerMaps[0]}
+	if _, err := RankTiers(spec, solver.Options{}); err == nil {
+		t.Error("multi-map spec accepted")
+	}
+	cold := testSpec(2)
+	cold.PowerMaps = [][]float64{make([]float64, 12*12)}
+	if _, err := RankTiers(cold, solver.Options{}); err == nil {
+		t.Error("powerless spec accepted")
+	}
+}
+
+// TestScheduleBeatsNaive: assigning hot tasks near the sink lowers
+// the peak versus the adversarial order.
+func TestScheduleBeatsNaive(t *testing.T) {
+	spec := testSpec(4)
+	tasks := SpreadTasks(4, 0.5)
+	maps, ranks, err := Schedule(spec, tasks, solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 4 || len(ranks) != 4 {
+		t.Fatalf("bad schedule shapes: %d maps, %d ranks", len(maps), len(ranks))
+	}
+	good := *spec
+	good.PowerMaps = maps
+	rGood, err := good.Solve(solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveAssign(spec.PowerMaps[0], 4, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *spec
+	bad.PowerMaps = naive
+	rBad, err := bad.Solve(solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rGood.MaxT() >= rBad.MaxT() {
+		t.Errorf("scheduling did not help: %s vs %s",
+			units.FormatTemp(rGood.MaxT()), units.FormatTemp(rBad.MaxT()))
+	}
+}
+
+// TestSchedulePreservesTotalPower: the assignment is a permutation of
+// scaled maps, conserving total power.
+func TestSchedulePreservesTotalPower(t *testing.T) {
+	spec := testSpec(3)
+	tasks := SpreadTasks(3, 0.3)
+	maps, _, err := Schedule(spec, tasks, solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scheduled, base float64
+	for _, m := range maps {
+		for _, q := range m {
+			scheduled += q
+		}
+	}
+	for _, q := range spec.PowerMaps[0] {
+		base += q
+	}
+	if math.Abs(scheduled-3*base) > 1e-6*base {
+		t.Errorf("power not conserved: %g vs %g", scheduled, 3*base)
+	}
+}
+
+func TestAssignRejections(t *testing.T) {
+	if _, err := Assign(nil, make([]TierRank, 2), UniformTasks(3)); err == nil {
+		t.Error("mismatched tasks accepted")
+	}
+	if _, err := NaiveAssign(nil, 2, UniformTasks(3)); err == nil {
+		t.Error("mismatched naive tasks accepted")
+	}
+}

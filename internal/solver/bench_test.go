@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"testing"
+
+	"thermalscaffold/internal/mesh"
+)
+
+// benchStack builds a 12-tier chip-scale problem at the given
+// in-plane resolution.
+func benchStack(b *testing.B, n int) *Problem {
+	b.Helper()
+	zb := mesh.NewZLayerBuilder()
+	zb.Add("handle", 10e-6, 2)
+	for t := 0; t < 12; t++ {
+		zb.Add("si", 100e-9, 1)
+		zb.Add("beol", 940e-9, 2)
+	}
+	xs := make([]float64, n+1)
+	for i := range xs {
+		xs[i] = 690e-6 * float64(i) / float64(n)
+	}
+	g, err := mesh.New(xs, xs, zb.Bounds())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewProblem(g)
+	for k := 0; k < g.NZ(); k++ {
+		kv, kl := 0.4, 5.6
+		switch {
+		case k < 2:
+			kv, kl = 180, 180
+		case (k-2)%3 == 0:
+			kv, kl = 30, 65
+		}
+		for j := 0; j < g.NY(); j++ {
+			for i := 0; i < g.NX(); i++ {
+				c := g.Index(i, j, k)
+				p.SetAniso(c, kl, kv)
+				p.Cv[c] = 1.66e6
+				if k >= 2 && (k-2)%3 == 0 {
+					p.Q[c] = 53e4 / 100e-9
+				}
+			}
+		}
+	}
+	p.Bounds[ZMin] = ConvectiveBC(1e6, 373.15)
+	return p
+}
+
+func BenchmarkSteadyZLine16(b *testing.B) {
+	p := benchStack(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSteady(p, Options{Tol: 1e-7, Precond: ZLine}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyZLine32(b *testing.B) {
+	p := benchStack(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSteady(p, Options{Tol: 1e-7, Precond: ZLine}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyJacobi16(b *testing.B) {
+	p := benchStack(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSteady(p, Options{Tol: 1e-7, Precond: Jacobi}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientStep(b *testing.B) {
+	p := benchStack(b, 16)
+	init := make([]float64, p.Grid.NumCells())
+	for i := range init {
+		init[i] = 373.15
+	}
+	tr, err := NewTransient(p, init, Options{Tol: 1e-7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Step(1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOperatorApply(b *testing.B) {
+	p := benchStack(b, 32)
+	op := assemble(p)
+	x := make([]float64, len(op.b))
+	y := make([]float64, len(op.b))
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.apply(x, y)
+	}
+}

@@ -1,0 +1,109 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/mesh"
+)
+
+// TestFlux1DUniform: a column with a top source and bottom sink
+// carries uniform downward flux equal to power/area below the source.
+func TestFlux1DUniform(t *testing.T) {
+	g, _ := mesh.Uniform(1e-4, 1e-4, 1e-4, 1, 1, 10)
+	p := NewProblem(g)
+	for c := range p.KX {
+		p.SetIsotropic(c, 4)
+	}
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 300)
+	top := g.Index(0, 0, 9)
+	p.Q[top] = 1e10
+	r, err := SolveSteady(p, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Flux(p, r)
+	area := g.DX(0) * g.DY(0)
+	want := p.Q[top] * g.Volume(0, 0, 9) / area
+	for k := 0; k < 9; k++ {
+		_, _, qz := f.At(0, 0, k)
+		if math.Abs(-qz-want) > want*1e-6 {
+			t.Fatalf("layer %d: downward flux %g, want %g", k, -qz, want)
+		}
+	}
+	// No lateral flux in a 1-D column.
+	for k := 0; k < 10; k++ {
+		qx, qy, _ := f.At(0, 0, k)
+		if qx != 0 || qy != 0 {
+			t.Fatalf("layer %d: lateral flux %g,%g in 1-D column", k, qx, qy)
+		}
+	}
+	if got := f.MaxVertical(4); math.Abs(got-want) > want*1e-6 {
+		t.Errorf("MaxVertical = %g, want %g", got, want)
+	}
+}
+
+// TestFluxPillarFunneling: a high-conductivity column in a heated
+// slab concentrates downward flux — the pillar mechanism made
+// visible.
+func TestFluxPillarFunneling(t *testing.T) {
+	g, _ := mesh.Uniform(9e-5, 9e-5, 2e-5, 9, 9, 8)
+	p := NewProblem(g)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 9; j++ {
+			for i := 0; i < 9; i++ {
+				c := g.Index(i, j, k)
+				if i == 4 && j == 4 {
+					p.SetIsotropic(c, 105) // pillar column
+				} else {
+					p.SetAniso(c, 5.6, 0.4) // BEOL
+				}
+				if k == 7 {
+					p.Q[c] = 1e10
+				}
+			}
+		}
+	}
+	p.Bounds[ZMin] = ConvectiveBC(1e6, 373)
+	r, err := SolveSteady(p, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Flux(p, r)
+	_, _, qzPillar := f.At(4, 4, 3)
+	_, _, qzBulk := f.At(1, 1, 3)
+	if -qzPillar < 10*(-qzBulk) {
+		t.Errorf("pillar column flux %g not concentrated vs bulk %g", -qzPillar, -qzBulk)
+	}
+	// Lateral flux converges toward the pillar near the top.
+	qx, _, _ := f.At(3, 4, 6)
+	if qx <= 0 {
+		t.Errorf("flux at the pillar's west side should point +x (toward it), got %g", qx)
+	}
+	qx2, _, _ := f.At(5, 4, 6)
+	if qx2 >= 0 {
+		t.Errorf("flux at the pillar's east side should point -x, got %g", qx2)
+	}
+}
+
+// TestFluxZeroOnAdiabaticWalls: wall-adjacent cells carry no flux
+// across the wall (checked via the boundary half of the average).
+func TestFluxZeroOnAdiabaticWalls(t *testing.T) {
+	p := uniformProblem(t, 3, 3, 3, 2)
+	p.Bounds[ZMin] = DirichletBC(300)
+	for c := range p.Q {
+		p.Q[c] = 1e9
+	}
+	r, err := SolveSteady(p, Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Flux(p, r)
+	// By symmetry the center column carries no lateral flux.
+	for k := 0; k < 3; k++ {
+		qx, qy, _ := f.At(1, 1, k)
+		if math.Abs(qx) > 1e-6 || math.Abs(qy) > 1e-6 {
+			t.Fatalf("asymmetric lateral flux at center: %g %g", qx, qy)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// KUpdater recomputes a cell's conductivities from its current
+// temperature (K). It receives the cell index and temperature and
+// returns (kx, ky, kz) in W/m/K.
+type KUpdater func(cell int, tempK float64) (kx, ky, kz float64)
+
+// NonlinearOptions controls the Picard (successive substitution)
+// iteration for temperature-dependent conductivity.
+type NonlinearOptions struct {
+	// MaxPicard bounds the outer iterations (default 30).
+	MaxPicard int
+	// TolK is the convergence threshold on the maximum temperature
+	// change between outer iterations (default 0.01 K).
+	TolK float64
+	// Inner configures each linear solve.
+	Inner Options
+}
+
+// NonlinearResult wraps the converged field.
+type NonlinearResult struct {
+	*Result
+	PicardIterations int
+	// LastChangeK is the final max |ΔT| between outer iterations.
+	LastChangeK float64
+}
+
+// SolveSteadyNonlinear solves the steady problem with
+// temperature-dependent conductivity: k(T) is re-evaluated from the
+// latest field via update, and the linearized problem re-solved,
+// until the field stops moving. Silicon's conductivity falls ~T^-1.3
+// near room temperature, so hot stacks conduct measurably worse than
+// a constant-property model predicts — a second-order effect the
+// paper's PACT setup also captures.
+func SolveSteadyNonlinear(p *Problem, update KUpdater, opts NonlinearOptions) (*NonlinearResult, error) {
+	if update == nil {
+		return nil, errors.New("solver: nil conductivity updater")
+	}
+	if opts.MaxPicard <= 0 {
+		opts.MaxPicard = 30
+	}
+	if opts.TolK <= 0 {
+		opts.TolK = 0.01
+	}
+	// Work on a copy of the conductivity arrays so the caller's
+	// problem is untouched.
+	work := *p
+	work.KX = append([]float64(nil), p.KX...)
+	work.KY = append([]float64(nil), p.KY...)
+	work.KZ = append([]float64(nil), p.KZ...)
+
+	var prev []float64
+	var res *Result
+	var err error
+	change := math.Inf(1)
+	for it := 1; it <= opts.MaxPicard; it++ {
+		inner := opts.Inner
+		inner.InitialGuess = prev
+		res, err = SolveSteady(&work, inner)
+		if err != nil {
+			return nil, fmt.Errorf("solver: picard iteration %d: %w", it, err)
+		}
+		if prev != nil {
+			change = 0
+			for c := range res.T {
+				if d := math.Abs(res.T[c] - prev[c]); d > change {
+					change = d
+				}
+			}
+			if change <= opts.TolK {
+				return &NonlinearResult{Result: res, PicardIterations: it, LastChangeK: change}, nil
+			}
+		}
+		prev = res.T
+		for c := range work.KX {
+			kx, ky, kz := update(c, res.T[c])
+			if kx <= 0 || ky <= 0 || kz <= 0 {
+				return nil, fmt.Errorf("solver: updater returned non-positive conductivity at cell %d (T=%g)", c, res.T[c])
+			}
+			work.KX[c], work.KY[c], work.KZ[c] = kx, ky, kz
+		}
+	}
+	return nil, fmt.Errorf("solver: picard iteration did not converge in %d rounds (last change %g K)", opts.MaxPicard, change)
+}
+
+// SiliconKScale returns the multiplicative correction to silicon
+// thermal conductivity at temperature tK relative to 300 K:
+// (T/300)^−1.3, the standard phonon-scattering power law.
+func SiliconKScale(tK float64) float64 {
+	if tK <= 0 {
+		return 1
+	}
+	return math.Pow(tK/300, -1.3)
+}

@@ -1,0 +1,123 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+// hotProblem builds a column with a strong source so nonlinearity
+// matters.
+func hotProblem(t *testing.T) *Problem {
+	t.Helper()
+	p := uniformProblem(t, 4, 4, 8, 100) // silicon-like k
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 350)
+	for c := range p.Q {
+		p.Q[c] = 4e10
+	}
+	return p
+}
+
+func TestNonlinearMatchesLinearForConstantK(t *testing.T) {
+	p := hotProblem(t)
+	lin, err := SolveSteady(p, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := SolveSteadyNonlinear(p, func(c int, tK float64) (float64, float64, float64) {
+		return 100, 100, 100
+	}, NonlinearOptions{Inner: Options{Tol: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range lin.T {
+		if math.Abs(lin.T[c]-nl.T[c]) > 1e-6 {
+			t.Fatalf("cell %d: linear %g vs constant-updater nonlinear %g", c, lin.T[c], nl.T[c])
+		}
+	}
+	if nl.PicardIterations > 3 {
+		t.Errorf("constant updater took %d Picard rounds", nl.PicardIterations)
+	}
+}
+
+// TestNonlinearSiliconRunsHotter: with k(T) falling as T^-1.3, the
+// converged field is hotter than the constant-property solution.
+func TestNonlinearSiliconRunsHotter(t *testing.T) {
+	p := hotProblem(t)
+	lin, err := SolveSteady(p, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := SolveSteadyNonlinear(p, func(c int, tK float64) (float64, float64, float64) {
+		k := 100 * SiliconKScale(tK)
+		return k, k, k
+	}, NonlinearOptions{Inner: Options{Tol: 1e-9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Max() <= lin.Max() {
+		t.Errorf("nonlinear peak %g not above linear %g", nl.Max(), lin.Max())
+	}
+	if nl.LastChangeK > 0.01 {
+		t.Errorf("not converged: last change %g K", nl.LastChangeK)
+	}
+	// The correction is a real but second-order effect.
+	riseLin := lin.Max() - 350
+	riseNl := nl.Max() - 350
+	if riseNl > 2*riseLin {
+		t.Errorf("nonlinear correction implausibly large: %g vs %g", riseNl, riseLin)
+	}
+}
+
+func TestSiliconKScale(t *testing.T) {
+	if s := SiliconKScale(300); math.Abs(s-1) > 1e-12 {
+		t.Errorf("scale at 300K = %g", s)
+	}
+	if SiliconKScale(400) >= 1 {
+		t.Error("hotter silicon should conduct worse")
+	}
+	if SiliconKScale(200) <= 1 {
+		t.Error("colder silicon should conduct better")
+	}
+	if SiliconKScale(-5) != 1 {
+		t.Error("degenerate temperature should fall back to 1")
+	}
+}
+
+func TestNonlinearRejections(t *testing.T) {
+	p := hotProblem(t)
+	if _, err := SolveSteadyNonlinear(p, nil, NonlinearOptions{}); err == nil {
+		t.Error("nil updater accepted")
+	}
+	if _, err := SolveSteadyNonlinear(p, func(c int, tK float64) (float64, float64, float64) {
+		return -1, 1, 1
+	}, NonlinearOptions{}); err == nil {
+		t.Error("negative updated conductivity accepted")
+	}
+	// A single Picard round can never certify convergence.
+	_, err := SolveSteadyNonlinear(p, func(c int, tK float64) (float64, float64, float64) {
+		k := 100 * SiliconKScale(tK)
+		return k, k, k
+	}, NonlinearOptions{MaxPicard: 1, Inner: Options{Tol: 1e-9}})
+	if err == nil {
+		t.Error("single-round budget should fail to converge")
+	}
+}
+
+// TestNonlinearDoesNotMutateInput: the caller's conductivity arrays
+// survive.
+func TestNonlinearDoesNotMutateInput(t *testing.T) {
+	p := hotProblem(t)
+	orig := append([]float64(nil), p.KX...)
+	_, err := SolveSteadyNonlinear(p, func(c int, tK float64) (float64, float64, float64) {
+		k := 100 * SiliconKScale(tK)
+		return k, k, k
+	}, NonlinearOptions{Inner: Options{Tol: 1e-9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range orig {
+		if p.KX[c] != orig[c] {
+			t.Fatal("input problem mutated")
+		}
+	}
+}

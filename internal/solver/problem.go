@@ -1,0 +1,378 @@
+// Package solver implements a 3-D anisotropic finite-volume heat
+// conduction solver — the reproduction's substitute for the PACT,
+// COMSOL, and Celsius simulations used by the paper.
+//
+// It solves ∇·(K ∇T) + q = 0 (steady) or ρc ∂T/∂t = ∇·(K ∇T) + q
+// (transient, backward Euler) on a rectilinear grid with a diagonal
+// conductivity tensor per cell, volumetric heat sources, and
+// adiabatic, fixed-temperature (Dirichlet), or convective (Robin,
+// h·(T−T∞)) boundary conditions per face. Face conductances use the
+// standard harmonic (series-resistance) mean, so layered stacks with
+// conductivity contrasts of 10³ (ultra-low-k ILD against copper
+// pillars) are handled exactly as a resistor network would be.
+//
+// The steady solver is a matrix-free preconditioned conjugate
+// gradient (the operator is symmetric positive definite by
+// construction); a Gauss-Seidel/SOR fallback is provided for
+// cross-checking.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"thermalscaffold/internal/mesh"
+)
+
+// BCKind enumerates the supported boundary condition types.
+type BCKind int
+
+const (
+	// Adiabatic (zero flux) — the default for chip side walls.
+	Adiabatic BCKind = iota
+	// Dirichlet fixes the boundary temperature.
+	Dirichlet
+	// Convective applies a heat transfer coefficient h to an ambient
+	// temperature T∞ — the heatsink model.
+	Convective
+)
+
+func (k BCKind) String() string {
+	switch k {
+	case Adiabatic:
+		return "adiabatic"
+	case Dirichlet:
+		return "dirichlet"
+	case Convective:
+		return "convective"
+	default:
+		return fmt.Sprintf("BCKind(%d)", int(k))
+	}
+}
+
+// Face identifies one of the six grid boundary faces.
+type Face int
+
+const (
+	XMin Face = iota
+	XMax
+	YMin
+	YMax
+	ZMin
+	ZMax
+	numFaces
+)
+
+func (f Face) String() string {
+	switch f {
+	case XMin:
+		return "x-"
+	case XMax:
+		return "x+"
+	case YMin:
+		return "y-"
+	case YMax:
+		return "y+"
+	case ZMin:
+		return "z-"
+	case ZMax:
+		return "z+"
+	default:
+		return fmt.Sprintf("Face(%d)", int(f))
+	}
+}
+
+// Boundary describes the condition applied to one grid face.
+type Boundary struct {
+	Kind BCKind
+	T    float64 // fixed temperature (Dirichlet) or ambient (Convective), K
+	H    float64 // heat transfer coefficient, W/m²/K (Convective only)
+}
+
+// AdiabaticBC returns a zero-flux boundary.
+func AdiabaticBC() Boundary { return Boundary{Kind: Adiabatic} }
+
+// DirichletBC returns a fixed-temperature boundary.
+func DirichletBC(t float64) Boundary { return Boundary{Kind: Dirichlet, T: t} }
+
+// ConvectiveBC returns a Robin boundary with coefficient h (W/m²/K)
+// against ambient temperature t (K).
+func ConvectiveBC(h, t float64) Boundary { return Boundary{Kind: Convective, H: h, T: t} }
+
+// Problem is a fully specified conduction problem. KX/KY/KZ give the
+// per-cell conductivity along each axis (W/m/K); Q the volumetric
+// heat source (W/m³); Cv the volumetric heat capacity (J/m³/K, only
+// needed for transient solves).
+type Problem struct {
+	Grid   *mesh.Grid
+	KX     []float64
+	KY     []float64
+	KZ     []float64
+	Q      []float64
+	Cv     []float64
+	Bounds [6]Boundary
+	// ZPlaneTBR, when non-nil, adds a thermal boundary resistance
+	// (m²K/W) in series at each z interface: entry k applies between
+	// cell layers k and k+1 (len NZ−1). Used for bonding/material
+	// interfaces between 3D tiers; [34] finds CMOS interface
+	// conductance ~10⁹ W/m²/K (TBR 1e-9), i.e. negligible.
+	ZPlaneTBR []float64
+}
+
+// NewProblem allocates a problem over g with all-zero sources,
+// unit conductivity, and all-adiabatic boundaries.
+func NewProblem(g *mesh.Grid) *Problem {
+	n := g.NumCells()
+	p := &Problem{
+		Grid: g,
+		KX:   make([]float64, n),
+		KY:   make([]float64, n),
+		KZ:   make([]float64, n),
+		Q:    make([]float64, n),
+		Cv:   make([]float64, n),
+	}
+	for i := range p.KX {
+		p.KX[i], p.KY[i], p.KZ[i] = 1, 1, 1
+	}
+	return p
+}
+
+// SetIsotropic sets all three conductivities of cell idx.
+func (p *Problem) SetIsotropic(idx int, k float64) {
+	p.KX[idx], p.KY[idx], p.KZ[idx] = k, k, k
+}
+
+// SetAniso sets in-plane (x=y) and through-plane (z) conductivities
+// of cell idx.
+func (p *Problem) SetAniso(idx int, kLat, kVert float64) {
+	p.KX[idx], p.KY[idx] = kLat, kLat
+	p.KZ[idx] = kVert
+}
+
+// Validate checks array sizes, positivity of conductivities, and that
+// at least one boundary can remove heat when sources are present.
+func (p *Problem) Validate() error {
+	if p.Grid == nil {
+		return errors.New("solver: nil grid")
+	}
+	n := p.Grid.NumCells()
+	for _, a := range []struct {
+		name string
+		v    []float64
+	}{{"KX", p.KX}, {"KY", p.KY}, {"KZ", p.KZ}, {"Q", p.Q}} {
+		if len(a.v) != n {
+			return fmt.Errorf("solver: %s has %d entries, want %d", a.name, len(a.v), n)
+		}
+	}
+	for c := 0; c < n; c++ {
+		if p.KX[c] <= 0 || p.KY[c] <= 0 || p.KZ[c] <= 0 {
+			return fmt.Errorf("solver: non-positive conductivity at cell %d (%g,%g,%g)", c, p.KX[c], p.KY[c], p.KZ[c])
+		}
+		if math.IsNaN(p.Q[c]) || math.IsInf(p.Q[c], 0) {
+			return fmt.Errorf("solver: invalid source at cell %d: %g", c, p.Q[c])
+		}
+	}
+	if p.ZPlaneTBR != nil {
+		if len(p.ZPlaneTBR) != p.Grid.NZ()-1 {
+			return fmt.Errorf("solver: ZPlaneTBR has %d entries, want %d", len(p.ZPlaneTBR), p.Grid.NZ()-1)
+		}
+		for k, r := range p.ZPlaneTBR {
+			if r < 0 {
+				return fmt.Errorf("solver: negative interface resistance at plane %d", k)
+			}
+		}
+	}
+	anchored := false
+	for f := Face(0); f < numFaces; f++ {
+		b := p.Bounds[f]
+		switch b.Kind {
+		case Dirichlet:
+			anchored = true
+		case Convective:
+			if b.H <= 0 {
+				return fmt.Errorf("solver: convective face %s has non-positive h=%g", f, b.H)
+			}
+			anchored = true
+		case Adiabatic:
+		default:
+			return fmt.Errorf("solver: face %s has unknown BC kind %d", f, b.Kind)
+		}
+	}
+	if !anchored {
+		return errors.New("solver: all boundaries adiabatic — steady problem is singular")
+	}
+	return nil
+}
+
+// TotalSourcePower returns ∫q dV over the domain (W).
+func (p *Problem) TotalSourcePower() float64 {
+	g := p.Grid
+	sum := 0.0
+	for k := 0; k < g.NZ(); k++ {
+		for j := 0; j < g.NY(); j++ {
+			for i := 0; i < g.NX(); i++ {
+				sum += p.Q[g.Index(i, j, k)] * g.Volume(i, j, k)
+			}
+		}
+	}
+	return sum
+}
+
+// operator is the assembled finite-volume system  A·T = b  with A
+// SPD. Off-diagonal couplings are stored as positive face
+// conductances; diag[c] accumulates all couplings plus boundary
+// conductance.
+type operator struct {
+	g          *mesh.Grid
+	nx, ny, nz int
+	sy, sz     int       // index strides
+	gxp        []float64 // conductance to +x neighbor (0 on last column)
+	gyp        []float64
+	gzp        []float64
+	diag       []float64
+	b          []float64 // rhs: sources + boundary terms
+}
+
+// halfRes returns the half-cell thermal resistance per unit area
+// along one axis: (Δ/2)/k.
+func halfRes(delta, k float64) float64 { return delta / (2 * k) }
+
+// faceG returns the series conductance (W/K) between two adjacent
+// half-cells with the given face area.
+func faceG(area, d1, k1, d2, k2 float64) float64 {
+	return area / (halfRes(d1, k1) + halfRes(d2, k2))
+}
+
+// boundaryG returns the conductance (W/K) from a cell center to a
+// boundary condition across the half cell; 0 for adiabatic.
+func boundaryG(area, d, k float64, bc Boundary) float64 {
+	switch bc.Kind {
+	case Dirichlet:
+		return area / halfRes(d, k)
+	case Convective:
+		return area / (halfRes(d, k) + 1/bc.H)
+	default:
+		return 0
+	}
+}
+
+// assemble builds the operator for problem p.
+func assemble(p *Problem) *operator {
+	g := p.Grid
+	nx, ny, nz := g.NX(), g.NY(), g.NZ()
+	n := g.NumCells()
+	op := &operator{
+		g: g, nx: nx, ny: ny, nz: nz,
+		sy: nx, sz: nx * ny,
+		gxp:  make([]float64, n),
+		gyp:  make([]float64, n),
+		gzp:  make([]float64, n),
+		diag: make([]float64, n),
+		b:    make([]float64, n),
+	}
+	for k := 0; k < nz; k++ {
+		dz := g.DZ(k)
+		for j := 0; j < ny; j++ {
+			dy := g.DY(j)
+			for i := 0; i < nx; i++ {
+				dx := g.DX(i)
+				c := g.Index(i, j, k)
+				areaX := dy * dz
+				areaY := dx * dz
+				areaZ := dx * dy
+				// Interior couplings (+ direction only; the − direction is
+				// the neighbor's + coupling).
+				if i+1 < nx {
+					e := c + 1
+					gc := faceG(areaX, dx, p.KX[c], g.DX(i+1), p.KX[e])
+					op.gxp[c] = gc
+					op.diag[c] += gc
+					op.diag[e] += gc
+				}
+				if j+1 < ny {
+					e := c + op.sy
+					gc := faceG(areaY, dy, p.KY[c], g.DY(j+1), p.KY[e])
+					op.gyp[c] = gc
+					op.diag[c] += gc
+					op.diag[e] += gc
+				}
+				if k+1 < nz {
+					e := c + op.sz
+					gc := faceG(areaZ, dz, p.KZ[c], g.DZ(k+1), p.KZ[e])
+					if p.ZPlaneTBR != nil && p.ZPlaneTBR[k] > 0 {
+						gc = 1 / (1/gc + p.ZPlaneTBR[k]/areaZ)
+					}
+					op.gzp[c] = gc
+					op.diag[c] += gc
+					op.diag[e] += gc
+				}
+				// Boundary faces.
+				if i == 0 {
+					op.addBoundary(c, areaX, dx, p.KX[c], p.Bounds[XMin])
+				}
+				if i == nx-1 {
+					op.addBoundary(c, areaX, dx, p.KX[c], p.Bounds[XMax])
+				}
+				if j == 0 {
+					op.addBoundary(c, areaY, dy, p.KY[c], p.Bounds[YMin])
+				}
+				if j == ny-1 {
+					op.addBoundary(c, areaY, dy, p.KY[c], p.Bounds[YMax])
+				}
+				if k == 0 {
+					op.addBoundary(c, areaZ, dz, p.KZ[c], p.Bounds[ZMin])
+				}
+				if k == nz-1 {
+					op.addBoundary(c, areaZ, dz, p.KZ[c], p.Bounds[ZMax])
+				}
+				// Source.
+				op.b[c] += p.Q[c] * dx * dy * dz
+			}
+		}
+	}
+	return op
+}
+
+func (op *operator) addBoundary(c int, area, d, k float64, bc Boundary) {
+	gb := boundaryG(area, d, k, bc)
+	if gb == 0 {
+		return
+	}
+	op.diag[c] += gb
+	op.b[c] += gb * bc.T
+}
+
+// apply computes y = A·x.
+func (op *operator) apply(x, y []float64) {
+	n := len(x)
+	sy, sz := op.sy, op.sz
+	for c := 0; c < n; c++ {
+		v := op.diag[c] * x[c]
+		if g := op.gxp[c]; g != 0 {
+			v -= g * x[c+1]
+		}
+		if c >= 1 {
+			if g := op.gxp[c-1]; g != 0 {
+				v -= g * x[c-1]
+			}
+		}
+		if g := op.gyp[c]; g != 0 {
+			v -= g * x[c+sy]
+		}
+		if c >= sy {
+			if g := op.gyp[c-sy]; g != 0 {
+				v -= g * x[c-sy]
+			}
+		}
+		if g := op.gzp[c]; g != 0 {
+			v -= g * x[c+sz]
+		}
+		if c >= sz {
+			if g := op.gzp[c-sz]; g != 0 {
+				v -= g * x[c-sz]
+			}
+		}
+		y[c] = v
+	}
+}

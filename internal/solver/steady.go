@@ -1,0 +1,386 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Preconditioner selects the PCG preconditioner.
+type Preconditioner int
+
+const (
+	// Jacobi (diagonal) preconditioning — cheap, adequate for
+	// near-isotropic grids.
+	Jacobi Preconditioner = iota
+	// ZLine preconditioning solves the tridiagonal z-coupling of each
+	// vertical cell column exactly (Thomas algorithm). Chip stacks
+	// have lateral cells hundreds of times wider than their layers
+	// are thick, making vertical coupling stiff; line relaxation in z
+	// removes that stiffness and cuts iteration counts by an order of
+	// magnitude.
+	ZLine
+)
+
+// Options controls the iterative solvers.
+type Options struct {
+	// MaxIter bounds the iteration count (default 20000).
+	MaxIter int
+	// Tol is the relative residual target ‖b−A·T‖/‖b‖ (default 1e-8).
+	Tol float64
+	// InitialGuess, when non-nil, seeds the iteration (and is not
+	// modified). Useful for continuation across parameter sweeps.
+	InitialGuess []float64
+	// Precond selects the preconditioner (default Jacobi).
+	Precond Preconditioner
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 20000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	return o
+}
+
+// Result is the outcome of a steady solve.
+type Result struct {
+	T          []float64 // temperature per cell, K
+	Iterations int
+	Residual   float64 // final relative residual
+	grid       gridder
+}
+
+type gridder interface {
+	Index(i, j, k int) int
+	NX() int
+	NY() int
+	NZ() int
+	Volume(i, j, k int) float64
+}
+
+// SolveSteady solves the steady conduction problem with
+// preconditioned conjugate gradient (Jacobi preconditioner).
+func SolveSteady(p *Problem, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	op := assemble(p)
+	t, iters, res, err := pcg(op, op.b, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{T: t, Iterations: iters, Residual: res, grid: p.Grid}, nil
+}
+
+// SolveSteadySOR solves the same system with successive
+// over-relaxation — slower, used for cross-validation in tests.
+func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if omega <= 0 || omega >= 2 {
+		return nil, fmt.Errorf("solver: SOR relaxation factor %g outside (0,2)", omega)
+	}
+	opts = opts.withDefaults()
+	op := assemble(p)
+	n := len(op.b)
+	t := make([]float64, n)
+	if opts.InitialGuess != nil {
+		copy(t, opts.InitialGuess)
+	}
+	bn := norm2(op.b)
+	if bn == 0 {
+		bn = 1
+	}
+	r := make([]float64, n)
+	sy, sz := op.sy, op.sz
+	var res float64
+	for it := 1; it <= opts.MaxIter; it++ {
+		for c := 0; c < n; c++ {
+			sum := op.b[c]
+			if g := op.gxp[c]; g != 0 {
+				sum += g * t[c+1]
+			}
+			if c >= 1 {
+				if g := op.gxp[c-1]; g != 0 {
+					sum += g * t[c-1]
+				}
+			}
+			if g := op.gyp[c]; g != 0 {
+				sum += g * t[c+sy]
+			}
+			if c >= sy {
+				if g := op.gyp[c-sy]; g != 0 {
+					sum += g * t[c-sy]
+				}
+			}
+			if g := op.gzp[c]; g != 0 {
+				sum += g * t[c+sz]
+			}
+			if c >= sz {
+				if g := op.gzp[c-sz]; g != 0 {
+					sum += g * t[c-sz]
+				}
+			}
+			tNew := sum / op.diag[c]
+			t[c] += omega * (tNew - t[c])
+		}
+		if it%20 == 0 || it == opts.MaxIter {
+			op.apply(t, r)
+			for c := range r {
+				r[c] = op.b[c] - r[c]
+			}
+			res = norm2(r) / bn
+			if res <= opts.Tol {
+				return &Result{T: t, Iterations: it, Residual: res, grid: p.Grid}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("solver: SOR did not converge in %d iterations (residual %g)", opts.MaxIter, res)
+}
+
+// pcg runs Jacobi-preconditioned conjugate gradient on A·x = b.
+func pcg(op *operator, b []float64, opts Options) (x []float64, iters int, res float64, err error) {
+	n := len(b)
+	x = make([]float64, n)
+	if opts.InitialGuess != nil {
+		if len(opts.InitialGuess) != n {
+			return nil, 0, 0, fmt.Errorf("solver: initial guess has %d entries, want %d", len(opts.InitialGuess), n)
+		}
+		copy(x, opts.InitialGuess)
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	op.apply(x, r)
+	for c := range r {
+		r[c] = b[c] - r[c]
+	}
+	bn := norm2(b)
+	if bn == 0 {
+		// Zero RHS with SPD A ⇒ zero solution.
+		return x, 0, 0, nil
+	}
+	applyM, err := makePreconditioner(op, opts.Precond)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	applyM(r, z)
+	copy(p, z)
+	rz := dot(r, z)
+	for it := 1; it <= opts.MaxIter; it++ {
+		op.apply(p, ap)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return nil, 0, 0, errors.New("solver: operator lost positive definiteness (pᵀAp ≤ 0)")
+		}
+		alpha := rz / pap
+		for c := range x {
+			x[c] += alpha * p[c]
+			r[c] -= alpha * ap[c]
+		}
+		res = norm2(r) / bn
+		if res <= opts.Tol {
+			return x, it, res, nil
+		}
+		applyM(r, z)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for c := range p {
+			p[c] = z[c] + beta*p[c]
+		}
+	}
+	return nil, 0, 0, fmt.Errorf("solver: PCG did not converge in %d iterations (residual %g)", opts.MaxIter, res)
+}
+
+// makePreconditioner returns z ← M⁻¹·r for the selected scheme.
+func makePreconditioner(op *operator, kind Preconditioner) (func(r, z []float64), error) {
+	n := len(op.diag)
+	for c := 0; c < n; c++ {
+		if op.diag[c] <= 0 {
+			return nil, errors.New("solver: non-positive diagonal — singular system")
+		}
+	}
+	switch kind {
+	case Jacobi:
+		invDiag := make([]float64, n)
+		for c := range invDiag {
+			invDiag[c] = 1 / op.diag[c]
+		}
+		return func(r, z []float64) {
+			for c := range z {
+				z[c] = r[c] * invDiag[c]
+			}
+		}, nil
+	case ZLine:
+		nz := op.nz
+		sz := op.sz
+		// Scratch for the Thomas algorithm, reused across calls.
+		cp := make([]float64, nz)
+		dp := make([]float64, nz)
+		return func(r, z []float64) {
+			for col := 0; col < sz; col++ {
+				// Tridiagonal system along the column: sub/super
+				// diagonals are −gzp, main diagonal is the full
+				// operator diagonal (keeping lateral and boundary
+				// conductance makes M SPD and closer to A).
+				c0 := col
+				b0 := op.diag[c0]
+				cp[0] = -op.gzp[c0] / b0
+				dp[0] = r[c0] / b0
+				for k := 1; k < nz; k++ {
+					c := col + k*sz
+					a := -op.gzp[c-sz]
+					m := op.diag[c] - a*cp[k-1]
+					if k < nz-1 {
+						cp[k] = -op.gzp[c] / m
+					}
+					dp[k] = (r[c] - a*dp[k-1]) / m
+				}
+				z[col+(nz-1)*sz] = dp[nz-1]
+				for k := nz - 2; k >= 0; k-- {
+					z[col+k*sz] = dp[k] - cp[k]*z[col+(k+1)*sz]
+				}
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("solver: unknown preconditioner %d", kind)
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 {
+	return math.Sqrt(dot(a, a))
+}
+
+// Max returns the maximum temperature in the field.
+func (r *Result) Max() float64 {
+	m := math.Inf(-1)
+	for _, t := range r.T {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Min returns the minimum temperature in the field.
+func (r *Result) Min() float64 {
+	m := math.Inf(1)
+	for _, t := range r.T {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// At returns the temperature of cell (i, j, k).
+func (r *Result) At(i, j, k int) float64 {
+	return r.T[r.grid.Index(i, j, k)]
+}
+
+// LayerMax returns the maximum temperature within z-layer k.
+func (r *Result) LayerMax(k int) float64 {
+	m := math.Inf(-1)
+	for j := 0; j < r.grid.NY(); j++ {
+		for i := 0; i < r.grid.NX(); i++ {
+			if t := r.T[r.grid.Index(i, j, k)]; t > m {
+				m = t
+			}
+		}
+	}
+	return m
+}
+
+// LayerMean returns the volume-weighted mean temperature of z-layer k.
+func (r *Result) LayerMean(k int) float64 {
+	var sum, vol float64
+	for j := 0; j < r.grid.NY(); j++ {
+		for i := 0; i < r.grid.NX(); i++ {
+			v := r.grid.Volume(i, j, k)
+			sum += r.T[r.grid.Index(i, j, k)] * v
+			vol += v
+		}
+	}
+	return sum / vol
+}
+
+// BoundaryFlux returns the total heat (W) leaving the domain through
+// the given face under the solved field — used for energy-balance
+// verification. Positive means heat flowing out.
+func BoundaryFlux(p *Problem, r *Result, f Face) float64 {
+	g := p.Grid
+	nx, ny, nz := g.NX(), g.NY(), g.NZ()
+	bc := p.Bounds[f]
+	if bc.Kind == Adiabatic {
+		return 0
+	}
+	total := 0.0
+	cellOnFace := func(f Face) [][3]int {
+		var cells [][3]int
+		switch f {
+		case XMin, XMax:
+			i := 0
+			if f == XMax {
+				i = nx - 1
+			}
+			for k := 0; k < nz; k++ {
+				for j := 0; j < ny; j++ {
+					cells = append(cells, [3]int{i, j, k})
+				}
+			}
+		case YMin, YMax:
+			j := 0
+			if f == YMax {
+				j = ny - 1
+			}
+			for k := 0; k < nz; k++ {
+				for i := 0; i < nx; i++ {
+					cells = append(cells, [3]int{i, j, k})
+				}
+			}
+		case ZMin, ZMax:
+			k := 0
+			if f == ZMax {
+				k = nz - 1
+			}
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					cells = append(cells, [3]int{i, j, k})
+				}
+			}
+		}
+		return cells
+	}
+	for _, c := range cellOnFace(f) {
+		i, j, k := c[0], c[1], c[2]
+		idx := g.Index(i, j, k)
+		var area, d, kcond float64
+		switch f {
+		case XMin, XMax:
+			area, d, kcond = g.DY(j)*g.DZ(k), g.DX(i), p.KX[idx]
+		case YMin, YMax:
+			area, d, kcond = g.DX(i)*g.DZ(k), g.DY(j), p.KY[idx]
+		case ZMin, ZMax:
+			area, d, kcond = g.DX(i)*g.DY(j), g.DZ(k), p.KZ[idx]
+		}
+		gb := boundaryG(area, d, kcond, bc)
+		total += gb * (r.T[idx] - bc.T)
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transient integrates ρc ∂T/∂t = ∇·(K∇T) + q with backward Euler.
+// Each step solves (C/Δt + A)·Tⁿ⁺¹ = (C/Δt)·Tⁿ + b, reusing the
+// steady operator with an augmented diagonal; unconditional
+// stability lets the scheduling studies take large steps.
+type Transient struct {
+	p    *Problem
+	op   *operator
+	cap  []float64 // heat capacitance per cell, J/K
+	T    []float64 // current temperature field, K
+	time float64
+	opts Options
+}
+
+// NewTransient prepares a transient integrator starting from the
+// initial field t0 (copied; length must match the grid). The
+// problem's Cv must be positive everywhere.
+func NewTransient(p *Problem, t0 []float64, opts Options) (*Transient, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.Grid
+	n := g.NumCells()
+	if len(t0) != n {
+		return nil, fmt.Errorf("solver: initial field has %d entries, want %d", len(t0), n)
+	}
+	if len(p.Cv) != n {
+		return nil, fmt.Errorf("solver: Cv has %d entries, want %d", len(p.Cv), n)
+	}
+	heatCap := make([]float64, n)
+	for k := 0; k < g.NZ(); k++ {
+		for j := 0; j < g.NY(); j++ {
+			for i := 0; i < g.NX(); i++ {
+				c := g.Index(i, j, k)
+				if p.Cv[c] <= 0 {
+					return nil, fmt.Errorf("solver: non-positive heat capacity at cell %d", c)
+				}
+				heatCap[c] = p.Cv[c] * g.Volume(i, j, k)
+			}
+		}
+	}
+	tr := &Transient{
+		p:    p,
+		op:   assemble(p),
+		cap:  heatCap,
+		T:    append([]float64(nil), t0...),
+		opts: opts.withDefaults(),
+	}
+	return tr, nil
+}
+
+// Time returns the elapsed simulated time (s).
+func (tr *Transient) Time() float64 { return tr.time }
+
+// Field returns the current temperature field (not a copy).
+func (tr *Transient) Field() []float64 { return tr.T }
+
+// SetSources replaces the volumetric source field (W/m³) — used by
+// scheduling studies that gate heat sources over time. The slice is
+// copied into the problem and the operator RHS is rebuilt.
+func (tr *Transient) SetSources(q []float64) error {
+	if len(q) != len(tr.p.Q) {
+		return fmt.Errorf("solver: source field has %d entries, want %d", len(q), len(tr.p.Q))
+	}
+	copy(tr.p.Q, q)
+	tr.op = assemble(tr.p)
+	return nil
+}
+
+// Step advances the field by dt seconds with one backward-Euler step.
+func (tr *Transient) Step(dt float64) error {
+	if dt <= 0 {
+		return errors.New("solver: non-positive time step")
+	}
+	n := len(tr.T)
+	// Augmented system: (A + C/dt) T = b + (C/dt) T_old.
+	aug := &operator{
+		g: tr.op.g, nx: tr.op.nx, ny: tr.op.ny, nz: tr.op.nz,
+		sy: tr.op.sy, sz: tr.op.sz,
+		gxp: tr.op.gxp, gyp: tr.op.gyp, gzp: tr.op.gzp,
+		diag: make([]float64, n),
+		b:    make([]float64, n),
+	}
+	for c := 0; c < n; c++ {
+		cd := tr.cap[c] / dt
+		aug.diag[c] = tr.op.diag[c] + cd
+		aug.b[c] = tr.op.b[c] + cd*tr.T[c]
+	}
+	opts := tr.opts
+	opts.InitialGuess = tr.T
+	t, _, _, err := pcg(aug, aug.b, opts)
+	if err != nil {
+		return err
+	}
+	tr.T = t
+	tr.time += dt
+	return nil
+}
+
+// Run advances by n steps of dt and returns the final field.
+func (tr *Transient) Run(n int, dt float64) ([]float64, error) {
+	for s := 0; s < n; s++ {
+		if err := tr.Step(dt); err != nil {
+			return nil, fmt.Errorf("solver: transient step %d: %w", s, err)
+		}
+	}
+	return tr.T, nil
+}
+
+// MaxField returns the maximum of the current field.
+func (tr *Transient) MaxField() float64 {
+	m := tr.T[0]
+	for _, t := range tr.T[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

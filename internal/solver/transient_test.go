@@ -1,0 +1,163 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/mesh"
+)
+
+// TestTransientApproachesSteady: integrating long enough converges to
+// the steady solution.
+func TestTransientApproachesSteady(t *testing.T) {
+	p := uniformProblem(t, 4, 4, 5, 5)
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 350)
+	for c := range p.Q {
+		p.Q[c] = 1e10
+	}
+	steady, err := SolveSteady(p, Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]float64, len(p.Q))
+	for c := range init {
+		init[c] = 350
+	}
+	tr, err := NewTransient(p, init, Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(60, 5e-4); err != nil {
+		t.Fatal(err)
+	}
+	for c := range steady.T {
+		if math.Abs(tr.Field()[c]-steady.T[c]) > 0.02*(steady.T[c]-350)+1e-6 {
+			t.Fatalf("cell %d: transient %g vs steady %g", c, tr.Field()[c], steady.T[c])
+		}
+	}
+	if tr.Time() <= 0 {
+		t.Error("time not advancing")
+	}
+}
+
+// TestTransientLumpedCooling: a single cell cooling through a
+// convective boundary matches the discrete backward-Euler exponential
+// exactly.
+func TestTransientLumpedCooling(t *testing.T) {
+	g, _ := mesh.Uniform(1e-4, 1e-4, 1e-4, 1, 1, 1)
+	p := NewProblem(g)
+	k := 1e4 // effectively isothermal cell
+	p.SetIsotropic(0, k)
+	p.Cv[0] = 2e6
+	h, t0 := 1e4, 300.0
+	p.Bounds[ZMin] = ConvectiveBC(h, t0)
+	init := []float64{400}
+	tr, err := NewTransient(p, init, Options{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := g.DX(0) * g.DY(0)
+	gb := area / (g.DZ(0)/(2*k) + 1/h)
+	capc := p.Cv[0] * g.Volume(0, 0, 0)
+	dt := 1e-4
+	want := 400.0
+	for n := 0; n < 20; n++ {
+		if err := tr.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		// Backward Euler on C dT/dt = -gb (T - t0):
+		want = (want + dt*gb/capc*t0) / (1 + dt*gb/capc)
+		if math.Abs(tr.Field()[0]-want) > 1e-8 {
+			t.Fatalf("step %d: got %g, want %g", n, tr.Field()[0], want)
+		}
+	}
+	if tr.MaxField() != tr.Field()[0] {
+		t.Error("MaxField mismatch on single cell")
+	}
+}
+
+// TestTransientMonotoneHeating: starting at ambient with constant
+// sources, temperature rises monotonically toward steady state.
+func TestTransientMonotoneHeating(t *testing.T) {
+	p := uniformProblem(t, 3, 3, 3, 2)
+	p.Bounds[ZMin] = ConvectiveBC(5e4, 320)
+	for c := range p.Q {
+		p.Q[c] = 5e9
+	}
+	init := make([]float64, len(p.Q))
+	for c := range init {
+		init[c] = 320
+	}
+	tr, err := NewTransient(p, init, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := tr.MaxField()
+	for n := 0; n < 10; n++ {
+		if err := tr.Step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+		cur := tr.MaxField()
+		if cur < prev-1e-9 {
+			t.Fatalf("step %d: max fell from %g to %g", n, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestTransientSetSources(t *testing.T) {
+	p := uniformProblem(t, 2, 2, 2, 3)
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 300)
+	init := make([]float64, 8)
+	for c := range init {
+		init[c] = 300
+	}
+	tr, err := NewTransient(p, init, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 8)
+	q[7] = 1e11
+	if err := tr.SetSources(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(5, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxField() <= 300 {
+		t.Error("gated source did not heat the stack")
+	}
+	if err := tr.SetSources([]float64{1}); err == nil {
+		t.Error("short source field accepted")
+	}
+}
+
+func TestTransientRejections(t *testing.T) {
+	p := uniformProblem(t, 2, 2, 2, 1)
+	p.Bounds[ZMin] = DirichletBC(300)
+	good := make([]float64, 8)
+	if _, err := NewTransient(p, good[:3], Options{}); err == nil {
+		t.Error("short initial field accepted")
+	}
+	p.Cv[0] = 0
+	if _, err := NewTransient(p, good, Options{}); err == nil {
+		t.Error("zero heat capacity accepted")
+	}
+	p.Cv[0] = 1e6
+	tr, err := NewTransient(p, good, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Step(0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if err := tr.Step(-1); err == nil {
+		t.Error("negative dt accepted")
+	}
+	p2 := uniformProblem(t, 2, 2, 2, 1)
+	p2.Cv = p2.Cv[:2]
+	p2.Bounds[ZMin] = DirichletBC(300)
+	if _, err := NewTransient(p2, good, Options{}); err == nil {
+		t.Error("short Cv accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thermalscaffold/internal/mesh"
+)
+
+// analyticPatchAverage computes the exact source-average temperature
+// rise of a square isoflux patch on a finite block (adiabatic sides,
+// isothermal bottom) by separation of variables:
+//
+//	ΔT_avg = q/(L²·a_x·a_y) · Σ c_m c_n I_m² I_n² · G(γ_mn)
+//
+// with I_m = ∫patch cos(mπx/L)dx, γ = π√(m²+n²)/L, G(0)=H/k, and
+// G(γ) = tanh(γH)/(kγ).
+func analyticPatchAverage(q, k, l, h, x0, x1, y0, y1 float64, modes int) float64 {
+	integral := func(m int, lo, hi float64) float64 {
+		if m == 0 {
+			return hi - lo
+		}
+		f := float64(m) * math.Pi / l
+		return (math.Sin(f*hi) - math.Sin(f*lo)) / f
+	}
+	ax, ay := x1-x0, y1-y0
+	sum := 0.0
+	for m := 0; m <= modes; m++ {
+		im := integral(m, x0, x1)
+		cm := 2.0
+		if m == 0 {
+			cm = 1
+		}
+		for n := 0; n <= modes; n++ {
+			in := integral(n, y0, y1)
+			cn := 2.0
+			if n == 0 {
+				cn = 1
+			}
+			var g float64
+			if m == 0 && n == 0 {
+				g = h / k
+			} else {
+				gamma := math.Pi * math.Sqrt(float64(m*m+n*n)) / l
+				g = math.Tanh(gamma*h) / (k * gamma)
+			}
+			sum += cm * cn * im * im * in * in * g
+		}
+	}
+	return q * sum / (l * l * ax * ay)
+}
+
+// TestSpreadingResistanceSquareSource validates the solver against
+// the exact series solution for a square isoflux source on a finite
+// isothermal-bottom block — the canonical spreading-resistance
+// configuration. (The infinite-half-space value 0.473/(k·a) is the
+// large-domain limit of the same series.)
+func TestSpreadingResistanceSquareSource(t *testing.T) {
+	const (
+		k = 100.0
+		a = 10e-6  // source side
+		l = 160e-6 // domain side (16a)
+		h = 80e-6  // domain depth (8a)
+	)
+	const n = 96
+	xs := make([]float64, n+1)
+	for i := range xs {
+		xs[i] = l * float64(i) / float64(n)
+	}
+	// Graded z: coarse in the bulk, fine near the heated surface
+	// where the field varies fastest.
+	var zs []float64
+	for i := 0; i <= 14; i++ {
+		zs = append(zs, (h-10e-6)*float64(i)/14)
+	}
+	for i := 1; i <= 20; i++ {
+		zs = append(zs, h-10e-6+10e-6*float64(i)/20)
+	}
+	g, err := mesh.New(xs, xs, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(g)
+	for c := range p.KX {
+		p.SetIsotropic(c, k)
+	}
+	p.Bounds[ZMin] = DirichletBC(300)
+	// Isoflux square source centered on the top face.
+	q := 1e9 // W/m² surface flux
+	topK := g.NZ() - 1
+	dz := g.DZ(topK)
+	var power float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			cx, cy := g.CX(i), g.CY(j)
+			if math.Abs(cx-l/2) < a/2 && math.Abs(cy-l/2) < a/2 {
+				p.Q[g.Index(i, j, topK)] = q / dz
+				power += q * g.DX(i) * g.DY(j)
+			}
+		}
+	}
+	r, err := SolveSteady(p, Options{Tol: 1e-9, Precond: ZLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source-average temperature.
+	var sum float64
+	var cnt int
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			cx, cy := g.CX(i), g.CY(j)
+			if math.Abs(cx-l/2) < a/2 && math.Abs(cy-l/2) < a/2 {
+				sum += r.At(i, j, topK)
+				cnt++
+			}
+		}
+	}
+	tAvg := sum / float64(cnt)
+	// Exact analytic rise for the painted patch (cells span exactly
+	// [l/2−a/2, l/2+a/2] on this grid).
+	want := analyticPatchAverage(q, k, l, h, l/2-a/2, l/2+a/2, l/2-a/2, l/2+a/2, 300)
+	got := tAvg - 300
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("patch-average rise %g K, series solution %g K (>3%% off)", got, want)
+	}
+	// Sanity: the spreading component sits near the half-space value.
+	rTotal := got / power
+	rSlab := h / (k * l * l)
+	halfSpace := 0.473 / (k * a)
+	if rSp := rTotal - rSlab; rSp < halfSpace/2 || rSp > halfSpace*1.5 {
+		t.Errorf("spreading resistance %g K/W far from half-space scale %g", rSp, halfSpace)
+	}
+}
+
+// TestStackLinearityQuick: scaling the sources scales the rise —
+// checked on random scale factors (the superposition property the
+// budget-mode engine relies on).
+func TestStackLinearityQuick(t *testing.T) {
+	p := uniformProblem(t, 4, 4, 6, 3)
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 350)
+	for c := range p.Q {
+		p.Q[c] = 1e9 + float64(c%5)*1e8
+	}
+	base, err := SolveSteady(p, Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRise := base.Max() - 350
+	f := func(raw float64) bool {
+		alpha := 0.1 + math.Mod(math.Abs(raw), 5)
+		scaled := *p
+		scaled.Q = make([]float64, len(p.Q))
+		for c := range p.Q {
+			scaled.Q[c] = p.Q[c] * alpha
+		}
+		r, err := SolveSteady(&scaled, Options{Tol: 1e-11})
+		if err != nil {
+			return false
+		}
+		return math.Abs((r.Max()-350)-alpha*baseRise) < 1e-4*alpha*baseRise+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReciprocityQuick: for a symmetric operator, the temperature at
+// cell B due to a unit source at A equals the temperature at A due to
+// a unit source at B (Green's function symmetry).
+func TestReciprocityQuick(t *testing.T) {
+	p := uniformProblem(t, 5, 5, 5, 7)
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 0) // zero ambient isolates the Green's function
+	g := p.Grid
+	solveWithSource := func(cell int) []float64 {
+		q := make([]float64, g.NumCells())
+		copy(p.Q, q)
+		p.Q[cell] = 1e12
+		r, err := SolveSteady(p, Options{Tol: 1e-11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := append([]float64(nil), r.T...)
+		p.Q[cell] = 0
+		return out
+	}
+	f := func(ra, rb uint8) bool {
+		a := int(ra) % g.NumCells()
+		b := int(rb) % g.NumCells()
+		if a == b {
+			return true
+		}
+		va := solveWithSource(a)
+		vb := solveWithSource(b)
+		// Both sources have equal volume (uniform grid), so symmetry
+		// holds directly.
+		return math.Abs(va[b]-vb[a]) <= 1e-6*math.Max(va[b], 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

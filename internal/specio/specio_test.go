@@ -1,0 +1,99 @@
+package specio
+
+import (
+	"strings"
+	"testing"
+
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/units"
+)
+
+func TestExampleRoundTrip(t *testing.T) {
+	raw, err := Marshal(Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.Tiers != 12 || sj.BEOL != "scaffolded" || sj.PillarCover != 0.10 {
+		t.Errorf("round trip mutated spec: %+v", sj)
+	}
+	spec, err := Build(sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Solve(solver.Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The example is the paper's headline point: under 125 °C.
+	if c := units.KelvinToCelsius(res.MaxT()); c > 125 || c < 100 {
+		t.Errorf("example spec solves to %g°C", c)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBuildVariants(t *testing.T) {
+	for _, beol := range []string{"conventional", "scaffolded", "paper-conventional", "paper-scaffolded", ""} {
+		sj := Example()
+		sj.BEOL = beol
+		if _, err := Build(sj); err != nil {
+			t.Errorf("beol %q rejected: %v", beol, err)
+		}
+	}
+	for _, sink := range []string{"twophase", "microfluidic", "coldplate", "microchannel", ""} {
+		sj := Example()
+		sj.Sink = sink
+		if _, err := Build(sj); err != nil {
+			t.Errorf("sink %q rejected: %v", sink, err)
+		}
+	}
+}
+
+func TestBuildExplicitPowerMap(t *testing.T) {
+	sj := Example()
+	sj.NX, sj.NY = 4, 4
+	sj.PowerMap = make([]float64, 16)
+	for i := range sj.PowerMap {
+		sj.PowerMap[i] = float64(i)
+	}
+	spec, err := Build(sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PowerMaps[0][15] != units.WPerCm2ToWPerM2(15) {
+		t.Error("power map not converted")
+	}
+}
+
+func TestBuildRejections(t *testing.T) {
+	cases := []func(*StackJSON){
+		func(s *StackJSON) { s.NX = 0 },
+		func(s *StackJSON) { s.BEOL = "unobtainium" },
+		func(s *StackJSON) { s.Sink = "peltier" },
+		func(s *StackJSON) { s.PowerMap = []float64{1, 2, 3} },
+		func(s *StackJSON) { s.UniformPower = -5 },
+		func(s *StackJSON) { s.PillarCover = 1.5 },
+		func(s *StackJSON) { s.Tiers = 0 },
+		func(s *StackJSON) {
+			s.NX, s.NY = 2, 2
+			s.PowerMap = []float64{1, 2, 3, -4}
+		},
+	}
+	for i, mutate := range cases {
+		sj := Example()
+		mutate(&sj)
+		if _, err := Build(sj); err == nil {
+			t.Errorf("case %d accepted", i)
+		} else if !strings.Contains(err.Error(), "specio") && !strings.Contains(err.Error(), "stack") {
+			t.Errorf("case %d: unhelpful error %v", i, err)
+		}
+	}
+}

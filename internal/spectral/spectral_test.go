@@ -1,0 +1,270 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/mesh"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+)
+
+// layeredProblem builds a chip-like layered stack with a hotspot.
+func layeredProblem() *Problem {
+	const nx, ny = 12, 12
+	p := &Problem{
+		LX: 690e-6, LY: 660e-6, NX: nx, NY: ny,
+		DZ:    []float64{5e-6, 5e-6, 100e-9, 700e-9, 240e-9, 100e-9, 700e-9, 240e-9},
+		KLat:  []float64{180, 180, 65, 5.59, 16.4, 65, 5.59, 16.4},
+		KVert: []float64{180, 180, 30, 0.397, 13.3, 30, 0.397, 13.3},
+		SinkH: 1e6, SinkT: 373.15,
+	}
+	p.Q = make([][]float64, len(p.DZ))
+	q := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			q[j*nx+i] = 53e4 / 100e-9
+			if i < 3 && j < 3 {
+				q[j*nx+i] = 95e4 / 100e-9
+			}
+		}
+	}
+	p.Q[2] = q
+	p.Q[5] = q
+	return p
+}
+
+// equivalentFVM builds the identical problem for the iterative
+// finite-volume solver.
+func equivalentFVM(t *testing.T, p *Problem) *solver.Problem {
+	t.Helper()
+	zb := mesh.NewZLayerBuilder()
+	for _, dz := range p.DZ {
+		zb.Add("l", dz, 1)
+	}
+	xs := make([]float64, p.NX+1)
+	for i := range xs {
+		xs[i] = p.LX * float64(i) / float64(p.NX)
+	}
+	ys := make([]float64, p.NY+1)
+	for j := range ys {
+		ys[j] = p.LY * float64(j) / float64(p.NY)
+	}
+	g, err := mesh.New(xs, ys, zb.Bounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := solver.NewProblem(g)
+	for k := 0; k < g.NZ(); k++ {
+		for j := 0; j < p.NY; j++ {
+			for i := 0; i < p.NX; i++ {
+				c := g.Index(i, j, k)
+				fp.SetAniso(c, p.KLat[k], p.KVert[k])
+				if p.Q[k] != nil {
+					fp.Q[c] = p.Q[k][j*p.NX+i]
+				}
+			}
+		}
+	}
+	fp.Bounds[solver.ZMin] = solver.ConvectiveBC(p.SinkH, p.SinkT)
+	return fp
+}
+
+// TestSpectralMatchesFVM: the two backends solve the same discrete
+// system, so they must agree essentially to solver tolerance — the
+// repository's PACT-vs-COMSOL cross-reference.
+func TestSpectralMatchesFVM(t *testing.T) {
+	p := layeredProblem()
+	sf, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := equivalentFVM(t, p)
+	rf, err := solver.SolveSteady(fp, solver.Options{Tol: 1e-12, Precond: solver.ZLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for k := 0; k < len(p.DZ); k++ {
+		for j := 0; j < p.NY; j++ {
+			for i := 0; i < p.NX; i++ {
+				d := math.Abs(sf.At(i, j, k) - rf.At(i, j, k))
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("spectral and FVM disagree by %g K", worst)
+	}
+	if math.Abs(sf.Max()-rf.Max()) > 1e-6 {
+		t.Errorf("peaks disagree: %g vs %g", sf.Max(), rf.Max())
+	}
+}
+
+// TestSpectralEnergyBalance: the converged field's sink outflow
+// equals the injected power.
+func TestSpectralEnergyBalance(t *testing.T) {
+	p := layeredProblem()
+	f, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx := p.LX / float64(p.NX)
+	dy := p.LY / float64(p.NY)
+	var in, out float64
+	for k, q := range p.Q {
+		if q == nil {
+			continue
+		}
+		for _, v := range q {
+			in += v * dx * dy * p.DZ[k]
+		}
+	}
+	gB := 1 / (p.DZ[0]/(2*p.KVert[0]) + 1/p.SinkH)
+	for j := 0; j < p.NY; j++ {
+		for i := 0; i < p.NX; i++ {
+			out += gB * (f.At(i, j, 0) - p.SinkT) * dx * dy
+		}
+	}
+	if math.Abs(in-out) > 1e-8*in {
+		t.Errorf("energy imbalance: in %g W, out %g W", in, out)
+	}
+}
+
+// TestSpectralUniformSlab: a uniform slab with uniform heating has an
+// exactly flat lateral profile per layer.
+func TestSpectralUniformSlab(t *testing.T) {
+	p := &Problem{
+		LX: 1e-4, LY: 1e-4, NX: 8, NY: 8,
+		DZ:    []float64{1e-6, 1e-6, 1e-6},
+		KLat:  []float64{10, 10, 10},
+		KVert: []float64{10, 10, 10},
+		SinkH: 1e5, SinkT: 300,
+	}
+	q := make([]float64, 64)
+	for i := range q {
+		q[i] = 1e10
+	}
+	p.Q = [][]float64{nil, nil, q}
+	f, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		ref := f.At(0, 0, k)
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				if math.Abs(f.At(i, j, k)-ref) > 1e-9 {
+					t.Fatalf("layer %d not flat", k)
+				}
+			}
+		}
+	}
+	// Analytic check of the top layer: rise = flux·(1/h + R below).
+	flux := 1e10 * 1e-6
+	want := p.SinkT + flux*(1/p.SinkH+ // sink
+		1e-6/10+ // layer 0
+		1e-6/10+ // layer 1
+		0.5e-6/10) // half of source layer
+	if math.Abs(f.At(0, 0, 2)-want) > 1e-6 {
+		t.Errorf("top layer %g, analytic %g", f.At(0, 0, 2), want)
+	}
+}
+
+func TestDCTRoundTripQuick(t *testing.T) {
+	const nx, ny = 7, 5
+	cosX := dctBasis(nx)
+	cosY := dctBasis(ny)
+	f := func(seed [nx * ny]uint8) bool {
+		v := make([]float64, nx*ny)
+		for i := range v {
+			v[i] = float64(seed[i]) - 128
+		}
+		back := idct2(dct2(v, nx, ny, cosX, cosY), nx, ny, cosX, cosY)
+		for i := range v {
+			if math.Abs(back[i]-v[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpectralRejections(t *testing.T) {
+	good := layeredProblem()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Problem){
+		func(p *Problem) { p.LX = 0 },
+		func(p *Problem) { p.DZ = nil },
+		func(p *Problem) { p.KLat = p.KLat[:2] },
+		func(p *Problem) { p.KVert[0] = -1 },
+		func(p *Problem) { p.DZ[0] = 0 },
+		func(p *Problem) { p.SinkH = 0 },
+		func(p *Problem) { p.Q = p.Q[:3] },
+		func(p *Problem) { p.Q[2] = p.Q[2][:5] },
+	}
+	for i, mutate := range cases {
+		p := layeredProblem()
+		mutate(p)
+		if _, err := p.Solve(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestLayeredViewFromStack: a pillar-free stack.Spec round-trips into
+// the spectral backend and agrees with the iterative solution.
+func TestLayeredViewFromStack(t *testing.T) {
+	g := design.Gemmini()
+	const nx, ny = 10, 10
+	spec := &stack.Spec{
+		DieW: g.Tier.Die.W, DieH: g.Tier.Die.H,
+		Tiers: 6, NX: nx, NY: ny,
+		PowerMaps:     [][]float64{g.Tier.PowerMap(nx, ny)},
+		BEOL:          stack.ConventionalBEOL(),
+		Sink:          heatsink.TwoPhase(),
+		MemoryPerTier: true,
+	}
+	dz, kLat, kVert, q, err := spec.LayeredView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &Problem{
+		LX: spec.DieW, LY: spec.DieH, NX: nx, NY: ny,
+		DZ: dz, KLat: kLat, KVert: kVert, Q: q,
+		SinkH: spec.Sink.H, SinkT: spec.Sink.Ambient(),
+	}
+	sf, err := sp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Solve(solver.Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(sf.Max() - res.MaxT()); d > 1e-4 {
+		t.Errorf("spectral %g vs FVM %g (Δ=%g K)", sf.Max(), res.MaxT(), d)
+	}
+	// A pillared spec refuses the layered view.
+	pf := stack.NewPillarField(nx, ny)
+	pf.Coverage[0] = 0.5
+	spec.Pillars = pf
+	if _, _, _, _, err := spec.LayeredView(); err == nil {
+		t.Error("pillared spec accepted by LayeredView")
+	}
+	spec.Pillars = nil
+	spec.InterTierTBR = 1e-8
+	if _, _, _, _, err := spec.LayeredView(); err == nil {
+		t.Error("TBR spec accepted by LayeredView")
+	}
+}

@@ -1,0 +1,40 @@
+package stack_test
+
+import (
+	"fmt"
+
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/units"
+)
+
+// Example solves the paper's headline configuration: 12 uniformly
+// powered tiers with scaffolded BEOL and 10 % pillar coverage on a
+// two-phase heatsink.
+func Example() {
+	const n = 12
+	pm := make([]float64, n*n)
+	for i := range pm {
+		pm[i] = units.WPerCm2ToWPerM2(53) // the per-tier Gemmini density
+	}
+	pf := stack.NewPillarField(n, n)
+	for i := range pf.Coverage {
+		pf.Coverage[i] = 0.10
+	}
+	spec := &stack.Spec{
+		DieW: 690e-6, DieH: 660e-6,
+		Tiers: 12, NX: n, NY: n,
+		PowerMaps:     [][]float64{pm},
+		BEOL:          stack.ScaffoldedBEOL(),
+		Pillars:       pf,
+		Sink:          heatsink.TwoPhase(),
+		MemoryPerTier: true,
+	}
+	res, err := spec.Solve(solver.Options{Tol: 1e-7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("12 tiers under 125°C: %v\n", res.MaxT() < units.CelsiusToKelvin(125))
+	// Output: 12 tiers under 125°C: true
+}

@@ -1,0 +1,93 @@
+// Package units provides physical constants, unit conversions, and
+// formatting helpers shared by the thermal-scaffolding library.
+//
+// All internal computation is in SI units: meters, kelvin, watts,
+// seconds. The chip-design literature mixes W/cm², µm, and nm freely;
+// the helpers here keep those conversions explicit and typo-proof.
+package units
+
+import "fmt"
+
+// Length conversion factors to meters.
+const (
+	Meter      = 1.0
+	Centimeter = 1e-2
+	Millimeter = 1e-3
+	Micrometer = 1e-6
+	Nanometer  = 1e-9
+)
+
+// CelsiusToKelvin converts a temperature in °C to kelvin.
+func CelsiusToKelvin(c float64) float64 { return c + 273.15 }
+
+// KelvinToCelsius converts a temperature in kelvin to °C.
+func KelvinToCelsius(k float64) float64 { return k - 273.15 }
+
+// WPerCm2ToWPerM2 converts a heat flux or power density from W/cm²
+// (the unit used throughout the paper) to W/m².
+func WPerCm2ToWPerM2(w float64) float64 { return w * 1e4 }
+
+// WPerM2ToWPerCm2 converts a heat flux from W/m² to W/cm².
+func WPerM2ToWPerCm2(w float64) float64 { return w * 1e-4 }
+
+// UmToM converts micrometers to meters.
+func UmToM(um float64) float64 { return um * Micrometer }
+
+// NmToM converts nanometers to meters.
+func NmToM(nm float64) float64 { return nm * Nanometer }
+
+// MToUm converts meters to micrometers.
+func MToUm(m float64) float64 { return m / Micrometer }
+
+// MToNm converts meters to nanometers.
+func MToNm(m float64) float64 { return m / Nanometer }
+
+// Mm2ToM2 converts an area from mm² to m².
+func Mm2ToM2(mm2 float64) float64 { return mm2 * 1e-6 }
+
+// M2ToMm2 converts an area from m² to mm².
+func M2ToMm2(m2 float64) float64 { return m2 * 1e6 }
+
+// M2ToUm2 converts an area from m² to µm².
+func M2ToUm2(m2 float64) float64 { return m2 * 1e12 }
+
+// FormatTemp renders a temperature in kelvin as a °C string with one
+// decimal, e.g. "124.3°C".
+func FormatTemp(kelvin float64) string {
+	return fmt.Sprintf("%.1f°C", KelvinToCelsius(kelvin))
+}
+
+// FormatLength renders a length in meters using the most readable
+// engineering unit (nm, µm, mm, m).
+func FormatLength(m float64) string {
+	abs := m
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0"
+	case abs < Micrometer:
+		return fmt.Sprintf("%.0fnm", m/Nanometer)
+	case abs < Millimeter:
+		return fmt.Sprintf("%.2fµm", m/Micrometer)
+	case abs < Meter:
+		return fmt.Sprintf("%.3fmm", m/Millimeter)
+	default:
+		return fmt.Sprintf("%.3fm", m)
+	}
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a (t=0) and b (t=1).
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }

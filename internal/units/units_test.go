@@ -1,0 +1,97 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g (±%g)", msg, got, want, tol)
+	}
+}
+
+func TestTemperatureConversion(t *testing.T) {
+	approx(t, CelsiusToKelvin(0), 273.15, 1e-12, "0°C")
+	approx(t, CelsiusToKelvin(125), 398.15, 1e-12, "125°C")
+	approx(t, KelvinToCelsius(373.15), 100, 1e-12, "373.15K")
+}
+
+func TestTemperatureRoundTrip(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		return math.Abs(KelvinToCelsius(CelsiusToKelvin(c))-c) < 1e-6*math.Max(1, math.Abs(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFluxConversion(t *testing.T) {
+	// The paper's two-phase heatsink removes 1000 W/cm² = 1e7 W/m².
+	approx(t, WPerCm2ToWPerM2(1000), 1e7, 1e-6, "1000 W/cm²")
+	approx(t, WPerM2ToWPerCm2(1e7), 1000, 1e-9, "1e7 W/m²")
+}
+
+func TestLengthConversions(t *testing.T) {
+	approx(t, UmToM(1), 1e-6, 1e-18, "1µm")
+	approx(t, NmToM(100), 1e-7, 1e-18, "100nm")
+	approx(t, MToUm(1e-6), 1, 1e-9, "1e-6 m")
+	approx(t, MToNm(1e-9), 1, 1e-9, "1e-9 m")
+	approx(t, Mm2ToM2(1), 1e-6, 1e-18, "1 mm²")
+	approx(t, M2ToMm2(1e-6), 1, 1e-9, "1e-6 m²")
+	approx(t, M2ToUm2(1e-12), 1, 1e-9, "1e-12 m²")
+}
+
+func TestFormatTemp(t *testing.T) {
+	if got := FormatTemp(CelsiusToKelvin(125)); got != "125.0°C" {
+		t.Errorf("FormatTemp = %q", got)
+	}
+}
+
+func TestFormatLength(t *testing.T) {
+	cases := []struct {
+		m    float64
+		want string
+	}{
+		{0, "0"},
+		{100e-9, "100nm"},
+		{7.232e-6, "7.23µm"},
+		{1.5e-3, "1.500mm"},
+		{2.5, "2.500m"},
+	}
+	for _, c := range cases {
+		if got := FormatLength(c.m); got != c.want {
+			t.Errorf("FormatLength(%g) = %q, want %q", c.m, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	approx(t, Clamp(5, 0, 1), 1, 0, "above")
+	approx(t, Clamp(-5, 0, 1), 0, 0, "below")
+	approx(t, Clamp(0.5, 0, 1), 0.5, 0, "inside")
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		c := Clamp(v, -1, 1)
+		return c >= -1 && c <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	approx(t, Lerp(10, 20, 0), 10, 1e-12, "t=0")
+	approx(t, Lerp(10, 20, 1), 20, 1e-12, "t=1")
+	approx(t, Lerp(10, 20, 0.5), 15, 1e-12, "t=0.5")
+}
