@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet race equivalence bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector — the parallel
+# solver kernels (internal/parallel, internal/solver) must stay
+# race-clean at every worker count the tests exercise.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# equivalence re-runs the serial-vs-parallel equivalence and
+# determinism suite twice (-count=2 catches run-to-run
+# nondeterminism that a single pass would miss).
+equivalence:
+	$(GO) test -race -run Equivalence -count=2 ./internal/solver/ ./internal/parallel/
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime=2x ./internal/solver/
+
+# ci is the gate: vet + race-clean full suite + doubled equivalence.
+ci: race equivalence

@@ -291,4 +291,8 @@ func BenchmarkAblationMemoryLayer(b *testing.B) {
 	b.ReportMetric(dT, "memory-layer-cost-K")
 }
 
-func solverOpts() solver.Options { return solver.Options{Tol: 1e-6, MaxIter: 80000} }
+// solverOpts pins Workers to 1 (the exact legacy serial path) so the
+// end-to-end figure benchmarks stay comparable across machines with
+// different core counts; see internal/solver/bench_test.go for the
+// worker-count sweeps.
+func solverOpts() solver.Options { return solver.Options{Tol: 1e-6, MaxIter: 80000, Workers: 1} }

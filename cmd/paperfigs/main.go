@@ -25,8 +25,10 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced resolution for a fast pass")
 	fig := flag.String("fig", "all", "figure/table to regenerate (2b, 2c, 3, 4, 5, 7a, 7b, 9, 10, 11, 12, table1, ablations, extras, all)")
 	outdir := flag.String("outdir", "", "when set, also write each series/table to files in this directory")
+	workers := flag.Int("workers", 0, "solver worker goroutines (0 = one per CPU core, 1 = serial)")
 	flag.Parse()
 
+	experiments.Workers = *workers
 	o := experiments.Options{Quick: *quick}
 	sel := strings.ToLower(*fig)
 	run := func(id string) bool { return sel == "all" || sel == id }

@@ -30,6 +30,7 @@ func main() {
 	specPath := flag.String("spec", "", "path to the JSON stack spec")
 	example := flag.Bool("example", false, "print an example spec and exit")
 	showMap := flag.Bool("map", false, "render the top-tier temperature field as an ASCII heatmap")
+	workers := flag.Int("workers", 0, "solver worker goroutines (0 = one per CPU core, 1 = serial)")
 	flag.Parse()
 
 	if *example {
@@ -60,7 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
 		os.Exit(1)
 	}
-	res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 100000})
+	res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 100000, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "thermsim: solve: %v\n", err)
 		os.Exit(1)

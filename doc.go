@@ -7,6 +7,13 @@
 // and a co-design engine that regenerates every table and figure of
 // the paper's evaluation.
 //
+// The solver's hot path runs on a deterministic worker pool
+// (internal/parallel): solver.Options.Workers selects the width
+// (0 = one per CPU core, 1 = the exact serial legacy path), chunk
+// boundaries are independent of the worker count, and reductions
+// combine partials in a fixed order, so results are bit-identical
+// run-to-run and across worker counts ≥ 2. See DESIGN.md §6.
+//
 // See README.md for the architecture overview, DESIGN.md for the
 // system inventory and per-experiment index, and EXPERIMENTS.md for
 // the paper-vs-measured comparison. The root-level benchmarks

@@ -85,6 +85,16 @@ func nearlyEqual(a, b, relTol float64) bool {
 	return math.Abs(a-b)/math.Abs(b) <= relTol
 }
 
+// Workers is the worker-goroutine count handed to every solver
+// invocation in this package (0 = one per CPU core, 1 = the exact
+// serial legacy path; see solver.Options.Workers). The figure sweeps
+// spend nearly all their time in steady/transient solves, so this is
+// the package's throughput knob — cmd/paperfigs exposes it as
+// -workers.
+var Workers int
+
 // solverOpts is the shared solver configuration for ad-hoc stack
 // solves inside experiments.
-func solverOpts() solver.Options { return solver.Options{Tol: 1e-6, MaxIter: 80000} }
+func solverOpts() solver.Options {
+	return solver.Options{Tol: 1e-6, MaxIter: 80000, Workers: Workers}
+}

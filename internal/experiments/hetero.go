@@ -221,7 +221,7 @@ func GatedTransient(tiers, n int) (*GatedTransientResult, error) {
 	for i := range init {
 		init[i] = amb
 	}
-	tr, err := solver.NewTransient(p, init, solver.Options{Tol: 1e-6, Precond: solver.ZLine})
+	tr, err := solver.NewTransient(p, init, solver.Options{Tol: 1e-6, Precond: solver.ZLine, Workers: Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +282,7 @@ func SolverCrossCheck(o Options) (*CrossCheckResult, error) {
 		Sink:          heatsink.TwoPhase(),
 		MemoryPerTier: true,
 	}
-	res, err := spec.Solve(solver.Options{Tol: 1e-10})
+	res, err := spec.Solve(solver.Options{Tol: 1e-10, Workers: Workers})
 	if err != nil {
 		return nil, err
 	}

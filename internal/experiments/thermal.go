@@ -56,7 +56,7 @@ func Fig3(tiers, n int) (*Fig3Result, error) {
 			Sink:          heatsink.TwoPhase(),
 			MemoryPerTier: true,
 		}
-		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -148,7 +148,7 @@ func Fig12(tiers, n int) (*Fig12Result, error) {
 			Sink:          heatsink.TwoPhase(),
 			MemoryPerTier: true,
 		}
-		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
 		if err != nil {
 			return 0, err
 		}
@@ -253,7 +253,7 @@ func MacroCooling(tiers, n int) (*MacroCoolingResult, error) {
 			Sink:          heatsink.TwoPhase(),
 			MemoryPerTier: true,
 		}
-		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
 		if err != nil {
 			return 0, err
 		}
@@ -326,7 +326,7 @@ func Misalignment(tiers, n int) (*MisalignmentResult, error) {
 			Sink:           heatsink.TwoPhase(),
 			MemoryPerTier:  true,
 		}
-		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
 		if err != nil {
 			return 0, err
 		}
@@ -386,14 +386,14 @@ func TierResistanceShare(nx int) (float64, error) {
 		}
 	}
 	real3 := mk(stack.ConventionalBEOL())
-	resReal, err := real3.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+	resReal, err := real3.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
 	if err != nil {
 		return 0, err
 	}
 	// An idealized stack whose tier layers conduct like bulk copper:
 	// only the heatsink and handle resistance remain.
 	ideal := mk(stack.BEOLProps{LowerKVert: 400, LowerKLat: 400, UpperKVert: 400, UpperKLat: 400})
-	resIdeal, err := ideal.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000})
+	resIdeal, err := ideal.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"math"
+
+	"thermalscaffold/internal/parallel"
+)
+
+// kern bundles the worker pool and reduction scratch behind one
+// solve's parallel kernels. Every kernel keeps the determinism
+// contract of internal/parallel: fixed chunk boundaries, partial sums
+// combined in chunk order — so a solve is bit-reproducible at a fixed
+// worker count and identical across any worker count ≥ 2. With one
+// worker every kernel falls through to the exact single-threaded
+// legacy loop (no goroutines, no closures on the hot path).
+type kern struct {
+	pool     *parallel.Pool
+	partials []float64 // chunk partial sums for deterministic reductions
+}
+
+// newKern builds the kernel set for an n-cell solve with the given
+// worker count (≤ 0 defaults to one worker per CPU core, as
+// documented on Options.Workers).
+func newKern(workers, n int) *kern {
+	k := &kern{pool: parallel.NewPool(workers)}
+	if !k.pool.Serial() {
+		k.partials = make([]float64, parallel.NumChunks(n))
+	}
+	return k
+}
+
+// close releases the pool's helper goroutines.
+func (k *kern) close() { k.pool.Close() }
+
+func (k *kern) workers() int { return k.pool.Workers() }
+
+// apply computes y = A·x, chunked across the pool. Each chunk writes
+// a disjoint range of y and only reads x, so the result is bitwise
+// identical to the serial loop at any worker count.
+func (k *kern) apply(op *operator, x, y []float64) {
+	if k.pool.Serial() {
+		op.applyRange(x, y, 0, len(x))
+		return
+	}
+	k.pool.For(len(x), func(s, e int) { op.applyRange(x, y, s, e) })
+}
+
+// residual computes r = b − A·x and returns ‖r‖₂.
+func (k *kern) residual(op *operator, x, b, r []float64) float64 {
+	k.apply(op, x, r)
+	if k.pool.Serial() {
+		for c := range r {
+			r[c] = b[c] - r[c]
+		}
+		return norm2(r)
+	}
+	k.pool.For(len(r), func(s, e int) {
+		for c := s; c < e; c++ {
+			r[c] = b[c] - r[c]
+		}
+	})
+	return k.norm2(r)
+}
+
+// dot returns aᵀb with the deterministic chunked reduction.
+func (k *kern) dot(a, b []float64) float64 {
+	if k.pool.Serial() {
+		return dot(a, b)
+	}
+	return k.pool.ReduceSum(len(a), k.partials, func(s, e int) float64 {
+		sum := 0.0
+		for i := s; i < e; i++ {
+			sum += a[i] * b[i]
+		}
+		return sum
+	})
+}
+
+func (k *kern) norm2(a []float64) float64 { return math.Sqrt(k.dot(a, a)) }
+
+// xrUpdate performs the fused PCG update x += α·p, r −= α·ap.
+func (k *kern) xrUpdate(x, r, p, ap []float64, alpha float64) {
+	if k.pool.Serial() {
+		for c := range x {
+			x[c] += alpha * p[c]
+			r[c] -= alpha * ap[c]
+		}
+		return
+	}
+	k.pool.For(len(x), func(s, e int) {
+		for c := s; c < e; c++ {
+			x[c] += alpha * p[c]
+			r[c] -= alpha * ap[c]
+		}
+	})
+}
+
+// direction computes p = z + β·p.
+func (k *kern) direction(p, z []float64, beta float64) {
+	if k.pool.Serial() {
+		for c := range p {
+			p[c] = z[c] + beta*p[c]
+		}
+		return
+	}
+	k.pool.For(len(p), func(s, e int) {
+		for c := s; c < e; c++ {
+			p[c] = z[c] + beta*p[c]
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package solver
+
+// Method-of-manufactured-solutions convergence tests: instead of
+// eyeballing "close enough" tolerances, pick an exact field T*,
+// derive the source q = −∇·(k∇T*) (+ ρc ∂T*/∂t for transient) that
+// makes T* the solution, and assert the observed convergence order
+// under grid/time-step refinement. The finite-volume scheme with
+// half-cell Dirichlet boundaries is second order in space; backward
+// Euler is first order in time.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/mesh"
+)
+
+// mmsSteadyError solves the manufactured steady problem
+//
+//	T*(x,y,z) = 300 + A·sin(πx/L)·sin(πy/L)·sin(πz/L)
+//
+// on an n×n×n cube with all-Dirichlet(300) faces (T* is 300 on every
+// boundary) and constant k, where q = 3k(π/L)²·(T*−300), and returns
+// the max-norm error at cell centers.
+func mmsSteadyError(t *testing.T, n int) float64 {
+	t.Helper()
+	const (
+		L = 1e-3
+		k = 5.0
+		A = 50.0
+	)
+	g, err := mesh.Uniform(L, L, L, n, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(g)
+	exact := func(x, y, z float64) float64 {
+		return A * math.Sin(math.Pi*x/L) * math.Sin(math.Pi*y/L) * math.Sin(math.Pi*z/L)
+	}
+	qFactor := 3 * k * math.Pow(math.Pi/L, 2)
+	for kk := 0; kk < n; kk++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				c := g.Index(i, j, kk)
+				p.SetIsotropic(c, k)
+				p.Q[c] = qFactor * exact(g.CX(i), g.CY(j), g.CZ(kk))
+			}
+		}
+	}
+	for f := Face(0); f < numFaces; f++ {
+		p.Bounds[f] = DirichletBC(300)
+	}
+	r, err := SolveSteady(p, Options{Tol: 1e-11, MaxIter: 100000, Precond: ZLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for kk := 0; kk < n; kk++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				want := 300 + exact(g.CX(i), g.CY(j), g.CZ(kk))
+				if e := math.Abs(r.At(i, j, kk) - want); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+	}
+	return maxErr
+}
+
+// TestMMSSteadySecondOrder asserts the spatial convergence order of
+// SolveSteady on the manufactured solution: halving h must cut the
+// max-norm error ~4×.
+func TestMMSSteadySecondOrder(t *testing.T) {
+	e8 := mmsSteadyError(t, 8)
+	e16 := mmsSteadyError(t, 16)
+	e32 := mmsSteadyError(t, 32)
+	p1 := math.Log2(e8 / e16)
+	p2 := math.Log2(e16 / e32)
+	t.Logf("MMS steady errors: e8=%.3g e16=%.3g e32=%.3g, orders %.2f, %.2f", e8, e16, e32, p1, p2)
+	for _, p := range []float64{p1, p2} {
+		if p < 1.7 || p > 2.4 {
+			t.Errorf("observed spatial order %.2f outside [1.7, 2.4] (errors %g, %g, %g)", p, e8, e16, e32)
+		}
+	}
+}
+
+// mmsTransientError integrates the manufactured transient problem
+//
+//	T*(z,t) = 300 + A·sin(πz/H)·(1−e^{−t/τ})
+//
+// on a 1×1×nz column (Dirichlet 300 at both z faces, adiabatic
+// sides) with the exact time-dependent source
+//
+//	q(z,t) = A·sin(πz/H)·[ρc·e^{−t/τ}/τ + k(π/H)²(1−e^{−t/τ})]
+//
+// evaluated implicitly at t^{n+1} (matching backward Euler), from
+// T=300 at t=0 to t=tf in steps of dt, and returns the max-norm
+// error at tf.
+func mmsTransientError(t *testing.T, nz int, dt, tf float64) float64 {
+	t.Helper()
+	const (
+		H   = 1e-3
+		k   = 5.0
+		A   = 50.0
+		cv  = 1.6e6
+		tau = 0.02
+	)
+	g, err := mesh.Uniform(1e-4, 1e-4, H, 1, 1, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(g)
+	for c := range p.KX {
+		p.SetIsotropic(c, k)
+		p.Cv[c] = cv
+	}
+	p.Bounds[ZMin] = DirichletBC(300)
+	p.Bounds[ZMax] = DirichletBC(300)
+	init := make([]float64, nz)
+	for c := range init {
+		init[c] = 300
+	}
+	tr, err := NewTransient(p, init, Options{Tol: 1e-12, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, nz)
+	lap := k * math.Pow(math.Pi/H, 2)
+	steps := int(math.Round(tf / dt))
+	for s := 1; s <= steps; s++ {
+		tNext := float64(s) * dt
+		decay := math.Exp(-tNext / tau)
+		for kk := 0; kk < nz; kk++ {
+			q[kk] = A * math.Sin(math.Pi*g.CZ(kk)/H) * (cv*decay/tau + lap*(1-decay))
+		}
+		if err := tr.SetSources(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decay := math.Exp(-tr.Time() / tau)
+	maxErr := 0.0
+	for kk := 0; kk < nz; kk++ {
+		want := 300 + A*math.Sin(math.Pi*g.CZ(kk)/H)*(1-decay)
+		if e := math.Abs(tr.Field()[kk] - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+// TestMMSTransientFirstOrder asserts backward Euler's O(dt)
+// convergence: halving the step must halve the error, on a spatial
+// grid fine enough that the O(h²) floor stays far below the
+// temporal error at every tested dt.
+func TestMMSTransientFirstOrder(t *testing.T) {
+	const (
+		nz = 96
+		tf = 0.02
+	)
+	var errs []float64
+	for _, div := range []float64{4, 8, 16, 32} {
+		errs = append(errs, mmsTransientError(t, nz, tf/div, tf))
+	}
+	msg := ""
+	for i, e := range errs {
+		msg += fmt.Sprintf(" e(tf/%d)=%.4g", 4<<i, e)
+	}
+	t.Logf("MMS transient errors:%s", msg)
+	for i := 1; i < len(errs); i++ {
+		p := math.Log2(errs[i-1] / errs[i])
+		if p < 0.75 || p > 1.35 {
+			t.Errorf("observed temporal order %.2f between dt=tf/%d and dt=tf/%d outside [0.75, 1.35] (%s)",
+				p, 4<<(i-1), 4<<i, msg)
+		}
+	}
+}

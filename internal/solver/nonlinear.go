@@ -37,7 +37,9 @@ type NonlinearResult struct {
 // until the field stops moving. Silicon's conductivity falls ~T^-1.3
 // near room temperature, so hot stacks conduct measurably worse than
 // a constant-property model predicts — a second-order effect the
-// paper's PACT setup also captures.
+// paper's PACT setup also captures. Each inner linear solve runs on
+// opts.Inner.Workers goroutines (see Options.Workers); the Picard
+// loop itself is sequential by construction.
 func SolveSteadyNonlinear(p *Problem, update KUpdater, opts NonlinearOptions) (*NonlinearResult, error) {
 	if update == nil {
 		return nil, errors.New("solver: nil conductivity updater")

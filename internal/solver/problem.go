@@ -345,9 +345,15 @@ func (op *operator) addBoundary(c int, area, d, k float64, bc Boundary) {
 
 // apply computes y = A·x.
 func (op *operator) apply(x, y []float64) {
-	n := len(x)
+	op.applyRange(x, y, 0, len(x))
+}
+
+// applyRange computes y[start:end] of y = A·x. Each call writes only
+// its own y range and reads x, so disjoint ranges can run
+// concurrently (the chunked SpMV of the parallel kernels).
+func (op *operator) applyRange(x, y []float64, start, end int) {
 	sy, sz := op.sy, op.sz
-	for c := 0; c < n; c++ {
+	for c := start; c < end; c++ {
 		v := op.diag[c] * x[c]
 		if g := op.gxp[c]; g != 0 {
 			v -= g * x[c+1]

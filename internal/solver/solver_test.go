@@ -394,8 +394,13 @@ func TestGridConvergence(t *testing.T) {
 	c8, c16, c32 := solveAt(8), solveAt(16), solveAt(32)
 	d1 := math.Abs(c16 - c8)
 	d2 := math.Abs(c32 - c16)
-	if d2 > d1 {
-		t.Errorf("not converging: |T32-T16|=%g > |T16-T8|=%g", d2, d1)
+	// Richardson estimate: successive differences of a p-th order
+	// scheme shrink by 2^p under halving, so p ≈ log2(d1/d2). The
+	// z-grid is fixed across the sequence, so only the in-plane error
+	// refines; assert clearly-superlinear rather than a full 2.0.
+	p := math.Log2(d1 / d2)
+	if p < 1.2 {
+		t.Errorf("observed in-plane convergence order %.2f < 1.2 (|T16-T8|=%g, |T32-T16|=%g)", p, d1, d2)
 	}
 	if d2/c32 > 0.02 {
 		t.Errorf("32-point grid still %g%% off", 100*d2/c32)

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+
+	"thermalscaffold/internal/parallel"
 )
 
 // Preconditioner selects the PCG preconditioner.
@@ -33,6 +36,23 @@ type Options struct {
 	InitialGuess []float64
 	// Precond selects the preconditioner (default Jacobi).
 	Precond Preconditioner
+	// Workers is the number of goroutines running the parallel solver
+	// kernels: chunked SpMV, deterministic PCG reductions, per-column
+	// ZLine preconditioner fan-out, and red-black SOR sweeps. 0 (the
+	// default) uses runtime.GOMAXPROCS(0); values < 1 after
+	// defaulting, and Workers=1 explicitly, run the exact
+	// single-threaded legacy path.
+	//
+	// Determinism: for any fixed Workers value, results are
+	// bit-identical run to run; for Workers ≥ 2 they are additionally
+	// bit-identical across worker counts, because reduction chunk
+	// boundaries depend only on the problem size and partial sums
+	// combine in chunk order (see internal/parallel). The parallel
+	// path differs from Workers=1 only in the floating-point
+	// summation order of dot products (and, for SolveSteadySOR, the
+	// red-black sweep ordering); the equivalence test suite bounds
+	// the resulting temperature difference at ≤ 1e-12 relative.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -41,6 +61,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Tol <= 0 {
 		o.Tol = 1e-8
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -62,7 +88,9 @@ type gridder interface {
 }
 
 // SolveSteady solves the steady conduction problem with
-// preconditioned conjugate gradient (Jacobi preconditioner).
+// preconditioned conjugate gradient. The solve parallelizes across
+// Options.Workers goroutines with deterministic (bit-reproducible)
+// reductions; Workers=1 is the exact legacy serial path.
 func SolveSteady(p *Problem, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -76,8 +104,28 @@ func SolveSteady(p *Problem, opts Options) (*Result, error) {
 	return &Result{T: t, Iterations: iters, Residual: res, grid: p.Grid}, nil
 }
 
+// sorCheckEvery is the residual-check cadence of SolveSteadySOR: the
+// residual ‖b−A·T‖/‖b‖ costs one extra operator application, so it is
+// evaluated every sorCheckEvery sweeps AND on the final sweep
+// (whichever comes first — so MaxIter < sorCheckEvery still gets a
+// convergence check, and a converged solve never runs more than
+// sorCheckEvery−1 sweeps past the first satisfying iterate).
+// Result.Iterations is therefore the sweep count at the check that
+// observed convergence, an upper bound on the minimal sweep count
+// that is tight to within sorCheckEvery−1 sweeps.
+const sorCheckEvery = 20
+
 // SolveSteadySOR solves the same system with successive
-// over-relaxation — slower, used for cross-validation in tests.
+// over-relaxation — slower than PCG, used for cross-validation in
+// tests. With Options.Workers ≥ 2 the sweep runs in red-black
+// (two-color) order: cells with even i+j+k parity update first, then
+// odd, so every update within a color reads only opposite-color
+// values fixed at the half-sweep start. The half-sweeps chunk across
+// the worker pool race-free, and the result is independent of
+// chunking entirely (bit-identical at any Workers ≥ 2). The
+// red-black iteration path differs from the serial lexicographic
+// sweep, but both converge to the same fixed point; the equivalence
+// suite pins the two solutions together at the residual tolerance.
 func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -88,6 +136,8 @@ func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	op := assemble(p)
 	n := len(op.b)
+	kr := newKern(opts.Workers, n)
+	defer kr.close()
 	t := make([]float64, n)
 	if opts.InitialGuess != nil {
 		copy(t, opts.InitialGuess)
@@ -97,10 +147,36 @@ func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
 		bn = 1
 	}
 	r := make([]float64, n)
-	sy, sz := op.sy, op.sz
+	serial := kr.pool.Serial()
 	var res float64
 	for it := 1; it <= opts.MaxIter; it++ {
-		for c := 0; c < n; c++ {
+		if serial {
+			op.sorSweepRange(t, omega, 0, n, -1)
+		} else {
+			op.redBlackSweep(t, omega, kr)
+		}
+		if it%sorCheckEvery == 0 || it == opts.MaxIter {
+			res = kr.residual(op, t, op.b, r) / bn
+			if res <= opts.Tol {
+				return &Result{T: t, Iterations: it, Residual: res, grid: p.Grid}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("solver: SOR did not converge in %d iterations (residual %g)", opts.MaxIter, res)
+}
+
+// sorSweepRange applies one SOR update pass to cells [start, end).
+// color selects the parity of i+j+k to update (0 or 1); −1 updates
+// every cell in lexicographic order (the serial legacy sweep).
+func (op *operator) sorSweepRange(t []float64, omega float64, start, end, color int) {
+	sy, sz := op.sy, op.sz
+	// Decompose the starting index once, then carry (i, j, k) along
+	// the contiguous range instead of dividing per cell.
+	i := start % sy
+	j := (start % sz) / sy
+	k := start / sz
+	for c := start; c < end; c++ {
+		if color < 0 || (i+j+k)&1 == color {
 			sum := op.b[c]
 			if g := op.gxp[c]; g != 0 {
 				sum += g * t[c+1]
@@ -129,21 +205,35 @@ func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
 			tNew := sum / op.diag[c]
 			t[c] += omega * (tNew - t[c])
 		}
-		if it%20 == 0 || it == opts.MaxIter {
-			op.apply(t, r)
-			for c := range r {
-				r[c] = op.b[c] - r[c]
-			}
-			res = norm2(r) / bn
-			if res <= opts.Tol {
-				return &Result{T: t, Iterations: it, Residual: res, grid: p.Grid}, nil
+		i++
+		if i == sy {
+			i = 0
+			j++
+			if j == op.ny {
+				j = 0
+				k++
 			}
 		}
 	}
-	return nil, fmt.Errorf("solver: SOR did not converge in %d iterations (residual %g)", opts.MaxIter, res)
 }
 
-// pcg runs Jacobi-preconditioned conjugate gradient on A·x = b.
+// redBlackSweep performs one SOR sweep as two parallel half-sweeps.
+// All six neighbors of a cell sit at ±1 along one axis, so they all
+// have the opposite i+j+k parity: within one color, updates touch no
+// shared state and chunk freely across the pool.
+func (op *operator) redBlackSweep(t []float64, omega float64, kr *kern) {
+	n := len(t)
+	for color := 0; color <= 1; color++ {
+		kr.pool.For(n, func(s, e int) {
+			op.sorSweepRange(t, omega, s, e, color)
+		})
+	}
+}
+
+// pcg runs preconditioned conjugate gradient on A·x = b. All O(n)
+// kernels — SpMV, the dot/norm reductions, the fused vector updates,
+// and the preconditioner — run on the worker pool selected by
+// opts.Workers (see Options.Workers for the determinism contract).
 func pcg(op *operator, b []float64, opts Options) (x []float64, iters int, res float64, err error) {
 	n := len(b)
 	x = make([]float64, n)
@@ -158,50 +248,46 @@ func pcg(op *operator, b []float64, opts Options) (x []float64, iters int, res f
 	p := make([]float64, n)
 	ap := make([]float64, n)
 
-	op.apply(x, r)
-	for c := range r {
-		r[c] = b[c] - r[c]
-	}
-	bn := norm2(b)
+	kr := newKern(opts.Workers, n)
+	defer kr.close()
+
+	kr.residual(op, x, b, r)
+	bn := kr.norm2(b)
 	if bn == 0 {
 		// Zero RHS with SPD A ⇒ zero solution.
 		return x, 0, 0, nil
 	}
-	applyM, err := makePreconditioner(op, opts.Precond)
+	applyM, err := makePreconditioner(op, opts.Precond, kr)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	applyM(r, z)
 	copy(p, z)
-	rz := dot(r, z)
+	rz := kr.dot(r, z)
 	for it := 1; it <= opts.MaxIter; it++ {
-		op.apply(p, ap)
-		pap := dot(p, ap)
+		kr.apply(op, p, ap)
+		pap := kr.dot(p, ap)
 		if pap <= 0 {
 			return nil, 0, 0, errors.New("solver: operator lost positive definiteness (pᵀAp ≤ 0)")
 		}
 		alpha := rz / pap
-		for c := range x {
-			x[c] += alpha * p[c]
-			r[c] -= alpha * ap[c]
-		}
-		res = norm2(r) / bn
+		kr.xrUpdate(x, r, p, ap, alpha)
+		res = kr.norm2(r) / bn
 		if res <= opts.Tol {
 			return x, it, res, nil
 		}
 		applyM(r, z)
-		rzNew := dot(r, z)
+		rzNew := kr.dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for c := range p {
-			p[c] = z[c] + beta*p[c]
-		}
+		kr.direction(p, z, beta)
 	}
 	return nil, 0, 0, fmt.Errorf("solver: PCG did not converge in %d iterations (residual %g)", opts.MaxIter, res)
 }
 
-// makePreconditioner returns z ← M⁻¹·r for the selected scheme.
-func makePreconditioner(op *operator, kind Preconditioner) (func(r, z []float64), error) {
+// makePreconditioner returns z ← M⁻¹·r for the selected scheme,
+// running on kr's worker pool.
+func makePreconditioner(op *operator, kind Preconditioner, kr *kern) (func(r, z []float64), error) {
 	n := len(op.diag)
 	for c := 0; c < n; c++ {
 		if op.diag[c] <= 0 {
@@ -214,44 +300,86 @@ func makePreconditioner(op *operator, kind Preconditioner) (func(r, z []float64)
 		for c := range invDiag {
 			invDiag[c] = 1 / op.diag[c]
 		}
+		if kr.pool.Serial() {
+			return func(r, z []float64) {
+				for c := range z {
+					z[c] = r[c] * invDiag[c]
+				}
+			}, nil
+		}
 		return func(r, z []float64) {
-			for c := range z {
-				z[c] = r[c] * invDiag[c]
-			}
+			kr.pool.For(n, func(s, e int) {
+				for c := s; c < e; c++ {
+					z[c] = r[c] * invDiag[c]
+				}
+			})
 		}, nil
 	case ZLine:
 		nz := op.nz
 		sz := op.sz
-		// Scratch for the Thomas algorithm, reused across calls.
-		cp := make([]float64, nz)
-		dp := make([]float64, nz)
+		if kr.pool.Serial() {
+			// Thomas scratch reused across calls.
+			cp := make([]float64, nz)
+			dp := make([]float64, nz)
+			return func(r, z []float64) {
+				for col := 0; col < sz; col++ {
+					op.thomasColumn(r, z, col, cp, dp)
+				}
+			}, nil
+		}
+		// Per-column fan-out: columns are independent tridiagonal
+		// solves writing disjoint z entries, so the output is bitwise
+		// identical to the serial loop at any worker count. Each
+		// worker gets its own Thomas scratch; chunks are sized to
+		// ~Grain cells so scheduling overhead stays amortized on
+		// shallow stacks.
+		w := kr.workers()
+		cps := make([][]float64, w)
+		dps := make([][]float64, w)
+		for i := range cps {
+			cps[i] = make([]float64, nz)
+			dps[i] = make([]float64, nz)
+		}
+		colGrain := parallel.Grain / nz
+		if colGrain < 1 {
+			colGrain = 1
+		}
 		return func(r, z []float64) {
-			for col := 0; col < sz; col++ {
-				// Tridiagonal system along the column: sub/super
-				// diagonals are −gzp, main diagonal is the full
-				// operator diagonal (keeping lateral and boundary
-				// conductance makes M SPD and closer to A).
-				c0 := col
-				b0 := op.diag[c0]
-				cp[0] = -op.gzp[c0] / b0
-				dp[0] = r[c0] / b0
-				for k := 1; k < nz; k++ {
-					c := col + k*sz
-					a := -op.gzp[c-sz]
-					m := op.diag[c] - a*cp[k-1]
-					if k < nz-1 {
-						cp[k] = -op.gzp[c] / m
-					}
-					dp[k] = (r[c] - a*dp[k-1]) / m
+			kr.pool.ForGrain(sz, colGrain, func(worker, s, e int) {
+				cp, dp := cps[worker], dps[worker]
+				for col := s; col < e; col++ {
+					op.thomasColumn(r, z, col, cp, dp)
 				}
-				z[col+(nz-1)*sz] = dp[nz-1]
-				for k := nz - 2; k >= 0; k-- {
-					z[col+k*sz] = dp[k] - cp[k]*z[col+(k+1)*sz]
-				}
-			}
+			})
 		}, nil
 	default:
 		return nil, fmt.Errorf("solver: unknown preconditioner %d", kind)
+	}
+}
+
+// thomasColumn solves the tridiagonal z-coupling of one vertical cell
+// column: sub/super diagonals are −gzp, main diagonal is the full
+// operator diagonal (keeping lateral and boundary conductance makes M
+// SPD and closer to A). cp/dp are caller-provided scratch of length
+// nz.
+func (op *operator) thomasColumn(r, z []float64, col int, cp, dp []float64) {
+	nz, sz := op.nz, op.sz
+	c0 := col
+	b0 := op.diag[c0]
+	cp[0] = -op.gzp[c0] / b0
+	dp[0] = r[c0] / b0
+	for k := 1; k < nz; k++ {
+		c := col + k*sz
+		a := -op.gzp[c-sz]
+		m := op.diag[c] - a*cp[k-1]
+		if k < nz-1 {
+			cp[k] = -op.gzp[c] / m
+		}
+		dp[k] = (r[c] - a*dp[k-1]) / m
+	}
+	z[col+(nz-1)*sz] = dp[nz-1]
+	for k := nz - 2; k >= 0; k-- {
+		z[col+k*sz] = dp[k] - cp[k]*z[col+(k+1)*sz]
 	}
 }
 

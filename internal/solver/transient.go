@@ -8,7 +8,10 @@ import (
 // Transient integrates ρc ∂T/∂t = ∇·(K∇T) + q with backward Euler.
 // Each step solves (C/Δt + A)·Tⁿ⁺¹ = (C/Δt)·Tⁿ + b, reusing the
 // steady operator with an augmented diagonal; unconditional
-// stability lets the scheduling studies take large steps.
+// stability lets the scheduling studies take large steps. The inner
+// PCG solve of every step runs on Options.Workers goroutines with
+// the same determinism contract as SolveSteady (Workers is resolved
+// once, at NewTransient time).
 type Transient struct {
 	p    *Problem
 	op   *operator

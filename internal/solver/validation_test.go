@@ -51,25 +51,25 @@ func analyticPatchAverage(q, k, l, h, x0, x1, y0, y1 float64, modes int) float64
 	return q * sum / (l * l * ax * ay)
 }
 
-// TestSpreadingResistanceSquareSource validates the solver against
-// the exact series solution for a square isoflux source on a finite
-// isothermal-bottom block — the canonical spreading-resistance
-// configuration. (The infinite-half-space value 0.473/(k·a) is the
-// large-domain limit of the same series.)
-func TestSpreadingResistanceSquareSource(t *testing.T) {
+// spreadingPatchRise solves the square-isoflux-patch spreading
+// problem at in-plane resolution n (must be a multiple of 32 so the
+// patch edges land on cell boundaries) and returns the source-average
+// temperature rise plus the injected power. The z grading — coarse in
+// the bulk, fine in the top 10 µm where the field varies fastest —
+// is the same for every n, so differences between resolutions
+// isolate the in-plane discretization error (the z bias cancels).
+func spreadingPatchRise(t *testing.T, n int) (rise, power float64) {
+	t.Helper()
 	const (
 		k = 100.0
 		a = 10e-6  // source side
 		l = 160e-6 // domain side (16a)
 		h = 80e-6  // domain depth (8a)
 	)
-	const n = 96
 	xs := make([]float64, n+1)
 	for i := range xs {
 		xs[i] = l * float64(i) / float64(n)
 	}
-	// Graded z: coarse in the bulk, fine near the heated surface
-	// where the field varies fastest.
 	var zs []float64
 	for i := 0; i <= 14; i++ {
 		zs = append(zs, (h-10e-6)*float64(i)/14)
@@ -90,7 +90,6 @@ func TestSpreadingResistanceSquareSource(t *testing.T) {
 	q := 1e9 // W/m² surface flux
 	topK := g.NZ() - 1
 	dz := g.DZ(topK)
-	var power float64
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {
 			cx, cy := g.CX(i), g.CY(j)
@@ -116,16 +115,70 @@ func TestSpreadingResistanceSquareSource(t *testing.T) {
 			}
 		}
 	}
-	tAvg := sum / float64(cnt)
+	return sum/float64(cnt) - 300, power
+}
+
+// TestSpreadingResistanceSquareSource validates the solver against
+// the exact series solution for a square isoflux source on a finite
+// isothermal-bottom block — the canonical spreading-resistance
+// configuration. (The infinite-half-space value 0.473/(k·a) is the
+// large-domain limit of the same series.) Rather than a single
+// eyeball tolerance, the discretization error against the series
+// value is asserted to shrink with grid refinement at a superlinear
+// observed order.
+func TestSpreadingResistanceSquareSource(t *testing.T) {
+	const (
+		k = 100.0
+		a = 10e-6
+		l = 160e-6
+		h = 80e-6
+	)
 	// Exact analytic rise for the painted patch (cells span exactly
-	// [l/2−a/2, l/2+a/2] on this grid).
-	want := analyticPatchAverage(q, k, l, h, l/2-a/2, l/2+a/2, l/2-a/2, l/2+a/2, 300)
-	got := tAvg - 300
-	if math.Abs(got-want)/want > 0.03 {
-		t.Errorf("patch-average rise %g K, series solution %g K (>3%% off)", got, want)
+	// [l/2−a/2, l/2+a/2] on all tested grids).
+	want := analyticPatchAverage(1e9, k, l, h, l/2-a/2, l/2+a/2, l/2-a/2, l/2+a/2, 300)
+	var rises []float64
+	var got96, power float64
+	for _, n := range []int{32, 64, 96} {
+		rise, pw := spreadingPatchRise(t, n)
+		rises = append(rises, rise)
+		got96, power = rise, pw
+	}
+	// In-plane Richardson convergence: with the z grid held fixed,
+	// successive differences of the rise isolate the in-plane O(h²)
+	// error. The 32→64 step halves h (difference shrinks 2^p); the
+	// 64→96 step refines by 1.5 (shrinks 1.5^p). Assert the observed
+	// order is clearly superlinear around the theoretical 2.
+	d1 := math.Abs(rises[1] - rises[0])
+	d2 := math.Abs(rises[2] - rises[1])
+	// With unequal refinement ratios, an order-p error model
+	// err(n) ∝ n^−p predicts d1/d2 = (32^−p − 64^−p)/(64^−p − 96^−p),
+	// monotone in p — bisect for the observed order.
+	ratio := func(p float64) float64 {
+		f := func(n float64) float64 { return math.Pow(1/n, p) }
+		return (f(32) - f(64)) / (f(64) - f(96))
+	}
+	lo, hi := 0.1, 4.0
+	for it := 0; it < 60; it++ {
+		mid := (lo + hi) / 2
+		if ratio(mid) < d1/d2 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	pObs := (lo + hi) / 2
+	t.Logf("spreading rises %v (series %g), in-plane diffs %g, %g, observed order %.2f", rises, want, d1, d2, pObs)
+	if d2 >= d1 {
+		t.Errorf("in-plane refinement not converging: |r96-r64|=%g ≥ |r64-r32|=%g", d2, d1)
+	}
+	if pObs < 1.2 {
+		t.Errorf("observed in-plane convergence order %.2f < 1.2", pObs)
+	}
+	if math.Abs(got96-want)/want > 0.03 {
+		t.Errorf("patch-average rise %g K, series solution %g K (>3%% off)", got96, want)
 	}
 	// Sanity: the spreading component sits near the half-space value.
-	rTotal := got / power
+	rTotal := got96 / power
 	rSlab := h / (k * l * l)
 	halfSpace := 0.473 / (k * a)
 	if rSp := rTotal - rSlab; rSp < halfSpace/2 || rSp > halfSpace*1.5 {
