@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race equivalence bench ci
+.PHONY: all build test vet race equivalence bench bench-json ci
 
 all: build test
 
@@ -28,6 +28,12 @@ equivalence:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=2x ./internal/solver/
+
+# bench-json snapshots the solver benchmark suite into
+# BENCH_solver.json (name, ns/op, harness iterations, workers) so
+# successive PRs can track the performance trajectory.
+bench-json:
+	$(GO) test -run xxx -bench . -benchtime=2x ./internal/solver/ | $(GO) run ./cmd/benchjson > BENCH_solver.json
 
 # ci is the gate: vet + race-clean full suite + doubled equivalence.
 ci: race equivalence

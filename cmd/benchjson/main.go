@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, one record per benchmark result:
+//
+//	[{"name": "BenchmarkSteadyPrecond/precond=multigrid/n=64",
+//	  "ns_per_op": 9.4e7, "iterations": 2, "workers": 1}, ...]
+//
+// iterations is the harness repeat count (b.N); workers is parsed
+// from a "workers=N" sub-benchmark component when present (1
+// otherwise). The Makefile bench-json target pipes the solver suite
+// through this tool into BENCH_solver.json so successive PRs can
+// track the performance trajectory with a stable, diffable format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Iterations int     `json:"iterations"`
+	Workers    int     `json:"workers"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results := []result{}
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine extracts one benchmark result from a line of `go test
+// -bench` output, e.g.:
+//
+//	BenchmarkSteadyZLine64Workers/workers=4-8   3   328412345 ns/op
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(strings.TrimSpace(line))
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+		return result{}, false
+	}
+	n, err := strconv.Atoi(f[1])
+	if err != nil {
+		return result{}, false
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return result{}, false
+	}
+	return result{Name: f[0], NsPerOp: ns, Iterations: n, Workers: parseWorkers(f[0])}, true
+}
+
+// parseWorkers pulls N out of a "workers=N" component of the
+// benchmark name, stopping at the sub-benchmark or GOMAXPROCS
+// separator; benchmarks without one ran the solver default (1 worker
+// on a sequential `go test`).
+func parseWorkers(name string) int {
+	i := strings.Index(name, "workers=")
+	if i < 0 {
+		return 1
+	}
+	rest := name[i+len("workers="):]
+	if j := strings.IndexAny(rest, "/-"); j >= 0 {
+		rest = rest[:j]
+	}
+	w, err := strconv.Atoi(rest)
+	if err != nil || w < 1 {
+		return 1
+	}
+	return w
+}

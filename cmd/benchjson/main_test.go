@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		want result
+	}{
+		{
+			line: "BenchmarkSteadyPrecond/precond=multigrid/n=64         	       3	  93531457 ns/op",
+			ok:   true,
+			want: result{Name: "BenchmarkSteadyPrecond/precond=multigrid/n=64", NsPerOp: 93531457, Iterations: 3, Workers: 1},
+		},
+		{
+			line: "BenchmarkSteadyZLine64Workers/workers=4-8   3   328412345.5 ns/op",
+			ok:   true,
+			want: result{Name: "BenchmarkSteadyZLine64Workers/workers=4-8", NsPerOp: 328412345.5, Iterations: 3, Workers: 4},
+		},
+		{line: "goos: linux", ok: false},
+		{line: "PASS", ok: false},
+		{line: "ok  	thermalscaffold/internal/solver	8.003s", ok: false},
+		{line: "BenchmarkBroken   notanumber   5 ns/op", ok: false},
+		{line: "", ok: false},
+	}
+	for _, c := range cases {
+		got, ok := parseLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{"BenchmarkSteadyZLine64Workers/workers=4", 4},
+		{"BenchmarkSteadyZLine64Workers/workers=8-2", 8},
+		{"BenchmarkSteadyZLine64Workers/workers=2/sub=x", 2},
+		{"BenchmarkSteadyPrecond/precond=zline/n=64", 1},
+		{"BenchmarkX/workers=bogus", 1},
+	}
+	for _, c := range cases {
+		if got := parseWorkers(c.name); got != c.want {
+			t.Errorf("parseWorkers(%q) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

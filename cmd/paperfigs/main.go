@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-quick] [-fig ID]
+//	paperfigs [-quick] [-fig ID] [-workers N] [-precond P]
 //
 // where ID is one of: 2b, 2c, 3, 4, 5, 7a, 7b, 9, 10, 11, 12, table1,
 // ablations, extras (macro cooling, misalignment, tier-resistance share), or
@@ -19,6 +19,7 @@ import (
 
 	"thermalscaffold/internal/experiments"
 	"thermalscaffold/internal/report"
+	"thermalscaffold/internal/solver"
 )
 
 func main() {
@@ -26,9 +27,16 @@ func main() {
 	fig := flag.String("fig", "all", "figure/table to regenerate (2b, 2c, 3, 4, 5, 7a, 7b, 9, 10, 11, 12, table1, ablations, extras, all)")
 	outdir := flag.String("outdir", "", "when set, also write each series/table to files in this directory")
 	workers := flag.Int("workers", 0, "solver worker goroutines (0 = one per CPU core, 1 = serial)")
+	precond := flag.String("precond", "zline", "PCG preconditioner for the figure sweeps: zline or multigrid (jacobi parses but stack solves upgrade it to zline)")
 	flag.Parse()
 
 	experiments.Workers = *workers
+	pc, err := solver.ParsePreconditioner(*precond)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(2)
+	}
+	experiments.Precond = pc
 	o := experiments.Options{Quick: *quick}
 	sel := strings.ToLower(*fig)
 	run := func(id string) bool { return sel == "all" || sel == id }

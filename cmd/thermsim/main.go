@@ -5,6 +5,7 @@
 // Usage:
 //
 //	thermsim -spec stack.json
+//	thermsim -spec stack.json -precond multigrid
 //	thermsim -example          # print an example spec and exit
 //
 // Spec format (JSON): see internal/specio. "beol" is "conventional",
@@ -31,7 +32,14 @@ func main() {
 	example := flag.Bool("example", false, "print an example spec and exit")
 	showMap := flag.Bool("map", false, "render the top-tier temperature field as an ASCII heatmap")
 	workers := flag.Int("workers", 0, "solver worker goroutines (0 = one per CPU core, 1 = serial)")
+	precond := flag.String("precond", "zline", "PCG preconditioner: zline or multigrid (jacobi parses but stack solves upgrade it to zline)")
 	flag.Parse()
+
+	pc, err := solver.ParsePreconditioner(*precond)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *example {
 		raw, err := specio.Marshal(specio.Example())
@@ -61,7 +69,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
 		os.Exit(1)
 	}
-	res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 100000, Workers: *workers})
+	res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 100000, Workers: *workers, Precond: pc})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "thermsim: solve: %v\n", err)
 		os.Exit(1)

@@ -14,6 +14,15 @@
 // combine partials in a fixed order, so results are bit-identical
 // run-to-run and across worker counts ≥ 2. See DESIGN.md §6.
 //
+// PCG offers three preconditioners (solver.Options.Precond): Jacobi,
+// z-line (per-column Thomas, the default for chip stacks), and
+// geometric multigrid (x/y semi-coarsening with red-black z-line
+// Gauss-Seidel smoothing), whose iteration count stays nearly flat
+// under grid refinement — the default for the repeated solves of the
+// pillar placement loop and 3.5–4× faster end-to-end on large grids.
+// The cmd/thermsim and cmd/paperfigs binaries expose the choice as
+// -precond jacobi|zline|multigrid. See DESIGN.md §7.
+//
 // See README.md for the architecture overview, DESIGN.md for the
 // system inventory and per-experiment index, and EXPERIMENTS.md for
 // the paper-vs-measured comparison. The root-level benchmarks

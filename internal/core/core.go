@@ -228,7 +228,10 @@ func conventionalTMax(cfg Config, tiers int, fill float64, warm *[]float64) (flo
 		}
 		spec.PowerMaps = maps
 	}
-	opts := solver.Options{Tol: cfg.Tol, MaxIter: 80000}
+	// The feasibility bisection re-solves this spec ~20 times with
+	// nearby fill fractions: multigrid plus the warm start keeps each
+	// solve at a handful of iterations.
+	opts := solver.Options{Tol: cfg.Tol, MaxIter: 80000, Precond: solver.Multigrid}
 	if warm != nil && len(*warm) > 0 {
 		opts.InitialGuess = *warm
 	}
@@ -392,7 +395,7 @@ func evaluatePillarsAtBudget(cfg Config, s Strategy, tiers int, areaBudget float
 		Sink:          cfg.Sink,
 		MemoryPerTier: true,
 	}
-	res, err := spec.Solve(solver.Options{Tol: cfg.Tol, MaxIter: 80000})
+	res, err := spec.Solve(solver.Options{Tol: cfg.Tol, MaxIter: 80000, Precond: solver.Multigrid})
 	if err != nil {
 		return nil, err
 	}

@@ -93,8 +93,24 @@ func nearlyEqual(a, b, relTol float64) bool {
 // -workers.
 var Workers int
 
+// Precond is the preconditioner handed to every solver invocation in
+// this package (zero value = the solver's unset convention, which
+// stack.Spec.Solve upgrades to z-line). cmd/paperfigs exposes it as
+// -precond; the figure sweeps re-solve hundreds of stacks, so
+// multigrid typically cuts their wall-clock severalfold.
+var Precond solver.Preconditioner
+
 // solverOpts is the shared solver configuration for ad-hoc stack
 // solves inside experiments.
 func solverOpts() solver.Options {
-	return solver.Options{Tol: 1e-6, MaxIter: 80000, Workers: Workers}
+	return solverOptsTol(1e-6)
+}
+
+// solverOptsTol is solverOpts with an explicit tolerance — the single
+// place experiment solves pick up MaxIter, Workers, and Precond, so a
+// stray literal can no longer drop the iteration cap (hetero.go once
+// passed a Tol-only Options at 1e-10 and silently ran with the
+// solver's 20000-iteration default, a quarter of the intended cap).
+func solverOptsTol(tol float64) solver.Options {
+	return solver.Options{Tol: tol, MaxIter: 80000, Workers: Workers, Precond: Precond}
 }

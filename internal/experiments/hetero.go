@@ -221,7 +221,13 @@ func GatedTransient(tiers, n int) (*GatedTransientResult, error) {
 	for i := range init {
 		init[i] = amb
 	}
-	tr, err := solver.NewTransient(p, init, solver.Options{Tol: 1e-6, Precond: solver.ZLine, Workers: Workers})
+	// NewTransient does not apply the stack-level "unset means z-line"
+	// upgrade, so do it here before handing over the shared options.
+	topts := solverOpts()
+	if topts.Precond == solver.Jacobi {
+		topts.Precond = solver.ZLine
+	}
+	tr, err := solver.NewTransient(p, init, topts)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +288,10 @@ func SolverCrossCheck(o Options) (*CrossCheckResult, error) {
 		Sink:          heatsink.TwoPhase(),
 		MemoryPerTier: true,
 	}
-	res, err := spec.Solve(solver.Options{Tol: 1e-10, Workers: Workers})
+	// solverOptsTol carries the 80000 iteration cap the bare literal
+	// here used to drop: at 1e-10 the solve needs more headroom than
+	// the solver's 20000 default.
+	res, err := spec.Solve(solverOptsTol(1e-10))
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,6 @@ import (
 	"thermalscaffold/internal/materials"
 	"thermalscaffold/internal/pillar"
 	"thermalscaffold/internal/report"
-	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/stack"
 	"thermalscaffold/internal/units"
 )
@@ -56,7 +55,7 @@ func Fig3(tiers, n int) (*Fig3Result, error) {
 			Sink:          heatsink.TwoPhase(),
 			MemoryPerTier: true,
 		}
-		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
+		res, err := spec.Solve(solverOptsTol(1e-7))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -148,7 +147,7 @@ func Fig12(tiers, n int) (*Fig12Result, error) {
 			Sink:          heatsink.TwoPhase(),
 			MemoryPerTier: true,
 		}
-		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
+		res, err := spec.Solve(solverOptsTol(1e-7))
 		if err != nil {
 			return 0, err
 		}
@@ -253,7 +252,7 @@ func MacroCooling(tiers, n int) (*MacroCoolingResult, error) {
 			Sink:          heatsink.TwoPhase(),
 			MemoryPerTier: true,
 		}
-		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
+		res, err := spec.Solve(solverOptsTol(1e-7))
 		if err != nil {
 			return 0, err
 		}
@@ -326,7 +325,7 @@ func Misalignment(tiers, n int) (*MisalignmentResult, error) {
 			Sink:           heatsink.TwoPhase(),
 			MemoryPerTier:  true,
 		}
-		res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
+		res, err := spec.Solve(solverOptsTol(1e-7))
 		if err != nil {
 			return 0, err
 		}
@@ -386,14 +385,14 @@ func TierResistanceShare(nx int) (float64, error) {
 		}
 	}
 	real3 := mk(stack.ConventionalBEOL())
-	resReal, err := real3.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
+	resReal, err := real3.Solve(solverOptsTol(1e-7))
 	if err != nil {
 		return 0, err
 	}
 	// An idealized stack whose tier layers conduct like bulk copper:
 	// only the heatsink and handle resistance remain.
 	ideal := mk(stack.BEOLProps{LowerKVert: 400, LowerKLat: 400, UpperKVert: 400, UpperKLat: 400})
-	resIdeal, err := ideal.Solve(solver.Options{Tol: 1e-7, MaxIter: 80000, Workers: Workers})
+	resIdeal, err := ideal.Solve(solverOptsTol(1e-7))
 	if err != nil {
 		return 0, err
 	}

@@ -145,6 +145,45 @@ func findCell(bounds []float64, v float64) int {
 	return i - 1
 }
 
+// CoarsenOffsets returns the aggregate boundaries that coarsen an
+// axis of n cells by pairing adjacent cells: offsets[a] is the first
+// fine cell of coarse cell a, offsets[len-1] == n. Aggregates have
+// two fine cells except for an odd trailing singleton; n == 1 returns
+// [0, 1] (no shrink). Used by the solver's semi-coarsened multigrid
+// hierarchy — coarse boundaries are always a subset of fine
+// boundaries, so coarse faces align with fine faces.
+func CoarsenOffsets(n int) []int {
+	if n < 1 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0, 1}
+	}
+	out := make([]int, 0, n/2+2)
+	for f := 0; f < n; f += 2 {
+		out = append(out, f)
+	}
+	return append(out, n)
+}
+
+// CoarsenXY returns the grid semi-coarsened 2× in x and y with z
+// untouched — the multigrid coarsening for high-aspect-ratio chip
+// stacks, where the strongly nonuniform z spacing (BEOL vs device
+// layers) must be preserved and handled by line smoothing instead.
+// Coarse boundary coordinates are the subset of fine boundaries
+// selected by CoarsenOffsets, so no new geometry is introduced.
+func (g *Grid) CoarsenXY() *Grid {
+	pick := func(bounds []float64) []float64 {
+		off := CoarsenOffsets(len(bounds) - 1)
+		out := make([]float64, len(off))
+		for a, f := range off {
+			out[a] = bounds[f]
+		}
+		return out
+	}
+	return &Grid{Xs: pick(g.Xs), Ys: pick(g.Ys), Zs: append([]float64(nil), g.Zs...)}
+}
+
 // ZLayerBuilder accumulates stacked z-layers, each subdivided into a
 // number of cells, producing the z boundary coordinates for a chip
 // stack grid. Layers are added bottom (heatsink side) first.

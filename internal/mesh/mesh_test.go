@@ -189,3 +189,98 @@ func TestZLayerBuilderMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCoarsenOffsets(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{1, []int{0, 1}},
+		{2, []int{0, 2}},
+		{3, []int{0, 2, 3}},
+		{5, []int{0, 2, 4, 5}},
+		{8, []int{0, 2, 4, 6, 8}},
+	}
+	for _, c := range cases {
+		got := CoarsenOffsets(c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("CoarsenOffsets(%d) = %v, want %v", c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("CoarsenOffsets(%d) = %v, want %v", c.n, got, c.want)
+			}
+		}
+	}
+	if CoarsenOffsets(0) != nil {
+		t.Error("CoarsenOffsets(0) should be nil")
+	}
+	// Every aggregate holds 1 or 2 fine cells and the offsets cover [0, n).
+	for n := 1; n <= 33; n++ {
+		off := CoarsenOffsets(n)
+		if off[0] != 0 || off[len(off)-1] != n {
+			t.Fatalf("n=%d: offsets %v do not cover the axis", n, off)
+		}
+		for a := 1; a < len(off); a++ {
+			if w := off[a] - off[a-1]; w < 1 || w > 2 {
+				t.Fatalf("n=%d: aggregate %d has width %d", n, a-1, w)
+			}
+		}
+	}
+}
+
+func TestCoarsenXY(t *testing.T) {
+	g, err := New(
+		[]float64{0, 1, 3, 4, 7, 8},    // 5 cells
+		[]float64{0, 2, 5, 9, 10},      // 4 cells
+		[]float64{0, 0.1, 0.9, 1.0},    // 3 layers, nonuniform
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.CoarsenXY()
+	if c.NX() != 3 || c.NY() != 2 || c.NZ() != 3 {
+		t.Fatalf("coarse dims %dx%dx%d, want 3x2x3", c.NX(), c.NY(), c.NZ())
+	}
+	// Coarse boundaries are a subset of the fine ones, extents match.
+	wantXs := []float64{0, 3, 7, 8}
+	for i, x := range wantXs {
+		if c.Xs[i] != x {
+			t.Fatalf("coarse Xs = %v, want %v", c.Xs, wantXs)
+		}
+	}
+	if c.LX() != g.LX() || c.LY() != g.LY() || c.LZ() != g.LZ() {
+		t.Error("coarsening changed the domain extent")
+	}
+	// z untouched (semi-coarsening).
+	for k := range c.Zs {
+		if c.Zs[k] != g.Zs[k] {
+			t.Fatal("CoarsenXY modified z boundaries")
+		}
+	}
+	// Coarsening a 1x1 in-plane grid is a no-op in x/y.
+	g1, _ := New([]float64{0, 1}, []float64{0, 1}, []float64{0, 1, 2})
+	c1 := g1.CoarsenXY()
+	if c1.NX() != 1 || c1.NY() != 1 || c1.NZ() != 2 {
+		t.Errorf("1x1 coarsening changed dims to %dx%dx%d", c1.NX(), c1.NY(), c1.NZ())
+	}
+	// Volume is conserved per coarse cell column group: total volume equal.
+	var vf, vc float64
+	for k := 0; k < g.NZ(); k++ {
+		for j := 0; j < g.NY(); j++ {
+			for i := 0; i < g.NX(); i++ {
+				vf += g.Volume(i, j, k)
+			}
+		}
+	}
+	for k := 0; k < c.NZ(); k++ {
+		for j := 0; j < c.NY(); j++ {
+			for i := 0; i < c.NX(); i++ {
+				vc += c.Volume(i, j, k)
+			}
+		}
+	}
+	if math.Abs(vf-vc) > 1e-12*vf {
+		t.Errorf("coarsening lost volume: fine %g vs coarse %g", vf, vc)
+	}
+}

@@ -24,6 +24,11 @@ type DiscretePlacement struct {
 	PerUnit map[string]int
 	// Field is the rasterized coverage of the discrete pillars.
 	Field *stack.PillarField
+	// lastT caches the previous verification solve's temperature
+	// field. Successive verifications differ only by a few added
+	// pillars, so each re-solve warm-starts from the last field and
+	// converges in a handful of multigrid-preconditioned iterations.
+	lastT []float64
 }
 
 // maxDiscretePillars bounds coordinate materialization: beyond this,
@@ -112,12 +117,25 @@ func ringAround(r floorplan.Rect, width float64, die floorplan.Rect) []floorplan
 // VerifyTemperature re-simulates the stack with the discrete pillar
 // rasterization (instead of the idealized coverage profile) and
 // returns the achieved peak (°C). The paper's flow performs the same
-// check and "fill is increased past P_min" when uniformity is poor.
+// check and "fill is increased past P_min" when uniformity is poor —
+// RefineFill automates that loop.
 func (d *DiscretePlacement) VerifyTemperature(req Request) (float64, error) {
 	r, err := (&req).withDefaults()
 	if err != nil {
 		return 0, err
 	}
+	res, err := d.verify(r)
+	if err != nil {
+		return 0, err
+	}
+	return units.KelvinToCelsius(res.MaxT()), nil
+}
+
+// verify solves the stack with the current discrete rasterization,
+// warm-starting from the previous verification's field when one is
+// cached. The multigrid preconditioner keeps the iteration count flat
+// as callers refine the placement grid.
+func (d *DiscretePlacement) verify(r *Request) (*stack.Result, error) {
 	tier := r.Design.Tier
 	pm := tier.PowerMap(r.NX, r.NY)
 	spec := &stack.Spec{
@@ -130,11 +148,153 @@ func (d *DiscretePlacement) VerifyTemperature(req Request) (float64, error) {
 		Sink:          r.Sink,
 		MemoryPerTier: !r.NoMemoryPerTier,
 	}
-	res, err := spec.Solve(solver.Options{Tol: r.Tol, MaxIter: 80000})
+	res, err := spec.Solve(solver.Options{
+		Tol:          r.Tol,
+		MaxIter:      80000,
+		Precond:      solver.Multigrid,
+		InitialGuess: d.lastT,
+	})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return units.KelvinToCelsius(res.MaxT()), nil
+	d.lastT = res.Field.T
+	return res, nil
+}
+
+// RefineResult traces one greedy fill-refinement run.
+type RefineResult struct {
+	// TMaxC is the final verified peak temperature (°C).
+	TMaxC float64
+	// Rounds counts refinement rounds actually performed.
+	Rounds int
+	// Added counts pillars inserted past P_min.
+	Added int
+	// Trace holds the verified peak after the initial verification
+	// and after each round (°C).
+	Trace []float64
+	// Met reports whether the target was reached.
+	Met bool
+}
+
+// RefineFill implements the paper's verification loop: when the
+// discrete realization misses the temperature target, "fill is
+// increased past P_min". Each round locates the verified hotspot,
+// identifies the floorplan region under it, and inserts a staggered
+// pillar grid offset by half the local pitch (roughly doubling the
+// local density) before re-verifying. Every solve after the first
+// warm-starts from the previous round's temperature field, so a
+// refinement round costs a few multigrid-preconditioned iterations
+// rather than a cold solve.
+func (d *DiscretePlacement) RefineFill(req Request, maxRounds int) (*RefineResult, error) {
+	r, err := (&req).withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tier := r.Design.Tier
+	macros := macroRects(tier)
+	out := &RefineResult{}
+	res, err := d.verify(r)
+	if err != nil {
+		return nil, err
+	}
+	out.TMaxC = units.KelvinToCelsius(res.MaxT())
+	out.Trace = append(out.Trace, out.TMaxC)
+	for round := 0; round < maxRounds; round++ {
+		if out.TMaxC <= r.TTargetC {
+			out.Met = true
+			return out, nil
+		}
+		x, y := hotspotXY(res)
+		name, regions := hotRegions(tier, x, y)
+		pitch := d.regionPitch(name, regions)
+		added := 0
+		for _, reg := range regions {
+			// Narrow regions (macro channel bands) cap the pitch so the
+			// staggered grid always lands at least one row.
+			p := pitch
+			if m := math.Min(reg.W, reg.H) / 2; m > 0 && p > m {
+				p = m
+			}
+			pts := GridPlace(offsetRegion(reg, p), p, macros)
+			d.Points = append(d.Points, pts...)
+			added += len(pts)
+		}
+		if added == 0 || len(d.Points) > maxDiscretePillars {
+			// The hotspot region cannot absorb more fill (fully
+			// macro-covered, or the materialization bound is hit);
+			// report how far refinement got.
+			return out, nil
+		}
+		d.PerUnit[name] += added
+		d.Field = FieldFromPoints(d.Points, tier.Die, r.NX, r.NY, r.Geometry)
+		out.Rounds++
+		out.Added += added
+		if res, err = d.verify(r); err != nil {
+			return nil, err
+		}
+		out.TMaxC = units.KelvinToCelsius(res.MaxT())
+		out.Trace = append(out.Trace, out.TMaxC)
+	}
+	out.Met = out.TMaxC <= r.TTargetC
+	return out, nil
+}
+
+// hotspotXY returns the die coordinates of the hottest cell in a
+// solved stack.
+func hotspotXY(res *stack.Result) (float64, float64) {
+	best, bestC := math.Inf(-1), 0
+	for c, t := range res.Field.T {
+		if t > best {
+			best, bestC = t, c
+		}
+	}
+	g := res.Layout.Grid
+	i, j, _ := g.Coords(bestC)
+	return g.CX(i), g.CY(j)
+}
+
+// hotRegions maps a die coordinate to the floorplan regions that can
+// accept additional fill: the logic unit under the point, the channel
+// ring around a macro, or (off every unit) a one-cell neighborhood of
+// the hotspot itself.
+func hotRegions(tier *floorplan.Floorplan, x, y float64) (string, []floorplan.Rect) {
+	for _, u := range tier.Units {
+		if !u.Rect.ContainsPoint(x, y) {
+			continue
+		}
+		if u.IsMacro {
+			return u.Name, ringAround(u.Rect, macroHalfWidth(tier), tier.Die)
+		}
+		return u.Name, []floorplan.Rect{u.Rect}
+	}
+	// Hotspot over whitespace: densify a die-scale patch around it.
+	w := math.Min(tier.Die.W, tier.Die.H) / 8
+	patch := floorplan.Rect{X: x - w/2, Y: y - w/2, W: w, H: w}.Intersection(tier.Die)
+	return "", []floorplan.Rect{patch}
+}
+
+// regionPitch picks the pitch for a refinement round: the realized
+// pitch of the unit's existing pillars when it has any, otherwise a
+// grid that seeds the region at roughly 8×8.
+func (d *DiscretePlacement) regionPitch(name string, regions []floorplan.Rect) float64 {
+	area := 0.0
+	for _, reg := range regions {
+		area += reg.Area()
+	}
+	if n := d.PerUnit[name]; n > 0 {
+		return math.Sqrt(area / float64(n))
+	}
+	return math.Sqrt(area / 64)
+}
+
+// offsetRegion shifts a region by half a pitch in x and y so GridPlace
+// yields a staggered grid interleaving the existing one.
+func offsetRegion(reg floorplan.Rect, pitch float64) floorplan.Rect {
+	out := floorplan.Rect{X: reg.X + pitch/2, Y: reg.Y + pitch/2, W: reg.W - pitch/2, H: reg.H - pitch/2}
+	if out.W <= 0 || out.H <= 0 {
+		return floorplan.Rect{}
+	}
+	return out
 }
 
 // NearestPillarDistance returns, for a point on the die, the distance

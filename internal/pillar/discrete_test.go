@@ -91,6 +91,70 @@ func TestDiscretizeVerifyTemperature(t *testing.T) {
 	}
 }
 
+func TestRefineFillReducesPeak(t *testing.T) {
+	req := discreteReq(8)
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Discretize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, err := d.VerifyTemperature(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force refinement rounds by demanding a target below what the
+	// initial discrete fill achieves.
+	req.TTargetC = t0 - 3
+	res, err := d.RefineFill(req, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 || res.Added == 0 {
+		t.Fatalf("no refinement performed: %+v", res)
+	}
+	if len(res.Trace) != res.Rounds+1 {
+		t.Errorf("trace length %d for %d rounds", len(res.Trace), res.Rounds)
+	}
+	// Added fill past P_min must cool the stack.
+	if last := res.Trace[len(res.Trace)-1]; last >= res.Trace[0] {
+		t.Errorf("refinement did not reduce peak: %v", res.Trace)
+	}
+	if res.Met && res.TMaxC > req.TTargetC {
+		t.Errorf("Met with TMaxC %g above target %g", res.TMaxC, req.TTargetC)
+	}
+	if err := d.Field.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyTemperatureWarmStartConsistent(t *testing.T) {
+	req := discreteReq(8)
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Discretize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := d.VerifyTemperature(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second call warm-starts from the cached field; the answer
+	// must agree with the cold solve to solver tolerance.
+	warm, err := d.VerifyTemperature(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm-cold) > 0.05 {
+		t.Errorf("warm-started verification %g°C differs from cold %g°C", warm, cold)
+	}
+}
+
 func TestDiscretizeBoundsPillarCount(t *testing.T) {
 	req := Request{
 		Design: design.Gemmini(), Tiers: 12,

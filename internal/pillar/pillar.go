@@ -281,7 +281,10 @@ func Place(req Request) (*Placement, error) {
 			Sink:          r.Sink,
 			MemoryPerTier: !r.NoMemoryPerTier,
 		}
-		res, err := spec.Solve(solver.Options{Tol: r.Tol, MaxIter: 80000, InitialGuess: lastField})
+		// The bisection re-solves the same stack ~20 times with nearby
+		// coverage fields: multigrid keeps each warm-started solve at a
+		// handful of iterations regardless of grid resolution.
+		res, err := spec.Solve(solver.Options{Tol: r.Tol, MaxIter: 80000, Precond: solver.Multigrid, InitialGuess: lastField})
 		if err != nil {
 			return 0, nil, nil, err
 		}

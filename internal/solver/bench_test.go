@@ -29,8 +29,9 @@ import (
 //	go test -run xxx -bench 'Workers' -benchtime=3x ./internal/solver/
 
 // benchStack builds a 12-tier chip-scale problem at the given
-// in-plane resolution.
-func benchStack(b *testing.B, n int) *Problem {
+// in-plane resolution. It takes testing.TB so the multigrid
+// iteration-flatness tests can reuse the exact acceptance grids.
+func benchStack(b testing.TB, n int) *Problem {
 	b.Helper()
 	zb := mesh.NewZLayerBuilder()
 	zb.Add("handle", 10e-6, 2)
@@ -96,6 +97,32 @@ func BenchmarkSteadyJacobi16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := SolveSteady(p, Options{Tol: 1e-7, Precond: Jacobi}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyPrecond compares the three PCG preconditioners
+// across in-plane resolutions on the 12-tier stack. Multigrid's
+// iteration count is nearly mesh-independent (5→7 from n=16 to 64)
+// while ZLine's grows with resolution (36→82), so the gap widens
+// with grid size — the n=64/n=96 rows are the ≥3× acceptance
+// measurement. Jacobi is capped at n=32: its count grows fastest and
+// the larger runs would dominate the whole bench suite without
+// adding information.
+func BenchmarkSteadyPrecond(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 96} {
+		p := benchStack(b, n)
+		for _, pc := range []Preconditioner{Jacobi, ZLine, Multigrid} {
+			if pc == Jacobi && n > 32 {
+				continue
+			}
+			b.Run(fmt.Sprintf("precond=%s/n=%d", pc, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := SolveSteady(p, Options{Tol: 1e-7, Precond: pc}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

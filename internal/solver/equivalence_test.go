@@ -142,7 +142,7 @@ func TestEquivalenceSteady(t *testing.T) {
 	rng := &eqRNG{s: 0xA11CE}
 	for round, size := range equivalenceSizes {
 		p := randomProblem(t, rng, size[0], size[1], size[2])
-		for _, pc := range []Preconditioner{Jacobi, ZLine} {
+		for _, pc := range []Preconditioner{Jacobi, ZLine, Multigrid} {
 			opts := Options{Tol: 1e-13, MaxIter: 100000, Precond: pc}
 			optsSer := opts
 			optsSer.Workers = 1

@@ -1,0 +1,515 @@
+package solver
+
+// Geometric multigrid preconditioner for the steady PCG solve.
+//
+// Chip stacks are extremely anisotropic: lateral cells are hundreds of
+// times wider than the BEOL/device layers are thick, and the z spacing
+// in mesh.Grid.Zs is strongly nonuniform. Full coarsening would
+// average incompatible z layers together, so the hierarchy
+// semi-coarsens in x/y only (mesh.CoarsenOffsets pairs adjacent
+// columns/rows; z is untouched at every level) and smooths with
+// red-black z-line Gauss-Seidel sweeps: columns are colored by i+j
+// parity, and each column's tridiagonal z-coupling is solved exactly
+// (Thomas, with LU factors precomputed per level) against the lateral
+// coupling to the opposite color. Line relaxation along the strong
+// axis removes the stiff vertical coupling entirely, and exact
+// per-color block solves smooth the lateral error far better than
+// damped Jacobi at the same cost — semi-coarsening plus line
+// relaxation is the standard robust choice for high-aspect-ratio
+// anisotropy.
+//
+// Coarse operators are Galerkin-free: each level is rediscretized
+// directly at the conductance level. Coarse x/y boundaries are a
+// subset of fine boundaries, so every coarse face is a union of fine
+// faces, and the coarse face conductances follow the same
+// series/parallel (harmonic-mean) resistor rules as the fine
+// assembly: lateral coarse couplings series-combine the half-cell
+// interior faces with the interface faces per fine row and sum the
+// rows in parallel; vertical couplings and boundary/capacitance
+// excess sum in parallel over each 2×2 column aggregate. This works
+// on any assembled operator — including the transient solver's
+// diagonally augmented one — without needing the originating Problem.
+//
+// The V(1,1) cycle is a fixed symmetric positive definite linear
+// operator, as PCG requires: prolongation is the exact transpose of
+// restriction (aggregate sum down, piecewise-constant injection up),
+// the post-smooth runs the colors in reverse order — each half-sweep
+// is an exact block solve, hence A-self-adjoint, so black∘red is the
+// A-adjoint of red∘black — and the 1×1-column coarsest level is
+// solved exactly by one Thomas elimination. Exact block Gauss-Seidel
+// half-sweeps are A-orthogonal projections, so no damping parameter
+// is needed for positive definiteness.
+//
+// Determinism: smoothing, restriction, and prolongation all run
+// through internal/parallel with fixed-grain chunking and no
+// floating-point reductions, so one V-cycle is bitwise identical at
+// every worker count (serial included); the solve-level contract is
+// then identical to the other preconditioners'.
+
+import (
+	"thermalscaffold/internal/mesh"
+	"thermalscaffold/internal/parallel"
+)
+
+// mgMaxLevels bounds the hierarchy depth (2^40 cells per axis is far
+// beyond any realistic grid — this is a runaway guard, not a tuning
+// knob). A hierarchy cut off here leaves a non-trivial coarsest grid,
+// which the exact-per-column coarsest lineSolve then merely smooths —
+// still a valid SPD preconditioner, just a slower one.
+const mgMaxLevels = 40
+
+// mgLevel is one grid level of the multigrid hierarchy.
+type mgLevel struct {
+	op *operator
+	// Coarsening maps to the next-coarser level (nil on the coarsest):
+	// xoff/yoff are the mesh.CoarsenOffsets aggregate boundaries,
+	// xmap/ymap map each fine axis index to its aggregate.
+	xoff, yoff []int
+	xmap, ymap []int
+	// cols lists the flat column indices of each red-black color
+	// ((i+j)&1) in ascending order — lateral neighbors always have the
+	// opposite color, so same-color columns never couple.
+	cols [2][]int
+	// Per-cell Thomas LU factors of the column tridiagonals (sub/super
+	// diagonals −gzp, full operator diagonal): cpf is the eliminated
+	// super-diagonal coefficient, minv the inverse pivot. The operator
+	// is fixed for the lifetime of the hierarchy, so factoring once
+	// per level halves the per-sweep column-solve cost (no divisions
+	// on the hot path).
+	cpf, minv []float64
+	// Scratch: b is the restricted right-hand side and x the solution
+	// estimate (levels below the finest; the finest uses the caller's
+	// r/z).
+	b, x []float64
+}
+
+// multigrid is the assembled hierarchy plus per-worker column scratch
+// (nz is identical on every level, so one scratch set serves all).
+type multigrid struct {
+	levels   []*mgLevel
+	kr       *kern
+	rhs, dps [][]float64
+	colGrain int
+}
+
+// newMultigrid builds the semi-coarsened hierarchy for op. The
+// construction is a few O(n) passes — cheap next to a single PCG
+// iteration — and runs serially for simplicity and determinism.
+func newMultigrid(op *operator, kr *kern) *multigrid {
+	mg := &multigrid{kr: kr}
+	for cur := op; ; {
+		lvl := &mgLevel{op: cur}
+		lvl.cpf, lvl.minv = columnFactors(cur)
+		for col := 0; col < cur.sz; col++ {
+			color := (col%cur.nx + col/cur.nx) & 1
+			lvl.cols[color] = append(lvl.cols[color], col)
+		}
+		mg.levels = append(mg.levels, lvl)
+		if (cur.nx == 1 && cur.ny == 1) || len(mg.levels) >= mgMaxLevels {
+			break
+		}
+		lvl.xoff = mesh.CoarsenOffsets(cur.nx)
+		lvl.yoff = mesh.CoarsenOffsets(cur.ny)
+		lvl.xmap = aggregateMap(lvl.xoff, cur.nx)
+		lvl.ymap = aggregateMap(lvl.yoff, cur.ny)
+		cur = coarsenOperator(cur, lvl.xoff, lvl.yoff)
+	}
+	for _, lvl := range mg.levels[1:] {
+		lvl.b = make([]float64, len(lvl.op.diag))
+		lvl.x = make([]float64, len(lvl.op.diag))
+	}
+	// Per-worker column scratch, shared across levels (same nz).
+	w := kr.workers()
+	mg.rhs = make([][]float64, w)
+	mg.dps = make([][]float64, w)
+	for i := range mg.rhs {
+		mg.rhs[i] = make([]float64, op.nz)
+		mg.dps[i] = make([]float64, op.nz)
+	}
+	mg.colGrain = parallel.Grain / op.nz
+	if mg.colGrain < 1 {
+		mg.colGrain = 1
+	}
+	return mg
+}
+
+// columnFactors runs the Thomas forward elimination of every column
+// tridiagonal once, returning the per-cell eliminated super-diagonal
+// (cpf) and inverse pivot (minv).
+func columnFactors(op *operator) (cpf, minv []float64) {
+	n := len(op.diag)
+	cpf = make([]float64, n)
+	minv = make([]float64, n)
+	sz := op.sz
+	// Layer-by-layer (linear memory) order; every column eliminates
+	// independently. gzp is zero on the top layer, so cpf there is
+	// harmlessly zero and never read by the back-substitution.
+	for c := 0; c < sz && c < n; c++ {
+		m := op.diag[c]
+		minv[c] = 1 / m
+		cpf[c] = -op.gzp[c] / m
+	}
+	for c := sz; c < n; c++ {
+		m := op.diag[c] + op.gzp[c-sz]*cpf[c-sz]
+		minv[c] = 1 / m
+		cpf[c] = -op.gzp[c] / m
+	}
+	return cpf, minv
+}
+
+// aggregateMap inverts the offsets: fine index → aggregate index.
+func aggregateMap(off []int, n int) []int {
+	m := make([]int, n)
+	for a := 0; a+1 < len(off); a++ {
+		for f := off[a]; f < off[a+1]; f++ {
+			m[f] = a
+		}
+	}
+	return m
+}
+
+// coarsenOperator rediscretizes op on the x/y-aggregated grid.
+func coarsenOperator(op *operator, xoff, yoff []int) *operator {
+	nxc, nyc, nz := len(xoff)-1, len(yoff)-1, op.nz
+	nc := nxc * nyc * nz
+	co := &operator{
+		nx: nxc, ny: nyc, nz: nz,
+		sy: nxc, sz: nxc * nyc,
+		gxp:  make([]float64, nc),
+		gyp:  make([]float64, nc),
+		gzp:  make([]float64, nc),
+		diag: make([]float64, nc),
+		b:    make([]float64, nc),
+	}
+	// Fine-cell "excess": the diagonal mass that is not face coupling —
+	// boundary conductance and (for the transient operator) the
+	// capacitance term. It sums in parallel over each aggregate.
+	nf := len(op.diag)
+	excess := make([]float64, nf)
+	for c := 0; c < nf; c++ {
+		excess[c] = op.diag[c]
+	}
+	for c := 0; c < nf; c++ {
+		if g := op.gxp[c]; g != 0 {
+			excess[c] -= g
+			excess[c+1] -= g
+		}
+		if g := op.gyp[c]; g != 0 {
+			excess[c] -= g
+			excess[c+op.sy] -= g
+		}
+		if g := op.gzp[c]; g != 0 {
+			excess[c] -= g
+			excess[c+op.sz] -= g
+		}
+	}
+	fidx := func(i, j, k int) int { return (k*op.ny+j)*op.nx + i }
+	for k := 0; k < nz; k++ {
+		for J := 0; J < nyc; J++ {
+			for I := 0; I < nxc; I++ {
+				C := (k*nyc+J)*nxc + I
+				// Parallel sums over the aggregate: vertical coupling and
+				// excess (coarse faces/boundaries are unions of fine ones).
+				for j := yoff[J]; j < yoff[J+1]; j++ {
+					for i := xoff[I]; i < xoff[I+1]; i++ {
+						c := fidx(i, j, k)
+						co.gzp[C] += op.gzp[c]
+						if e := excess[c]; e > 0 { // clamp rounding noise
+							co.diag[C] += e
+						}
+					}
+				}
+				// Coarse x face to aggregate I+1: per fine row, series-
+				// combine (harmonic mean) the half-cell interior faces
+				// with the interface face, then sum the rows in parallel.
+				if I+1 < nxc {
+					iL := xoff[I+1] - 1
+					var g float64
+					for j := yoff[J]; j < yoff[J+1]; j++ {
+						c := fidx(iL, j, k)
+						r := 1 / op.gxp[c]
+						if xoff[I+1]-xoff[I] == 2 {
+							r += 1 / (2 * op.gxp[c-1])
+						}
+						if xoff[I+2]-xoff[I+1] == 2 {
+							r += 1 / (2 * op.gxp[c+1])
+						}
+						g += 1 / r
+					}
+					co.gxp[C] = g
+				}
+				// Coarse y face, symmetric.
+				if J+1 < nyc {
+					jL := yoff[J+1] - 1
+					var g float64
+					for i := xoff[I]; i < xoff[I+1]; i++ {
+						c := fidx(i, jL, k)
+						r := 1 / op.gyp[c]
+						if yoff[J+1]-yoff[J] == 2 {
+							r += 1 / (2 * op.gyp[c-op.nx])
+						}
+						if yoff[J+2]-yoff[J+1] == 2 {
+							r += 1 / (2 * op.gyp[c+op.nx])
+						}
+						g += 1 / r
+					}
+					co.gyp[C] = g
+				}
+			}
+		}
+	}
+	// Accumulate couplings into the diagonal (excess is already there).
+	for c := 0; c < nc; c++ {
+		if g := co.gxp[c]; g != 0 {
+			co.diag[c] += g
+			co.diag[c+1] += g
+		}
+		if g := co.gyp[c]; g != 0 {
+			co.diag[c] += g
+			co.diag[c+co.sy] += g
+		}
+		if g := co.gzp[c]; g != 0 {
+			co.diag[c] += g
+			co.diag[c+co.sz] += g
+		}
+	}
+	return co
+}
+
+// apply is the preconditioner action z ← B·r (one V-cycle).
+func (mg *multigrid) apply(r, z []float64) {
+	mg.cycle(0, r, z)
+}
+
+// cycle runs one V(1,1) cycle solving lvl.op·x ≈ b with x entered as
+// scratch (fully overwritten by the pre-smooth, so no zeroing pass is
+// needed).
+func (mg *multigrid) cycle(l int, b, x []float64) {
+	lvl := mg.levels[l]
+	if l == len(mg.levels)-1 {
+		// Coarsest level: a single z column — solve exactly with one
+		// Thomas elimination (the operator is purely tridiagonal once
+		// nx = ny = 1).
+		mg.lineSolve(lvl, b, x)
+		return
+	}
+	// Pre-smooth from x = 0: one red-black line-GS sweep. The first
+	// color solves against b directly (its lateral neighbors are
+	// logically zero), so x needs no zeroing pass.
+	mg.rbLineSmooth(lvl, b, x, false, true)
+	// Coarse-grid correction, with the residual fused into the
+	// restriction.
+	next := mg.levels[l+1]
+	mg.restrictResidual(lvl, next, x, b, next.b)
+	mg.cycle(l+1, next.b, next.x)
+	mg.prolong(lvl, next, next.x, x)
+	// Post-smooth with the colors reversed — each half-sweep is an
+	// exact block solve and therefore A-self-adjoint, so black∘red is
+	// the A-adjoint of red∘black and the V-cycle stays symmetric.
+	mg.rbLineSmooth(lvl, b, x, true, false)
+}
+
+// rbLineSmooth runs one red-black line Gauss-Seidel sweep on
+// lvl.op·x ≈ b. Each half-sweep relaxes every column of one color
+// exactly while reading lateral values only from the opposite color
+// (fixed during the half-sweep), so columns chunk across the pool
+// race-free and the result is bitwise identical at any worker count.
+// reverse flips the color order (the post-smooth adjoint); fromZero
+// treats x as logically zero, letting the first color skip the
+// lateral gather and the caller skip zeroing stale scratch.
+func (mg *multigrid) rbLineSmooth(lvl *mgLevel, b, x []float64, reverse, fromZero bool) {
+	order := [2]int{0, 1}
+	if reverse {
+		order = [2]int{1, 0}
+	}
+	for pass, color := range order {
+		cols := lvl.cols[color]
+		gather := !(fromZero && pass == 0)
+		if mg.kr.pool.Serial() {
+			rhs, dp := mg.rhs[0], mg.dps[0]
+			for _, col := range cols {
+				mg.gsColumn(lvl, b, x, col, gather, rhs, dp)
+			}
+			continue
+		}
+		mg.kr.pool.ForGrain(len(cols), mg.colGrain, func(worker, s, e int) {
+			rhs, dp := mg.rhs[worker], mg.dps[worker]
+			for ci := s; ci < e; ci++ {
+				mg.gsColumn(lvl, b, x, cols[ci], gather, rhs, dp)
+			}
+		})
+	}
+}
+
+// gsColumn relaxes one vertical column exactly: it gathers the
+// lateral coupling into rhs[k] = b − (lateral)·x (skipped when gather
+// is false, i.e. x is logically zero or the operator has no lateral
+// neighbors) and solves the column's tridiagonal z-system with the
+// precomputed LU factors, writing the result into x. rhs/dp are
+// caller scratch of length nz.
+func (mg *multigrid) gsColumn(lvl *mgLevel, b, x []float64, col int, gather bool, rhs, dp []float64) {
+	op := lvl.op
+	nz, sy, sz := op.nz, op.sy, op.sz
+	if gather {
+		for k := 0; k < nz; k++ {
+			c := col + k*sz
+			s := b[c]
+			if g := op.gxp[c]; g != 0 {
+				s += g * x[c+1]
+			}
+			if c >= 1 {
+				if g := op.gxp[c-1]; g != 0 {
+					s += g * x[c-1]
+				}
+			}
+			if g := op.gyp[c]; g != 0 {
+				s += g * x[c+sy]
+			}
+			if c >= sy {
+				if g := op.gyp[c-sy]; g != 0 {
+					s += g * x[c-sy]
+				}
+			}
+			rhs[k] = s
+		}
+	} else {
+		for k := 0; k < nz; k++ {
+			rhs[k] = b[col+k*sz]
+		}
+	}
+	cpf, minv := lvl.cpf, lvl.minv
+	dp[0] = rhs[0] * minv[col]
+	for k := 1; k < nz; k++ {
+		c := col + k*sz
+		dp[k] = (rhs[k] + op.gzp[c-sz]*dp[k-1]) * minv[c]
+	}
+	x[col+(nz-1)*sz] = dp[nz-1]
+	for k := nz - 2; k >= 0; k-- {
+		c := col + k*sz
+		x[c] = dp[k] - cpf[c]*x[c+sz]
+	}
+}
+
+// lineSolve solves the z-line system of every column — on the
+// coarsest (1×1-column) level this is the exact solve of the whole
+// level. Columns write disjoint entries, so the result is bitwise
+// identical at any worker count.
+func (mg *multigrid) lineSolve(lvl *mgLevel, r, z []float64) {
+	op := lvl.op
+	if mg.kr.pool.Serial() {
+		rhs, dp := mg.rhs[0], mg.dps[0]
+		for col := 0; col < op.sz; col++ {
+			mg.gsColumn(lvl, r, z, col, false, rhs, dp)
+		}
+		return
+	}
+	mg.kr.pool.ForGrain(op.sz, mg.colGrain, func(worker, s, e int) {
+		rhs, dp := mg.rhs[worker], mg.dps[worker]
+		for col := s; col < e; col++ {
+			mg.gsColumn(lvl, r, z, col, false, rhs, dp)
+		}
+	})
+}
+
+// restrictResidual forms the coarse right-hand side rc = R·(b − A·x)
+// in one fused pass. The pre-smooth's last half-sweep solved every
+// color-1 column exactly with color-0 values fixed, so the residual
+// vanishes on color-1 cells and only color-0 cells contribute — the
+// kernel evaluates the 7-point residual on half the cells and never
+// materializes the residual vector. Each coarse cell owns a disjoint
+// fine aggregate visited in fixed nested order, so chunking over
+// coarse cells is race-free and worker-count independent.
+func (mg *multigrid) restrictResidual(fine, coarse *mgLevel, x, b, rc []float64) {
+	fop := fine.op
+	cop := coarse.op
+	sy, sz := fop.sy, fop.sz
+	xoff, yoff := fine.xoff, fine.yoff
+	body := func(s, e int) {
+		I := s % cop.nx
+		J := (s % cop.sz) / cop.nx
+		k := s / cop.sz
+		for C := s; C < e; C++ {
+			var sum float64
+			for j := yoff[J]; j < yoff[J+1]; j++ {
+				for i := xoff[I]; i < xoff[I+1]; i++ {
+					if (i+j)&1 != 0 {
+						continue // exactly-relaxed color: zero residual
+					}
+					c := (k*fop.ny+j)*fop.nx + i
+					r := b[c] - fop.diag[c]*x[c]
+					if g := fop.gxp[c]; g != 0 {
+						r += g * x[c+1]
+					}
+					if c >= 1 {
+						if g := fop.gxp[c-1]; g != 0 {
+							r += g * x[c-1]
+						}
+					}
+					if g := fop.gyp[c]; g != 0 {
+						r += g * x[c+sy]
+					}
+					if c >= sy {
+						if g := fop.gyp[c-sy]; g != 0 {
+							r += g * x[c-sy]
+						}
+					}
+					if g := fop.gzp[c]; g != 0 {
+						r += g * x[c+sz]
+					}
+					if c >= sz {
+						if g := fop.gzp[c-sz]; g != 0 {
+							r += g * x[c-sz]
+						}
+					}
+					sum += r
+				}
+			}
+			rc[C] = sum
+			I++
+			if I == cop.nx {
+				I = 0
+				J++
+				if J == cop.ny {
+					J = 0
+					k++
+				}
+			}
+		}
+	}
+	if mg.kr.pool.Serial() {
+		body(0, len(rc))
+		return
+	}
+	mg.kr.pool.For(len(rc), body)
+}
+
+// prolong adds the piecewise-constant interpolation of the coarse
+// correction: x[c] += xc[aggregate(c)]. Chunked over fine cells;
+// elementwise, so bitwise identical at any worker count.
+func (mg *multigrid) prolong(fine, coarse *mgLevel, xc, x []float64) {
+	fop := fine.op
+	cop := coarse.op
+	xmap, ymap := fine.xmap, fine.ymap
+	body := func(s, e int) {
+		i := s % fop.nx
+		j := (s % fop.sz) / fop.nx
+		k := s / fop.sz
+		for c := s; c < e; c++ {
+			x[c] += xc[(k*cop.ny+ymap[j])*cop.nx+xmap[i]]
+			i++
+			if i == fop.nx {
+				i = 0
+				j++
+				if j == fop.ny {
+					j = 0
+					k++
+				}
+			}
+		}
+	}
+	if mg.kr.pool.Serial() {
+		body(0, len(x))
+		return
+	}
+	mg.kr.pool.For(len(x), body)
+}

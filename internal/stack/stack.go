@@ -403,13 +403,20 @@ type Result struct {
 	Field  *solver.Result
 }
 
-// Solve builds and solves the stack with the z-line preconditioner.
+// Solve builds and solves the stack. The zero Options.Precond
+// (Jacobi) is treated as "unset" and upgraded to the z-line
+// preconditioner — plain Jacobi is never the right choice for a chip
+// stack's anisotropy; callers wanting multigrid (or, for comparison
+// runs, genuinely wanting Jacobi-grade behavior) pass Precond
+// explicitly.
 func (s *Spec) Solve(opts solver.Options) (*Result, error) {
 	p, lay, err := s.Build()
 	if err != nil {
 		return nil, err
 	}
-	opts.Precond = solver.ZLine
+	if opts.Precond == solver.Jacobi {
+		opts.Precond = solver.ZLine
+	}
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-7
 	}
@@ -431,7 +438,10 @@ func (s *Spec) SolveNonlinear(opts solver.Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts.Precond = solver.ZLine
+	if opts.Precond == solver.Jacobi {
+		// Zero value means unset, as on Solve.
+		opts.Precond = solver.ZLine
+	}
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-7
 	}
