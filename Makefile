@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test vet race equivalence bench bench-json ci
+# COVER_FLOOR is the ratcheted minimum total statement coverage for
+# `make cover` — raise it when coverage rises, never lower it.
+COVER_FLOOR ?= 84.0
+
+.PHONY: all build test vet race equivalence fuzz-short cover bench bench-json ci
 
 all: build test
 
@@ -26,6 +30,22 @@ race:
 equivalence:
 	$(GO) test -race -run Equivalence -count=2 ./internal/solver/ ./internal/parallel/
 
+# fuzz-short runs each native fuzz target for a bounded burst — long
+# enough to shake out validation panics, short enough for CI. The
+# committed seed corpora (f.Add + testdata/fuzz) always replay in the
+# plain test run too.
+fuzz-short:
+	$(GO) test -fuzz FuzzProblemValidate -fuzztime 10s -run '^$$' ./internal/solver/
+	$(GO) test -fuzz FuzzMeshNew -fuzztime 10s -run '^$$' ./internal/mesh/
+
+# cover enforces the ratcheted coverage floor (COVER_FLOOR).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the ratcheted floor $(COVER_FLOOR)%"; exit 1; }
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime=2x ./internal/solver/
 
@@ -35,5 +55,7 @@ bench:
 bench-json:
 	$(GO) test -run xxx -bench . -benchtime=2x ./internal/solver/ | $(GO) run ./cmd/benchjson > BENCH_solver.json
 
-# ci is the gate: vet + race-clean full suite + doubled equivalence.
-ci: race equivalence
+# ci is the gate: vet + race-clean full suite + doubled equivalence
+# (which also pins determinism with telemetry attached) + fuzz bursts
+# + the ratcheted coverage floor.
+ci: race equivalence fuzz-short cover

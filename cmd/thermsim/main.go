@@ -6,6 +6,8 @@
 //
 //	thermsim -spec stack.json
 //	thermsim -spec stack.json -precond multigrid
+//	thermsim -spec stack.json -report run.json
+//	thermsim -spec stack.json -debug-addr localhost:6060
 //	thermsim -example          # print an example spec and exit
 //
 // Spec format (JSON): see internal/specio. "beol" is "conventional",
@@ -14,72 +16,125 @@
 // "microchannel" (Tuckerman-Pease geometry model). A non-null
 // "power_map_w_per_cm2" (nx·ny values, row-major) overrides the
 // uniform density.
+//
+// -report writes a machine-readable JSON run report (solve traces,
+// counters, phase timings; "-" = stdout). -debug-addr serves pprof
+// and expvar on the given address for live profiling of long solves.
+// Ctrl-C cancels the solve gracefully: the solver notices within one
+// iteration and exits non-zero with a typed cancellation error.
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 
 	"thermalscaffold/internal/report"
 	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/specio"
+	"thermalscaffold/internal/telemetry"
 	"thermalscaffold/internal/units"
 )
 
 func main() {
-	specPath := flag.String("spec", "", "path to the JSON stack spec")
-	example := flag.Bool("example", false, "print an example spec and exit")
-	showMap := flag.Bool("map", false, "render the top-tier temperature field as an ASCII heatmap")
-	workers := flag.Int("workers", 0, "solver worker goroutines (0 = one per CPU core, 1 = serial)")
-	precond := flag.String("precond", "zline", "PCG preconditioner: zline or multigrid (jacobi parses but stack solves upgrade it to zline)")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run is the testable entry point: it parses args, runs the
+// simulation, and returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("thermsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "path to the JSON stack spec")
+	example := fs.Bool("example", false, "print an example spec and exit")
+	showMap := fs.Bool("map", false, "render the top-tier temperature field as an ASCII heatmap")
+	workers := fs.Int("workers", 0, "solver worker goroutines (0 = one per CPU core, 1 = serial)")
+	precond := fs.String("precond", "zline", "PCG preconditioner: zline or multigrid (jacobi parses but stack solves upgrade it to zline)")
+	reportPath := fs.String("report", "", "write a JSON run report (solve traces, counters, timings) to this path; \"-\" = stdout")
+	debugAddr := fs.String("debug-addr", "", "serve pprof and expvar endpoints on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	pc, err := solver.ParsePreconditioner(*precond)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "thermsim: %v\n", err)
+		fs.Usage()
+		return 2
 	}
 
 	if *example {
 		raw, err := specio.Marshal(specio.Example())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "thermsim: %v\n", err)
+			return 1
 		}
-		fmt.Println(string(raw))
-		return
+		fmt.Fprintln(stdout, string(raw))
+		return 0
 	}
 	if *specPath == "" {
-		fmt.Fprintln(os.Stderr, "thermsim: -spec is required (see -example)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "thermsim: -spec is required (see -example)")
+		fs.Usage()
+		return 2
 	}
+
+	if *debugAddr != "" {
+		srv := debugServer(*debugAddr)
+		defer srv.Close()
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(stderr, "thermsim: debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "thermsim: pprof/expvar on http://%s/debug/pprof/\n", *debugAddr)
+	}
+
+	var tel *telemetry.Collector
+	if *reportPath != "" {
+		tel = telemetry.New()
+	}
+
 	raw, err := os.ReadFile(*specPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "thermsim: %v\n", err)
+		return 1
 	}
 	sj, err := specio.Parse(raw)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "thermsim: %v\n", err)
+		return 1
 	}
 	spec, err := specio.Build(sj)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "thermsim: %v\n", err)
+		return 1
 	}
-	res, err := spec.Solve(solver.Options{Tol: 1e-7, MaxIter: 100000, Workers: *workers, Precond: pc})
+	stopPhase := tel.Phase("solve")
+	res, err := spec.Solve(solver.Options{
+		Tol: 1e-7, MaxIter: 100000, Workers: *workers, Precond: pc,
+		Ctx: ctx, Telemetry: tel,
+	})
+	stopPhase()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "thermsim: solve: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "thermsim: solve: %v\n", err)
+		writeReport(tel, *reportPath, args, stderr)
+		return 1
 	}
-	fmt.Printf("total flux: %.1f W/cm²  sink: %s\n",
+	fmt.Fprintf(stdout, "total flux: %.1f W/cm²  sink: %s\n",
 		units.WPerM2ToWPerCm2(spec.TotalFlux()), spec.Sink)
-	fmt.Printf("T_max = %s (CG iterations: %d, residual %.1e)\n",
+	fmt.Fprintf(stdout, "T_max = %s (CG iterations: %d, residual %.1e)\n",
 		units.FormatTemp(res.MaxT()), res.Field.Iterations, res.Field.Residual)
 	for t := 0; t < spec.Tiers; t++ {
-		fmt.Printf("  tier %2d: %s\n", t, units.FormatTemp(res.TierMaxT(t)))
+		fmt.Fprintf(stdout, "  tier %2d: %s\n", t, units.FormatTemp(res.TierMaxT(t)))
 	}
 	if *showMap {
 		top := res.Layout.DeviceLayers[spec.Tiers-1][0]
@@ -91,9 +146,41 @@ func main() {
 		}
 		h, err := report.NewHeatmap(fmt.Sprintf("tier %d device layer", spec.Tiers-1), spec.NX, spec.NY, vals, "°C")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "thermsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "thermsim: %v\n", err)
+			return 1
 		}
-		fmt.Print(h.String())
+		fmt.Fprint(stdout, h.String())
 	}
+	if !writeReport(tel, *reportPath, args, stderr) {
+		return 1
+	}
+	return 0
+}
+
+// writeReport emits the telemetry run report when one was requested;
+// it returns false on write failure. A nil collector (no -report) is
+// a no-op success.
+func writeReport(tel *telemetry.Collector, path string, args []string, stderr io.Writer) bool {
+	if tel == nil || path == "" {
+		return true
+	}
+	if err := tel.WriteReportFile(path, "thermsim", args); err != nil {
+		fmt.Fprintf(stderr, "thermsim: %v\n", err)
+		return false
+	}
+	return true
+}
+
+// debugServer builds the opt-in diagnostics endpoint: pprof profiles
+// and expvar counters on an explicit mux (the default mux is not used,
+// so nothing is exposed unless -debug-addr is set).
+func debugServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return &http.Server{Addr: addr, Handler: mux}
 }

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,6 +31,7 @@ import (
 	"thermalscaffold/internal/sched"
 	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/telemetry"
 	"thermalscaffold/internal/units"
 )
 
@@ -71,6 +73,36 @@ type Config struct {
 	Tol float64
 	// MaxCoverage caps pillar coverage (default 0.5).
 	MaxCoverage float64
+	// Ctx, when non-nil, cancels the evaluation: every solve checks it
+	// per iteration and the sweep/bisection loops check it between
+	// solves, so control returns within one solver iteration of
+	// cancellation.
+	Ctx context.Context
+	// Telemetry, when non-nil, collects solve traces, counters, and
+	// fallback logs from every thermal solve the evaluation runs.
+	// Observational only — attaching a collector never changes results.
+	Telemetry *telemetry.Collector
+}
+
+// solverOpts builds the evaluation's standard solver options with the
+// cancellation and telemetry hooks attached.
+func (c Config) solverOpts() solver.Options {
+	return solver.Options{
+		Tol: c.Tol, MaxIter: 80000, Precond: solver.Multigrid,
+		Ctx: c.Ctx, Telemetry: c.Telemetry,
+	}
+}
+
+// ctxErr reports a wrapped cancellation error when the evaluation's
+// context is done (nil Ctx never cancels).
+func (c Config) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("core: evaluation cancelled: %w", err)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -179,6 +211,7 @@ func EvaluateMinPenalty(cfg Config, s Strategy, tiers int) (*Evaluation, error) 
 			Design: cfg.Design, Tiers: tiers, Sink: cfg.Sink,
 			TTargetC: cfg.TTargetC, BEOL: beolFor(s),
 			NX: cfg.NX, NY: cfg.NY, MaxCoverage: cfg.MaxCoverage, Tol: cfg.Tol,
+			Ctx: cfg.Ctx, Telemetry: cfg.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -222,7 +255,7 @@ func conventionalTMax(cfg Config, tiers int, fill float64, warm *[]float64) (flo
 	}
 	// Thermal-aware scheduling of a heterogeneous task mix.
 	if tiers > 1 && cfg.TaskSpread > 0 {
-		maps, _, err := sched.Schedule(spec, sched.SpreadTasks(tiers, cfg.TaskSpread), solver.Options{Tol: cfg.Tol})
+		maps, _, err := sched.Schedule(spec, sched.SpreadTasks(tiers, cfg.TaskSpread), solver.Options{Tol: cfg.Tol, Ctx: cfg.Ctx, Telemetry: cfg.Telemetry})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -231,7 +264,7 @@ func conventionalTMax(cfg Config, tiers int, fill float64, warm *[]float64) (flo
 	// The feasibility bisection re-solves this spec ~20 times with
 	// nearby fill fractions: multigrid plus the warm start keeps each
 	// solve at a handful of iterations.
-	opts := solver.Options{Tol: cfg.Tol, MaxIter: 80000, Precond: solver.Multigrid}
+	opts := cfg.solverOpts()
 	if warm != nil && len(*warm) > 0 {
 		opts.InitialGuess = *warm
 	}
@@ -274,6 +307,9 @@ func evaluateConventionalMin(cfg Config, tiers int) (*Evaluation, error) {
 	lo, hi := fm.FreeFill, fm.MaxFill
 	best := mk(fm.MaxFill, gMax, tMaxFill, true)
 	for i := 0; i < 16; i++ {
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
 		mid := (lo + hi) / 2
 		tm, gm, err := conventionalTMax(cfg, tiers, mid, &warm)
 		if err != nil {
@@ -395,7 +431,7 @@ func evaluatePillarsAtBudget(cfg Config, s Strategy, tiers int, areaBudget float
 		Sink:          cfg.Sink,
 		MemoryPerTier: true,
 	}
-	res, err := spec.Solve(solver.Options{Tol: cfg.Tol, MaxIter: 80000, Precond: solver.Multigrid})
+	res, err := spec.Solve(cfg.solverOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -476,6 +512,9 @@ func MaxTiersAtBudget(cfg Config, s Strategy, areaBudget float64, maxN int) (int
 	best := 0
 	var evals []*Evaluation
 	for n := 1; n <= maxN; n++ {
+		if err := cfg.ctxErr(); err != nil {
+			return 0, nil, err
+		}
 		e, err := EvaluateAtBudget(cfg, s, n, areaBudget)
 		if err != nil {
 			return 0, nil, err
@@ -497,6 +536,9 @@ func MaxTiersAtBudget(cfg Config, s Strategy, areaBudget float64, maxN int) (int
 func SweepTiers(cfg Config, s Strategy, areaBudget float64, maxN int) ([]*Evaluation, error) {
 	var out []*Evaluation
 	for n := 1; n <= maxN; n++ {
+		if err := cfg.ctxErr(); err != nil {
+			return nil, err
+		}
 		e, err := EvaluateAtBudget(cfg, s, n, areaBudget)
 		if err != nil {
 			return nil, err

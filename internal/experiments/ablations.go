@@ -65,7 +65,7 @@ func Ablations(o Options) (*AblationsResult, error) {
 	out.DielectricGrade = dg
 
 	// Scheduling contribution on the conventional flow.
-	off := core.Config{Design: design.Gemmini(), Sink: heatsink.TwoPhase(), NX: grid, NY: grid, TaskSpread: -1}
+	off := core.Config{Design: design.Gemmini(), Sink: heatsink.TwoPhase(), NX: grid, NY: grid, TaskSpread: -1, Ctx: Ctx, Telemetry: Telemetry}
 	on := off
 	on.TaskSpread = 0.3
 	e0, err := core.EvaluateAtBudget(off, core.Conventional3D, 8, 0.10)

@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"thermalscaffold/internal/materials"
 	"thermalscaffold/internal/report"
 	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/telemetry"
 )
 
 // Fig4Result is the diamond conductivity-vs-grain-size study.
@@ -100,6 +102,18 @@ var Workers int
 // multigrid typically cuts their wall-clock severalfold.
 var Precond solver.Preconditioner
 
+// Ctx, when non-nil, cancels every solver invocation in this package:
+// each inner solve checks it per iteration, so a figure sweep stops
+// within one solver iteration of cancellation and surfaces a typed
+// *solver.ConvergenceError wrapping ctx.Err(). cmd/paperfigs wires
+// the process signal context here.
+var Ctx context.Context
+
+// Telemetry, when non-nil, collects per-solve traces, counters, and
+// phase timings from every solver invocation in this package —
+// cmd/paperfigs exposes it through -report.
+var Telemetry *telemetry.Collector
+
 // solverOpts is the shared solver configuration for ad-hoc stack
 // solves inside experiments.
 func solverOpts() solver.Options {
@@ -107,10 +121,14 @@ func solverOpts() solver.Options {
 }
 
 // solverOptsTol is solverOpts with an explicit tolerance — the single
-// place experiment solves pick up MaxIter, Workers, and Precond, so a
-// stray literal can no longer drop the iteration cap (hetero.go once
-// passed a Tol-only Options at 1e-10 and silently ran with the
-// solver's 20000-iteration default, a quarter of the intended cap).
+// place experiment solves pick up MaxIter, Workers, Precond, Ctx, and
+// Telemetry, so a stray literal can no longer drop the iteration cap
+// (hetero.go once passed a Tol-only Options at 1e-10 and silently ran
+// with the solver's 20000-iteration default, a quarter of the
+// intended cap).
 func solverOptsTol(tol float64) solver.Options {
-	return solver.Options{Tol: tol, MaxIter: 80000, Workers: Workers, Precond: Precond}
+	return solver.Options{
+		Tol: tol, MaxIter: 80000, Workers: Workers, Precond: Precond,
+		Ctx: Ctx, Telemetry: Telemetry,
+	}
 }

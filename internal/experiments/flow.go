@@ -37,6 +37,7 @@ func gemminiConfig(o Options) core.Config {
 	return core.Config{
 		Design: design.Gemmini(), Sink: heatsink.TwoPhase(),
 		NX: o.grid(), NY: o.grid(), TaskSpread: o.taskSpread(),
+		Ctx: Ctx, Telemetry: Telemetry,
 	}
 }
 
@@ -200,7 +201,7 @@ func Fig9(o Options, maxN int) (*Fig9Result, error) {
 	t := report.NewTable("Fig. 9: supported tiers at T<125°C (10% area budget, two-phase sink)",
 		"design", "conventional", "scaffolding", "paper conv", "paper scaf")
 	for _, d := range design.All() {
-		cfg := core.Config{Design: d, Sink: heatsink.TwoPhase(), NX: o.grid(), NY: o.grid(), TaskSpread: o.taskSpread()}
+		cfg := core.Config{Design: d, Sink: heatsink.TwoPhase(), NX: o.grid(), NY: o.grid(), TaskSpread: o.taskSpread(), Ctx: Ctx, Telemetry: Telemetry}
 		out.Curves[d.Name] = map[core.Strategy]*report.Series{}
 		out.MaxTiers[d.Name] = map[core.Strategy]int{}
 		for _, s := range []core.Strategy{core.Conventional3D, core.Scaffolding} {
@@ -300,7 +301,7 @@ func Fig11(o Options, maxN int) (*Fig11Result, error) {
 	for _, sink := range []heatsink.Model{heatsink.TwoPhase(), heatsink.Microfluidic()} {
 		out.Curves[sink.Name] = map[core.Strategy]*report.Series{}
 		for _, s := range []core.Strategy{core.Conventional3D, core.Scaffolding} {
-			cfg := core.Config{Design: design.Gemmini(), Sink: sink, NX: o.grid(), NY: o.grid(), TaskSpread: o.taskSpread()}
+			cfg := core.Config{Design: design.Gemmini(), Sink: sink, NX: o.grid(), NY: o.grid(), TaskSpread: o.taskSpread(), Ctx: Ctx, Telemetry: Telemetry}
 			evals, err := core.SweepTiers(cfg, s, 0.10, maxN)
 			if err != nil {
 				return nil, err
@@ -340,7 +341,7 @@ func TableI(o Options) (*TableIResult, error) {
 		"design", "strategy", "tiers", "feasible", "footprint %", "delay %", "paper fp %", "paper delay %")
 	for _, d := range design.All() {
 		tiers := d.Paper.ScaffoldTiers
-		cfg := core.Config{Design: d, Sink: heatsink.TwoPhase(), NX: o.grid(), NY: o.grid(), TaskSpread: o.taskSpread()}
+		cfg := core.Config{Design: d, Sink: heatsink.TwoPhase(), NX: o.grid(), NY: o.grid(), TaskSpread: o.taskSpread(), Ctx: Ctx, Telemetry: Telemetry}
 		out.Evals[d.Name] = map[core.Strategy]*core.Evaluation{}
 		for _, s := range []core.Strategy{core.Conventional3D, core.VerticalOnly, core.Scaffolding} {
 			e, err := core.EvaluateMinPenalty(cfg, s, tiers)

@@ -1,6 +1,7 @@
 package floorplan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,6 +31,9 @@ type AnnealOptions struct {
 	// (fraction of its dimensions, default 0.15). Whitespace is how
 	// the planner trades area for temperature.
 	MaxPadding float64
+	// Ctx, when non-nil, cancels the annealing loop: it is checked
+	// every iteration and Anneal returns a wrapped ctx.Err().
+	Ctx context.Context
 }
 
 func (o AnnealOptions) withDefaults(n int) AnnealOptions {
@@ -245,6 +249,11 @@ func Anneal(f *Floorplan, opts AnnealOptions) (*AnnealResult, error) {
 	accepted := 0
 
 	for it := 0; it < opts.Iterations; it++ {
+		if opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("floorplan: annealing cancelled after %d iterations: %w", it, cerr)
+			}
+		}
 		cand := cur.clone()
 		switch rng.Intn(4) {
 		case 0: // swap in plus

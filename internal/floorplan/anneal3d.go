@@ -1,6 +1,7 @@
 package floorplan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,6 +26,9 @@ type Anneal3DOptions struct {
 	Iterations int
 	Seed       int64
 	MaxPadding float64
+	// Ctx, when non-nil, cancels the annealing loop: it is checked
+	// every iteration and Anneal3D returns a wrapped ctx.Err().
+	Ctx context.Context
 }
 
 func (o Anneal3DOptions) withDefaults(nUnits int) (Anneal3DOptions, error) {
@@ -185,6 +189,11 @@ func Anneal3D(seed *Floorplan, opts Anneal3DOptions) (*Anneal3DResult, error) {
 	accepted := 0
 
 	for it := 0; it < opts.Iterations; it++ {
+		if opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("floorplan: 3D annealing cancelled after %d iterations: %w", it, cerr)
+			}
+		}
 		cand := cloneStates(cur)
 		st := cand[rng.Intn(len(cand))]
 		switch rng.Intn(4) {

@@ -1,6 +1,8 @@
 package floorplan
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -96,5 +98,19 @@ func TestAnneal3DRejections(t *testing.T) {
 	one := &Floorplan{Die: Rect{W: 1, H: 1}, Units: []Unit{{Name: "a", Rect: Rect{W: 1, H: 1}, PowerDensity: 1}}}
 	if _, err := Anneal3D(one, Anneal3DOptions{Tiers: 2}); err == nil {
 		t.Error("single-unit seed accepted")
+	}
+}
+
+// TestAnneal3DCancellation: the multi-tier annealer honors the same
+// cancellation contract as the single-tier one.
+func TestAnneal3DCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Anneal3D(annealPlan(), Anneal3DOptions{Tiers: 2, Seed: 1, Ctx: ctx})
+	if err == nil {
+		t.Fatal("cancelled 3D anneal succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
 	}
 }

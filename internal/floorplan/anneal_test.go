@@ -1,6 +1,8 @@
 package floorplan
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -163,5 +165,19 @@ func TestThermalProxyPrefersSpreading(t *testing.T) {
 	far := thermalProxy(mk(120))
 	if far >= near {
 		t.Errorf("proxy does not reward spreading: near=%g far=%g", near, far)
+	}
+}
+
+// TestAnnealCancellation: a cancelled context stops the annealing
+// loop immediately with a wrapped context error.
+func TestAnnealCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Anneal(annealPlan(), AnnealOptions{AreaWeight: 0.5, Seed: 1, Ctx: ctx})
+	if err == nil {
+		t.Fatal("cancelled anneal succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
 	}
 }

@@ -1,0 +1,101 @@
+package mesh
+
+// Fuzz coverage for grid construction: arbitrary boundary-coordinate
+// slices must never panic New, every rejection must name the
+// offending axis, and every accepted grid must have strictly positive
+// cell widths and volumes.
+//
+// Run continuously with `go test -fuzz FuzzMeshNew` or in CI with
+// `make fuzz-short`.
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// axesFromBytes decodes the fuzz payload into three float64 slices:
+// one length byte per axis, then 8-byte little-endian coordinates.
+func axesFromBytes(data []byte) [3][]float64 {
+	var out [3][]float64
+	for ax := 0; ax < 3; ax++ {
+		if len(data) == 0 {
+			return out
+		}
+		n := int(data[0]) % 10
+		data = data[1:]
+		v := make([]float64, 0, n)
+		for i := 0; i < n && len(data) >= 8; i++ {
+			v = append(v, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		}
+		out[ax] = v
+	}
+	return out
+}
+
+func seedBytes(axes [3][]float64) []byte {
+	var out []byte
+	for _, v := range axes {
+		out = append(out, byte(len(v)))
+		for _, x := range v {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			out = append(out, b[:]...)
+		}
+	}
+	return out
+}
+
+func FuzzMeshNew(f *testing.F) {
+	// Seeds: a healthy grid, a too-short axis, a non-monotone axis, a
+	// NaN boundary, an Inf boundary, and a duplicate coordinate.
+	f.Add(seedBytes([3][]float64{{0, 1, 2}, {0, 0.5}, {0, 1e-6, 2e-6}}))
+	f.Add(seedBytes([3][]float64{{0}, {0, 1}, {0, 1}}))
+	f.Add(seedBytes([3][]float64{{0, 2, 1}, {0, 1}, {0, 1}}))
+	f.Add(seedBytes([3][]float64{{0, math.NaN(), 2}, {0, 1}, {0, 1}}))
+	f.Add(seedBytes([3][]float64{{0, 1}, {0, math.Inf(1)}, {0, 1}}))
+	f.Add(seedBytes([3][]float64{{0, 1, 1}, {0, 1}, {0, 1}}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		axes := axesFromBytes(data)
+		g, err := New(axes[0], axes[1], axes[2])
+		if err != nil {
+			if !strings.Contains(err.Error(), "axis x") &&
+				!strings.Contains(err.Error(), "axis y") &&
+				!strings.Contains(err.Error(), "axis z") &&
+				!strings.Contains(err.Error(), "cell volume") {
+				t.Fatalf("rejection does not name the offending axis: %q", err.Error())
+			}
+			return
+		}
+		// Accepted grids must be fully usable: positive widths and
+		// volumes everywhere, consistent index round-trips.
+		for i := 0; i < g.NX(); i++ {
+			if !(g.DX(i) > 0) {
+				t.Fatalf("accepted grid has non-positive DX(%d) = %g", i, g.DX(i))
+			}
+		}
+		for j := 0; j < g.NY(); j++ {
+			if !(g.DY(j) > 0) {
+				t.Fatalf("accepted grid has non-positive DY(%d) = %g", j, g.DY(j))
+			}
+		}
+		for k := 0; k < g.NZ(); k++ {
+			if !(g.DZ(k) > 0) {
+				t.Fatalf("accepted grid has non-positive DZ(%d) = %g", k, g.DZ(k))
+			}
+		}
+		for c := 0; c < g.NumCells(); c++ {
+			i, j, k := g.Coords(c)
+			if g.Index(i, j, k) != c {
+				t.Fatalf("index round-trip failed at cell %d", c)
+			}
+			if v := g.Volume(i, j, k); !(v > 0) || math.IsInf(v, 0) {
+				t.Fatalf("cell %d has invalid volume %g", c, v)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ package mesh
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -27,11 +28,45 @@ func New(xs, ys, zs []float64) (*Grid, error) {
 		if len(ax.v) < 2 {
 			return nil, fmt.Errorf("mesh: axis %s needs at least 2 boundaries, got %d", ax.name, len(ax.v))
 		}
+		for i, v := range ax.v {
+			// NaN/Inf would defeat the ordering comparisons below (every
+			// NaN comparison is false) and poison cell widths downstream.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("mesh: axis %s boundary %d is not finite (%g)", ax.name, i, v)
+			}
+		}
 		for i := 1; i < len(ax.v); i++ {
 			if ax.v[i] <= ax.v[i-1] {
 				return nil, fmt.Errorf("mesh: axis %s boundaries not strictly increasing at %d (%g after %g)", ax.name, i, ax.v[i], ax.v[i-1])
 			}
 		}
+	}
+	// Every cell volume and face area must stay representable: widths
+	// are positive and bounded by the per-axis extremes, so checking
+	// the extreme-width products guards all of them. (Two finite
+	// boundaries can still differ by more than MaxFloat64, and three
+	// tiny widths can multiply below the smallest subnormal.)
+	minw := func(v []float64) (lo, hi float64) {
+		lo, hi = math.Inf(1), 0
+		for i := 1; i < len(v); i++ {
+			d := v[i] - v[i-1]
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		return
+	}
+	loX, hiX := minw(xs)
+	loY, hiY := minw(ys)
+	loZ, hiZ := minw(zs)
+	if math.IsInf(hiX*hiY*hiZ, 0) || math.IsInf(hiX*hiY, 0) || math.IsInf(hiY*hiZ, 0) || math.IsInf(hiX*hiZ, 0) {
+		return nil, errors.New("mesh: cell volume overflows float64 — axis extents too large")
+	}
+	if loX*loY*loZ == 0 {
+		return nil, errors.New("mesh: cell volume underflows float64 — cell widths too small")
 	}
 	return &Grid{Xs: xs, Ys: ys, Zs: zs}, nil
 }

@@ -1,0 +1,123 @@
+package pillar
+
+// Cancellation suite for the placement loop: Request.Ctx must stop
+// the bisection within one outer iteration (one inner thermal solve)
+// and leak no goroutines.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/telemetry"
+)
+
+func cancelRequest(ctx context.Context, tel *telemetry.Collector) Request {
+	return Request{
+		Design: design.Gemmini(), Tiers: 12,
+		Sink: heatsink.TwoPhase(), TTargetC: 125,
+		BEOL:      stack.ScaffoldedBEOL(),
+		Ctx:       ctx,
+		Telemetry: tel,
+	}
+}
+
+// TestPlaceCancellation: cancel the placement once the bisection is
+// underway (≥ 2 solves recorded) and check that at most one more
+// solve attempt starts — the in-flight one, which aborts within a PCG
+// iteration — before Place returns a wrapped context.Canceled.
+func TestPlaceCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tel := telemetry.New()
+
+	type outcome struct {
+		p   *Placement
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		p, err := Place(cancelRequest(ctx, tel))
+		done <- outcome{p, err}
+	}()
+
+	// Wait for the bisection to be mid-flight, then cut it down.
+	deadline := time.Now().Add(30 * time.Second)
+	for tel.Counter(telemetry.CounterSolves) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("placement never reached its second solve")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	solvesAtCancel := tel.Counter(telemetry.CounterSolves)
+
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Place did not return after cancellation")
+	}
+	if out.err == nil {
+		// The cancel may land after the final solve on a fast machine —
+		// but with an 18-iteration bisection after two watched solves,
+		// finishing the whole placement in under a millisecond is a bug.
+		t.Fatalf("Place succeeded despite cancellation (%d solves)", tel.Counter(telemetry.CounterSolves))
+	}
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", out.err)
+	}
+	// Within one outer iteration: at most one solve attempt starts
+	// after the cancel (the in-flight one is already counted when its
+	// trace records on abort).
+	if got := tel.Counter(telemetry.CounterSolves); got > solvesAtCancel+1 {
+		t.Fatalf("%d solve attempts recorded after cancellation (had %d at cancel)", got-solvesAtCancel, solvesAtCancel)
+	}
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestPlacePreCancelled: a dead context stops the placement before
+// any bisection work, at serial and parallel worker counts (Workers
+// is carried by the solver defaults — GOMAXPROCS here — so both pool
+// paths are exercised via the solver's own cancel tests; this guards
+// the outer loop).
+func TestPlacePreCancelled(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tel := telemetry.New()
+	_, err := Place(cancelRequest(ctx, tel))
+	if err == nil {
+		t.Fatal("Place succeeded under a pre-cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	// The first solve aborts at iteration 0; nothing else may run.
+	if got := tel.Counter(telemetry.CounterSolves); got > 1 {
+		t.Fatalf("%d solves ran under a pre-cancelled context", got)
+	}
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// checkNoGoroutineLeak fails if the goroutine count stays above the
+// baseline (pool goroutines exit on close; retry absorbs scheduling).
+func checkNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

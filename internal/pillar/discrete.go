@@ -153,6 +153,8 @@ func (d *DiscretePlacement) verify(r *Request) (*stack.Result, error) {
 		MaxIter:      80000,
 		Precond:      solver.Multigrid,
 		InitialGuess: d.lastT,
+		Ctx:          r.Ctx,
+		Telemetry:    r.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -200,6 +202,11 @@ func (d *DiscretePlacement) RefineFill(req Request, maxRounds int) (*RefineResul
 	out.TMaxC = units.KelvinToCelsius(res.MaxT())
 	out.Trace = append(out.Trace, out.TMaxC)
 	for round := 0; round < maxRounds; round++ {
+		if r.Ctx != nil {
+			if cerr := r.Ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("pillar: fill refinement cancelled after %d rounds: %w", round, cerr)
+			}
+		}
 		if out.TMaxC <= r.TTargetC {
 			out.Met = true
 			return out, nil

@@ -7,6 +7,7 @@
 package pillar
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,7 @@ import (
 	"thermalscaffold/internal/materials"
 	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/telemetry"
 	"thermalscaffold/internal/units"
 )
 
@@ -82,6 +84,14 @@ type Request struct {
 	Tol float64
 	// MemoryPerTier mirrors stack.Spec (default true).
 	NoMemoryPerTier bool
+	// Ctx, when non-nil, cancels the placement: the bisection checks
+	// it before every outer iteration and the inner thermal solves
+	// check it per PCG iteration, so Place returns within one solver
+	// iteration of cancellation. The returned error wraps ctx.Err().
+	Ctx context.Context
+	// Telemetry, when non-nil, collects solve traces and counters from
+	// every thermal solve the placement runs (see internal/telemetry).
+	Telemetry *telemetry.Collector
 }
 
 func (r *Request) withDefaults() (*Request, error) {
@@ -284,7 +294,10 @@ func Place(req Request) (*Placement, error) {
 		// The bisection re-solves the same stack ~20 times with nearby
 		// coverage fields: multigrid keeps each warm-started solve at a
 		// handful of iterations regardless of grid resolution.
-		res, err := spec.Solve(solver.Options{Tol: r.Tol, MaxIter: 80000, Precond: solver.Multigrid, InitialGuess: lastField})
+		res, err := spec.Solve(solver.Options{
+			Tol: r.Tol, MaxIter: 80000, Precond: solver.Multigrid,
+			InitialGuess: lastField, Ctx: r.Ctx, Telemetry: r.Telemetry,
+		})
 		if err != nil {
 			return 0, nil, nil, err
 		}
@@ -316,6 +329,11 @@ func Place(req Request) (*Placement, error) {
 	lo, hi := 0.0, lambdaHi
 	tBest, effBest, metalBest, lamBest := tHi, effHi, metalHi, lambdaHi
 	for iter := 0; iter < 18 && (hi-lo) > 1e-3*lambdaHi; iter++ {
+		if r.Ctx != nil {
+			if cerr := r.Ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("pillar: placement bisection cancelled after %d iterations: %w", iter, cerr)
+			}
+		}
 		mid := (lo + hi) / 2
 		tm, em, mm, err := solveAt(mid)
 		if err != nil {

@@ -1,0 +1,104 @@
+package solver
+
+// Fuzz coverage for Problem validation: arbitrary field mutations must
+// never panic, every rejection must name the offending field, and any
+// problem that passes Validate must survive assembly and a bounded
+// solve attempt (returning a typed error at worst, never garbage).
+//
+// Run continuously with `go test -fuzz FuzzProblemValidate` or in CI
+// with `make fuzz-short`.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"thermalscaffold/internal/mesh"
+)
+
+// fieldNames are the identifiers a Validate rejection must mention so
+// callers can tell what to fix.
+var fieldNames = []string{"KX", "KY", "KZ", "Q", "Cv", "ZPlaneTBR", "Bounds", "face", "boundaries", "grid", "entries"}
+
+func namesField(msg string) bool {
+	for _, f := range fieldNames {
+		if strings.Contains(msg, f) {
+			return true
+		}
+	}
+	return false
+}
+
+func FuzzProblemValidate(f *testing.F) {
+	// Seed corpus: a healthy problem, NaN/Inf/negative pokes into each
+	// array, boundary mutations, and a bad-length TBR.
+	f.Add(uint8(4), uint8(4), uint8(3), uint16(0), 1.0, 1.0, 1.0, 0.0, 0.0, 1e4, 300.0, uint8(0))
+	f.Add(uint8(4), uint8(4), uint8(3), uint16(7), math.NaN(), 1.0, 1.0, 0.0, 0.0, 1e4, 300.0, uint8(1))
+	f.Add(uint8(2), uint8(3), uint8(4), uint16(5), 1.0, -2.0, 1.0, 0.0, 0.0, 1e4, 300.0, uint8(2))
+	f.Add(uint8(3), uint8(3), uint8(3), uint16(9), 1.0, 1.0, math.Inf(1), 0.0, 0.0, 1e4, 300.0, uint8(3))
+	f.Add(uint8(5), uint8(2), uint8(2), uint16(3), 1.0, 1.0, 1.0, math.Inf(-1), 0.0, 1e4, 300.0, uint8(4))
+	f.Add(uint8(3), uint8(4), uint8(5), uint16(2), 1.0, 1.0, 1.0, 0.0, math.NaN(), 1e4, 300.0, uint8(5))
+	f.Add(uint8(4), uint8(3), uint8(2), uint16(1), 1.0, 1.0, 1.0, 0.0, -1e-9, 1e4, 300.0, uint8(6))
+	f.Add(uint8(2), uint8(2), uint8(2), uint16(0), 1.0, 1.0, 1.0, 0.0, 0.0, -5.0, 300.0, uint8(7))
+	f.Add(uint8(2), uint8(2), uint8(2), uint16(0), 1.0, 1.0, 1.0, 0.0, 0.0, 1e4, math.NaN(), uint8(8))
+	f.Add(uint8(6), uint8(5), uint8(4), uint16(40), 50.0, 0.5, 120.0, 1e9, 1e-8, 2e4, 350.0, uint8(9))
+
+	f.Fuzz(func(t *testing.T, nx, ny, nz uint8, cell uint16, kx, ky, kz, q, tbr, h, tbc float64, mut uint8) {
+		// Bound the grid so assembly and solving stay cheap.
+		gx := int(nx)%6 + 1
+		gy := int(ny)%6 + 1
+		gz := int(nz)%6 + 1
+		g, err := mesh.Uniform(1e-3, 1e-3, 1e-4, gx, gy, gz)
+		if err != nil {
+			t.Fatalf("mesh.Uniform(%d,%d,%d): %v", gx, gy, gz, err)
+		}
+		p := NewProblem(g)
+		c := int(cell) % g.NumCells()
+		p.KX[c], p.KY[c], p.KZ[c] = kx, ky, kz
+		p.Q[c] = q
+		p.Bounds[ZMin] = ConvectiveBC(h, tbc)
+		switch mut % 10 {
+		case 1: // TBR of the right length
+			if gz > 1 {
+				v := make([]float64, gz-1)
+				v[0] = tbr
+				p.ZPlaneTBR = v
+			}
+		case 2: // TBR of the wrong length
+			p.ZPlaneTBR = []float64{tbr, tbr, tbr, tbr, tbr, tbr, tbr}
+		case 3: // truncated array
+			p.KY = p.KY[:len(p.KY)-1]
+		case 4: // all-adiabatic (singular steady problem)
+			p.Bounds[ZMin] = AdiabaticBC()
+		case 5: // unknown BC kind
+			p.Bounds[XMax] = Boundary{Kind: BCKind(200)}
+		case 6: // Dirichlet with the fuzzed temperature
+			p.Bounds[ZMax] = DirichletBC(tbc)
+		case 7: // nil grid
+			p.Grid = nil
+		}
+
+		err = p.Validate()
+		if err != nil {
+			if !namesField(err.Error()) {
+				t.Fatalf("rejection does not name the offending field: %q", err.Error())
+			}
+			return
+		}
+		// Valid problems must assemble and solve without panicking; a
+		// bounded iteration budget may legitimately end in a typed
+		// ConvergenceError.
+		res, err := SolveSteady(p, Options{Tol: 1e-6, MaxIter: 60, Workers: 1, Precond: ZLine})
+		if err != nil {
+			if _, ok := AsConvergenceError(err); !ok {
+				t.Fatalf("solve failed with an untyped error: %v", err)
+			}
+			return
+		}
+		for i, v := range res.T {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("converged solve produced non-finite T[%d] = %g", i, v)
+			}
+		}
+	})
+}

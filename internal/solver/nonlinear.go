@@ -61,7 +61,21 @@ func SolveSteadyNonlinear(p *Problem, update KUpdater, opts NonlinearOptions) (*
 	var res *Result
 	var err error
 	change := math.Inf(1)
+	var picardHistory []float64
 	for it := 1; it <= opts.MaxPicard; it++ {
+		if ctx := opts.Inner.Ctx; ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				var best []float64
+				if res != nil {
+					best = res.T
+				}
+				return nil, &ConvergenceError{
+					Method: "picard", Precond: opts.Inner.Precond, Reason: ReasonCancelled,
+					Iterations: it - 1, Residual: change, History: picardHistory,
+					Best: best, BestResidual: change, Err: cerr,
+				}
+			}
+		}
 		inner := opts.Inner
 		inner.InitialGuess = prev
 		res, err = SolveSteady(&work, inner)
@@ -75,6 +89,7 @@ func SolveSteadyNonlinear(p *Problem, update KUpdater, opts NonlinearOptions) (*
 					change = d
 				}
 			}
+			picardHistory = append(picardHistory, change)
 			if change <= opts.TolK {
 				return &NonlinearResult{Result: res, PicardIterations: it, LastChangeK: change}, nil
 			}
@@ -88,7 +103,18 @@ func SolveSteadyNonlinear(p *Problem, update KUpdater, opts NonlinearOptions) (*
 			work.KX[c], work.KY[c], work.KZ[c] = kx, ky, kz
 		}
 	}
-	return nil, fmt.Errorf("solver: picard iteration did not converge in %d rounds (last change %g K)", opts.MaxPicard, change)
+	var best []float64
+	if res != nil {
+		best = res.T
+	}
+	// History carries the per-round max |ΔT| in kelvin (the Picard
+	// convergence measure), not a linear-solve residual.
+	return nil, &ConvergenceError{
+		Method: "picard", Precond: opts.Inner.Precond, Reason: ReasonMaxIter,
+		Iterations: opts.MaxPicard, Residual: change, History: picardHistory,
+		Best: best, BestResidual: change,
+		Err: fmt.Errorf("no convergence in %d rounds (last change %g K)", opts.MaxPicard, change),
+	}
 }
 
 // SiliconKScale returns the multiplicative correction to silicon

@@ -165,12 +165,21 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("solver: %s has %d entries, want %d", a.name, len(a.v), n)
 		}
 	}
+	// badK rejects non-positive, NaN, and Inf conductivity: !(k > 0)
+	// is true for NaN too, which a plain k <= 0 test would let through.
+	badK := func(k float64) bool { return !(k > 0) || math.IsInf(k, 1) }
 	for c := 0; c < n; c++ {
-		if p.KX[c] <= 0 || p.KY[c] <= 0 || p.KZ[c] <= 0 {
-			return fmt.Errorf("solver: non-positive conductivity at cell %d (%g,%g,%g)", c, p.KX[c], p.KY[c], p.KZ[c])
+		if badK(p.KX[c]) {
+			return fmt.Errorf("solver: KX has invalid conductivity at cell %d (%g)", c, p.KX[c])
+		}
+		if badK(p.KY[c]) {
+			return fmt.Errorf("solver: KY has invalid conductivity at cell %d (%g)", c, p.KY[c])
+		}
+		if badK(p.KZ[c]) {
+			return fmt.Errorf("solver: KZ has invalid conductivity at cell %d (%g)", c, p.KZ[c])
 		}
 		if math.IsNaN(p.Q[c]) || math.IsInf(p.Q[c], 0) {
-			return fmt.Errorf("solver: invalid source at cell %d: %g", c, p.Q[c])
+			return fmt.Errorf("solver: Q has invalid source at cell %d: %g", c, p.Q[c])
 		}
 	}
 	if p.ZPlaneTBR != nil {
@@ -178,8 +187,8 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("solver: ZPlaneTBR has %d entries, want %d", len(p.ZPlaneTBR), p.Grid.NZ()-1)
 		}
 		for k, r := range p.ZPlaneTBR {
-			if r < 0 {
-				return fmt.Errorf("solver: negative interface resistance at plane %d", k)
+			if !(r >= 0) || math.IsInf(r, 1) {
+				return fmt.Errorf("solver: ZPlaneTBR has invalid interface resistance at plane %d (%g)", k, r)
 			}
 		}
 	}
@@ -188,10 +197,16 @@ func (p *Problem) Validate() error {
 		b := p.Bounds[f]
 		switch b.Kind {
 		case Dirichlet:
+			if math.IsNaN(b.T) || math.IsInf(b.T, 0) {
+				return fmt.Errorf("solver: Bounds has invalid temperature on face %s (%g)", f, b.T)
+			}
 			anchored = true
 		case Convective:
-			if b.H <= 0 {
-				return fmt.Errorf("solver: convective face %s has non-positive h=%g", f, b.H)
+			if !(b.H > 0) || math.IsInf(b.H, 1) {
+				return fmt.Errorf("solver: Bounds has invalid convective h on face %s (%g)", f, b.H)
+			}
+			if math.IsNaN(b.T) || math.IsInf(b.T, 0) {
+				return fmt.Errorf("solver: Bounds has invalid temperature on face %s (%g)", f, b.T)
 			}
 			anchored = true
 		case Adiabatic:

@@ -1,12 +1,15 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"thermalscaffold/internal/parallel"
+	"thermalscaffold/internal/telemetry"
 )
 
 // Preconditioner selects the PCG preconditioner.
@@ -89,6 +92,34 @@ type Options struct {
 	// red-black sweep ordering); the equivalence test suite bounds
 	// the resulting temperature difference at ≤ 1e-12 relative.
 	Workers int
+	// Ctx, when non-nil, cancels the solve: the iteration checks
+	// ctx.Done() once per outer iteration (and per SOR sweep) and
+	// returns a *ConvergenceError with ReasonCancelled wrapping
+	// ctx.Err(). The error carries the best iterate reached so far
+	// (ConvergenceError.Best) so deadline-bounded callers can use the
+	// partial field, explicitly flagged as unconverged.
+	Ctx context.Context
+	// Progress, when non-nil, is called after every PCG iteration
+	// (and at every SOR residual check) with the 1-based iteration
+	// count and the current relative residual. It runs on the solve's
+	// calling goroutine and must not mutate solver state; to stop a
+	// solve early, cancel Ctx. Observational only: attaching a
+	// callback does not change any computed value.
+	Progress func(iteration int, relResidual float64)
+	// StagnationWindow is the divergence guard: if no new best
+	// residual is observed for this many consecutive iterations the
+	// solve stops with ReasonStagnation instead of burning the rest
+	// of MaxIter. 0 selects the default (1000); negative disables the
+	// guard. Detection depends only on the residual sequence, which
+	// is deterministic under the Workers contract, so the guard never
+	// breaks run-to-run reproducibility.
+	StagnationWindow int
+	// Telemetry, when non-nil, receives per-solve traces, counters
+	// (solves, iterations, fallbacks, warm-start hits), and fallback
+	// log lines. Purely observational — results are bitwise identical
+	// with and without a collector attached (the equivalence suite
+	// verifies this).
+	Telemetry *telemetry.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -112,7 +143,15 @@ type Result struct {
 	T          []float64 // temperature per cell, K
 	Iterations int
 	Residual   float64 // final relative residual
-	grid       gridder
+	// Residuals is the per-iteration relative residual trace of the
+	// solve that produced T (SOR records at its check cadence).
+	Residuals []float64
+	// Fallbacks lists preconditioners abandoned on breakdown before
+	// the one that produced T (empty on the normal path). Fallbacks
+	// are also counted and logged through Options.Telemetry — never
+	// silent.
+	Fallbacks []Preconditioner
+	grid      gridder
 }
 
 type gridder interface {
@@ -127,17 +166,89 @@ type gridder interface {
 // preconditioned conjugate gradient. The solve parallelizes across
 // Options.Workers goroutines with deterministic (bit-reproducible)
 // reductions; Workers=1 is the exact legacy serial path.
+//
+// Robustness: cancellation via Options.Ctx, NaN/Inf and stagnation
+// guards, and the automatic preconditioner fallback ladder
+// (Multigrid → ZLine → Jacobi on breakdown) all apply; failures
+// surface as a typed *ConvergenceError (see errors.go), never as a
+// silently wrong field.
 func SolveSteady(p *Problem, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
 	op := assemble(p)
-	t, iters, res, err := pcg(op, op.b, opts)
+	out, fallbacks, err := solveOperator(op, op.b, opts, "pcg")
 	if err != nil {
 		return nil, err
 	}
-	return &Result{T: t, Iterations: iters, Residual: res, grid: p.Grid}, nil
+	return &Result{
+		T: out.x, Iterations: out.iterations, Residual: out.residual,
+		Residuals: out.history, Fallbacks: fallbacks, grid: p.Grid,
+	}, nil
+}
+
+// fallbackLadder returns the preconditioner sequence attempted when a
+// solve breaks down: each step is numerically simpler (and better
+// conditioned against degenerate operators) than the one before.
+// Breakdown — not plain non-convergence — triggers the descent, so a
+// healthy-but-slow preconditioner is never second-guessed.
+func fallbackLadder(pc Preconditioner) []Preconditioner {
+	switch pc {
+	case Multigrid:
+		return []Preconditioner{Multigrid, ZLine, Jacobi}
+	case ZLine:
+		return []Preconditioner{ZLine, Jacobi}
+	default:
+		return []Preconditioner{pc}
+	}
+}
+
+// testBreakdownHook, when non-nil, forces a breakdown failure at the
+// given (preconditioner, iteration) — the test seam for exercising
+// the fallback ladder, which a well-posed SPD problem cannot trigger
+// naturally. Always nil outside tests.
+var testBreakdownHook func(pc Preconditioner, iteration int) bool
+
+// solveOperator runs PCG on an assembled operator with the
+// preconditioner fallback ladder and telemetry. On breakdown it
+// restarts the solve with the next-simpler preconditioner (from the
+// same initial guess), counts and logs the event — never silently —
+// and records one telemetry trace for the attempt sequence.
+func solveOperator(op *operator, b []float64, opts Options, method string) (*iterOutcome, []Preconditioner, error) {
+	tel := opts.Telemetry
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
+	ladder := fallbackLadder(opts.Precond)
+	var fallbacks []Preconditioner
+	var out *iterOutcome
+	var err error
+	used := opts.Precond
+	for i, try := range ladder {
+		used = try
+		o := opts
+		o.Precond = try
+		out, err = pcg(op, b, o)
+		if err == nil {
+			break
+		}
+		ce, ok := AsConvergenceError(err)
+		if !ok || ce.Reason != ReasonBreakdown || i+1 == len(ladder) {
+			break
+		}
+		fallbacks = append(fallbacks, try)
+		tel.Add(telemetry.CounterFallbacks, 1)
+		tel.Logf("solver: %s: %s preconditioner broke down after %d iterations (%v); falling back to %s",
+			method, try, ce.Iterations, ce.Err, ladder[i+1])
+	}
+	if tel != nil {
+		o := opts
+		o.Precond = used
+		recordTrace(tel, method, o, len(b), out, err, start, fallbacks)
+	}
+	return out, fallbacks, err
 }
 
 // sorCheckEvery is the residual-check cadence of SolveSteadySOR: the
@@ -184,8 +295,42 @@ func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
 	}
 	r := make([]float64, n)
 	serial := kr.pool.Serial()
-	var res float64
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
+	window := opts.StagnationWindow
+	if window == 0 {
+		window = defaultStagnationWindow
+	}
+	tel := opts.Telemetry
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
+	var history []float64
+	// Seed res with the initial true residual so a failure before the
+	// first residual check still reports a meaningful value.
+	kr.residual(op, t, op.b, r)
+	res := kr.norm2(r) / bn
+	bestRes, bestIter := math.Inf(1), 0
+	fail := func(reason FailureReason, it int, cause error) (*Result, error) {
+		err := &ConvergenceError{
+			Method: "sor", Precond: opts.Precond, Reason: reason,
+			Iterations: it, Residual: res, History: history,
+			Best: t, BestResidual: res, Err: cause,
+		}
+		recordTrace(tel, "sor", opts, n, nil, err, start, nil)
+		return nil, err
+	}
 	for it := 1; it <= opts.MaxIter; it++ {
+		if done != nil {
+			select {
+			case <-done:
+				return fail(ReasonCancelled, it-1, opts.Ctx.Err())
+			default:
+			}
+		}
 		if serial {
 			op.sorSweepRange(t, omega, 0, n, -1)
 		} else {
@@ -193,12 +338,63 @@ func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
 		}
 		if it%sorCheckEvery == 0 || it == opts.MaxIter {
 			res = kr.residual(op, t, op.b, r) / bn
+			history = append(history, res)
+			if opts.Progress != nil {
+				opts.Progress(it, res)
+			}
+			if math.IsNaN(res) || math.IsInf(res, 0) {
+				return fail(ReasonBreakdown, it, errors.New("non-finite residual"))
+			}
 			if res <= opts.Tol {
-				return &Result{T: t, Iterations: it, Residual: res, grid: p.Grid}, nil
+				result := &Result{T: t, Iterations: it, Residual: res, Residuals: history, grid: p.Grid}
+				recordTrace(tel, "sor", opts, n, &iterOutcome{x: t, iterations: it, residual: res, history: history}, nil, start, nil)
+				return result, nil
+			}
+			if res < bestRes {
+				bestRes, bestIter = res, it
+			} else if window > 0 && it-bestIter >= window {
+				return fail(ReasonStagnation, it,
+					fmt.Errorf("no residual improvement in %d sweeps (best %g at sweep %d)", it-bestIter, bestRes, bestIter))
 			}
 		}
 	}
-	return nil, fmt.Errorf("solver: SOR did not converge in %d iterations (residual %g)", opts.MaxIter, res)
+	return fail(ReasonMaxIter, opts.MaxIter, nil)
+}
+
+// recordTrace writes one telemetry solve trace plus counters for a
+// finished solve attempt (tel may be nil).
+func recordTrace(tel *telemetry.Collector, method string, opts Options, cells int, out *iterOutcome, err error, start time.Time, fallbacks []Preconditioner) {
+	if tel == nil {
+		return
+	}
+	trace := telemetry.SolveTrace{
+		Method:    method,
+		Precond:   opts.Precond.String(),
+		Workers:   opts.Workers,
+		Cells:     cells,
+		WarmStart: opts.InitialGuess != nil,
+		WallNS:    time.Since(start).Nanoseconds(),
+	}
+	for _, f := range fallbacks {
+		trace.Fallbacks = append(trace.Fallbacks, f.String())
+	}
+	if err == nil {
+		trace.Converged = true
+		trace.Iterations = out.iterations
+		trace.Residual = telemetry.Float(out.residual)
+		trace.Residuals = telemetry.Floats(out.history)
+	} else if ce, ok := AsConvergenceError(err); ok {
+		trace.Failure = ce.Reason.String()
+		trace.Iterations = ce.Iterations
+		trace.Residual = telemetry.Float(ce.Residual)
+		trace.Residuals = telemetry.Floats(ce.History)
+	}
+	tel.Add(telemetry.CounterSolves, 1)
+	tel.Add(telemetry.CounterIterations, int64(trace.Iterations))
+	if trace.WarmStart {
+		tel.Add(telemetry.CounterWarmStarts, 1)
+	}
+	tel.RecordSolve(trace)
 }
 
 // sorSweepRange applies one SOR update pass to cells [start, end).
@@ -266,16 +462,37 @@ func (op *operator) redBlackSweep(t []float64, omega float64, kr *kern) {
 	}
 }
 
+// defaultStagnationWindow is the stagnation guard used when
+// Options.StagnationWindow is 0: abort after this many consecutive
+// iterations without a new best residual.
+const defaultStagnationWindow = 1000
+
+// iterOutcome is the raw product of one successful inner iteration:
+// the solution vector plus its convergence record.
+type iterOutcome struct {
+	x          []float64
+	iterations int
+	residual   float64
+	history    []float64
+}
+
 // pcg runs preconditioned conjugate gradient on A·x = b. All O(n)
 // kernels — SpMV, the dot/norm reductions, the fused vector updates,
 // and the preconditioner — run on the worker pool selected by
 // opts.Workers (see Options.Workers for the determinism contract).
-func pcg(op *operator, b []float64, opts Options) (x []float64, iters int, res float64, err error) {
+//
+// Failures return a *ConvergenceError: ReasonCancelled when
+// opts.Ctx fires (checked once per iteration), ReasonBreakdown on
+// NaN/Inf or loss of positive definiteness, ReasonStagnation when the
+// residual stops improving for opts.StagnationWindow iterations, and
+// ReasonMaxIter when the budget runs out. The error always carries
+// the residual history and the best iterate observed.
+func pcg(op *operator, b []float64, opts Options) (*iterOutcome, error) {
 	n := len(b)
-	x = make([]float64, n)
+	x := make([]float64, n)
 	if opts.InitialGuess != nil {
 		if len(opts.InitialGuess) != n {
-			return nil, 0, 0, fmt.Errorf("solver: initial guess has %d entries, want %d", len(opts.InitialGuess), n)
+			return nil, fmt.Errorf("solver: initial guess has %d entries, want %d", len(opts.InitialGuess), n)
 		}
 		copy(x, opts.InitialGuess)
 	}
@@ -291,26 +508,90 @@ func pcg(op *operator, b []float64, opts Options) (x []float64, iters int, res f
 	bn := kr.norm2(b)
 	if bn == 0 {
 		// Zero RHS with SPD A ⇒ zero solution.
-		return x, 0, 0, nil
+		return &iterOutcome{x: x}, nil
+	}
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
+	window := opts.StagnationWindow
+	if window == 0 {
+		window = defaultStagnationWindow
+	}
+	var history []float64
+	// r already holds the initial residual; seeding res with its norm
+	// means a failure before the first iteration completes (e.g. an
+	// already-cancelled context) still reports a meaningful residual.
+	res := kr.norm2(r) / bn
+	// Best-iterate tracking for deadline-bounded callers. Copying x
+	// every time the residual improves would cost O(n) per iteration,
+	// so the snapshot refreshes lazily: only when the residual halves
+	// relative to the last snapshot (O(log) copies per solve).
+	bestRes, bestIter := math.Inf(1), 0
+	var bestX []float64
+	bestSnapRes := math.Inf(1)
+	fail := func(reason FailureReason, it int, cause error) (*iterOutcome, error) {
+		best, bres := x, res
+		if bestX != nil && !(res <= bestSnapRes) {
+			best, bres = bestX, bestSnapRes
+		}
+		return nil, &ConvergenceError{
+			Method: "pcg", Precond: opts.Precond, Reason: reason,
+			Iterations: it, Residual: res, History: history,
+			Best: best, BestResidual: bres, Err: cause,
+		}
 	}
 	applyM, err := makePreconditioner(op, opts.Precond, kr)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, &ConvergenceError{
+			Method: "pcg", Precond: opts.Precond, Reason: ReasonBreakdown, Err: err,
+		}
 	}
 	applyM(r, z)
 	copy(p, z)
 	rz := kr.dot(r, z)
 	for it := 1; it <= opts.MaxIter; it++ {
+		if done != nil {
+			select {
+			case <-done:
+				return fail(ReasonCancelled, it-1, opts.Ctx.Err())
+			default:
+			}
+		}
 		kr.apply(op, p, ap)
 		pap := kr.dot(p, ap)
-		if pap <= 0 {
-			return nil, 0, 0, errors.New("solver: operator lost positive definiteness (pᵀAp ≤ 0)")
+		if !(pap > 0) {
+			return fail(ReasonBreakdown, it-1,
+				fmt.Errorf("operator lost positive definiteness (pᵀAp = %g)", pap))
 		}
 		alpha := rz / pap
 		kr.xrUpdate(x, r, p, ap, alpha)
 		res = kr.norm2(r) / bn
+		history = append(history, res)
+		if testBreakdownHook != nil && testBreakdownHook(opts.Precond, it) {
+			return fail(ReasonBreakdown, it, errors.New("injected breakdown (test hook)"))
+		}
+		if opts.Progress != nil {
+			opts.Progress(it, res)
+		}
+		if math.IsNaN(res) || math.IsInf(res, 0) {
+			return fail(ReasonBreakdown, it, errors.New("non-finite residual"))
+		}
 		if res <= opts.Tol {
-			return x, it, res, nil
+			return &iterOutcome{x: x, iterations: it, residual: res, history: history}, nil
+		}
+		if res < bestRes {
+			bestRes, bestIter = res, it
+			if res < 0.5*bestSnapRes {
+				if bestX == nil {
+					bestX = make([]float64, n)
+				}
+				copy(bestX, x)
+				bestSnapRes = res
+			}
+		} else if window > 0 && it-bestIter >= window {
+			return fail(ReasonStagnation, it,
+				fmt.Errorf("no residual improvement in %d iterations (best %g at iteration %d)", it-bestIter, bestRes, bestIter))
 		}
 		applyM(r, z)
 		rzNew := kr.dot(r, z)
@@ -318,7 +599,7 @@ func pcg(op *operator, b []float64, opts Options) (x []float64, iters int, res f
 		rz = rzNew
 		kr.direction(p, z, beta)
 	}
-	return nil, 0, 0, fmt.Errorf("solver: PCG did not converge in %d iterations (residual %g)", opts.MaxIter, res)
+	return fail(ReasonMaxIter, opts.MaxIter, nil)
 }
 
 // makePreconditioner returns z ← M⁻¹·r for the selected scheme,

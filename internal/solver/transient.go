@@ -97,18 +97,26 @@ func (tr *Transient) Step(dt float64) error {
 	}
 	opts := tr.opts
 	opts.InitialGuess = tr.T
-	t, _, _, err := pcg(aug, aug.b, opts)
+	out, _, err := solveOperator(aug, aug.b, opts, "transient")
 	if err != nil {
 		return err
 	}
-	tr.T = t
+	tr.T = out.x
 	tr.time += dt
 	return nil
 }
 
-// Run advances by n steps of dt and returns the final field.
+// Run advances by n steps of dt and returns the final field. The
+// step loop checks Options.Ctx between steps (the inner solve also
+// checks per iteration), so a cancelled run stops promptly and the
+// error unwraps to the context cause.
 func (tr *Transient) Run(n int, dt float64) ([]float64, error) {
 	for s := 0; s < n; s++ {
+		if ctx := tr.opts.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("solver: transient step %d: %w", s, err)
+			}
+		}
 		if err := tr.Step(dt); err != nil {
 			return nil, fmt.Errorf("solver: transient step %d: %w", s, err)
 		}
