@@ -10,12 +10,17 @@
 // Without -budget the tool finds the minimum penalty meeting the
 // temperature target (Table I mode); with -budget it spends that
 // footprint fraction and reports the temperature (Fig. 9 mode).
+//
+// Ctrl-C cancels the evaluation through the solver's context plumbing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"thermalscaffold/internal/core"
@@ -24,15 +29,28 @@ import (
 )
 
 func main() {
-	designName := flag.String("design", "gemmini", "design: gemmini, rocket, fujitsu")
-	strategyName := flag.String("strategy", "scaffolding", "strategy: scaffolding, vertical, conventional")
-	tiers := flag.Int("tiers", 12, "number of stacked tiers")
-	sinkName := flag.String("sink", "twophase", "heatsink: twophase, microfluidic, coldplate")
-	tmax := flag.Float64("tmax", 125, "junction temperature limit (°C)")
-	budget := flag.Float64("budget", -1, "footprint budget (fraction); <0 = minimum-penalty search")
-	grid := flag.Int("grid", 16, "thermal grid resolution per axis")
-	sweep := flag.Bool("sweep", false, "sweep tier counts 1..-tiers at the given budget (default 10%) and print the curve")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run is the testable entry point: it parses args, evaluates, and
+// returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scaffold", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	designName := fs.String("design", "gemmini", "design: gemmini, rocket, fujitsu")
+	strategyName := fs.String("strategy", "scaffolding", "strategy: scaffolding, vertical, conventional")
+	tiers := fs.Int("tiers", 12, "number of stacked tiers")
+	sinkName := fs.String("sink", "twophase", "heatsink: twophase, microfluidic, coldplate")
+	tmax := fs.Float64("tmax", 125, "junction temperature limit (°C)")
+	budget := fs.Float64("budget", -1, "footprint budget (fraction); <0 = minimum-penalty search")
+	grid := fs.Int("grid", 16, "thermal grid resolution per axis")
+	sweep := fs.Bool("sweep", false, "sweep tier counts 1..-tiers at the given budget (default 10%) and print the curve")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var d *design.Design
 	switch strings.ToLower(*designName) {
@@ -43,8 +61,8 @@ func main() {
 	case "fujitsu":
 		d = design.FujitsuResearch()
 	default:
-		fmt.Fprintf(os.Stderr, "scaffold: unknown design %q\n", *designName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "scaffold: unknown design %q\n", *designName)
+		return 2
 	}
 	var s core.Strategy
 	switch strings.ToLower(*strategyName) {
@@ -55,8 +73,8 @@ func main() {
 	case "conventional", "conv":
 		s = core.Conventional3D
 	default:
-		fmt.Fprintf(os.Stderr, "scaffold: unknown strategy %q\n", *strategyName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "scaffold: unknown strategy %q\n", *strategyName)
+		return 2
 	}
 	var sink heatsink.Model
 	switch strings.ToLower(*sinkName) {
@@ -67,14 +85,14 @@ func main() {
 	case "coldplate":
 		sink = heatsink.ColdPlate()
 	default:
-		fmt.Fprintf(os.Stderr, "scaffold: unknown heatsink %q\n", *sinkName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "scaffold: unknown heatsink %q\n", *sinkName)
+		return 2
 	}
 
-	cfg := core.Config{Design: d, Sink: sink, TTargetC: *tmax, NX: *grid, NY: *grid}
-	fmt.Printf("design %s: %.2f W/tier (%.1f W/cm²), die %.3f mm², workload %s\n",
+	cfg := core.Config{Design: d, Sink: sink, TTargetC: *tmax, NX: *grid, NY: *grid, Ctx: ctx}
+	fmt.Fprintf(stdout, "design %s: %.2f W/tier (%.1f W/cm²), die %.3f mm², workload %s\n",
 		d.Name, d.TierPower(), d.MeanDensityWPerCm2(), d.Tier.Die.Area()*1e6, d.Workload.Name)
-	fmt.Printf("sink %s, limit %.0f°C, %d tiers, strategy %s\n", sink, *tmax, *tiers, s)
+	fmt.Fprintf(stdout, "sink %s, limit %.0f°C, %d tiers, strategy %s\n", sink, *tmax, *tiers, s)
 
 	if *sweep {
 		b := *budget
@@ -83,10 +101,10 @@ func main() {
 		}
 		evals, err := core.SweepTiers(cfg, s, b, *tiers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scaffold: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "scaffold: %v\n", err)
+			return 1
 		}
-		fmt.Printf("tier sweep at %.0f%% footprint budget:\n", 100*b)
+		fmt.Fprintf(stdout, "tier sweep at %.0f%% footprint budget:\n", 100*b)
 		best := 0
 		for _, e := range evals {
 			mark := " "
@@ -94,10 +112,10 @@ func main() {
 				mark = "*"
 				best = e.Tiers
 			}
-			fmt.Printf("  N=%2d  T=%6.1f°C %s\n", e.Tiers, e.TMaxC, mark)
+			fmt.Fprintf(stdout, "  N=%2d  T=%6.1f°C %s\n", e.Tiers, e.TMaxC, mark)
 		}
-		fmt.Printf("supported tiers at %.0f°C: %d\n", *tmax, best)
-		return
+		fmt.Fprintf(stdout, "supported tiers at %.0f°C: %d\n", *tmax, best)
+		return 0
 	}
 
 	var (
@@ -110,12 +128,13 @@ func main() {
 		e, err = core.EvaluateAtBudget(cfg, s, *tiers, *budget)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "scaffold: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "scaffold: %v\n", err)
+		return 1
 	}
-	fmt.Println(e)
+	fmt.Fprintln(stdout, e)
 	if !e.Feasible && *budget < 0 {
-		fmt.Println("target unreachable: even saturated insertion cannot cool this stack")
-		os.Exit(1)
+		fmt.Fprintln(stdout, "target unreachable: even saturated insertion cannot cool this stack")
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"thermalscaffold/internal/specio"
+)
+
+// Content addressing. Key hashes everything that determines the
+// numerical answer of an evaluation — the assembled solver problem
+// (mesh, materials, power map, boundary conditions, interface
+// resistances) plus the result-relevant solver options and the
+// steady/transient mode — through the canonical encoding of
+// solver.Problem.WriteCanonical. Scheduling-only knobs (timeout,
+// server worker counts) are deliberately excluded: they change when
+// an answer arrives, never what it is.
+//
+// FamilyKey hashes the same stream with the source field left out.
+// Two evaluations sharing a family differ at most in their power map,
+// which is exactly the near-miss case where a previous solution is a
+// profitable warm start (optimization loops mutate power, not
+// geometry).
+//
+// SHA-256 makes accidental collisions a non-issue (the cache would
+// serve a wrong answer on collision, so a short rolling hash is not
+// acceptable); keys render as 64 hex characters.
+
+// Key returns the canonical content address of an evaluation.
+func Key(ev *specio.Eval) (string, error) {
+	return hashEval(ev, true)
+}
+
+// FamilyKey returns the warm-start family address: Key with the
+// power/source field excluded.
+func FamilyKey(ev *specio.Eval) (string, error) {
+	return hashEval(ev, false)
+}
+
+func hashEval(ev *specio.Eval, includeSources bool) (string, error) {
+	h := sha256.New()
+	if err := ev.Problem.WriteCanonical(h, includeSources); err != nil {
+		return "", fmt.Errorf("serve: hashing problem: %w", err)
+	}
+	// Solver options and mode, fixed-width so fields cannot alias.
+	var opts [8 * 5]byte
+	binary.LittleEndian.PutUint64(opts[0:], uint64(ev.Precond))
+	binary.LittleEndian.PutUint64(opts[8:], floatBits(ev.Tol))
+	binary.LittleEndian.PutUint64(opts[16:], uint64(ev.MaxIter))
+	if tr := ev.Req.Transient; tr != nil {
+		binary.LittleEndian.PutUint64(opts[24:], floatBits(tr.DtS))
+		binary.LittleEndian.PutUint64(opts[32:], uint64(tr.Steps))
+	}
+	h.Write(opts[:])
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// floatBits canonicalizes −0 to +0 before taking IEEE-754 bits,
+// matching the convention of solver.WriteCanonical.
+func floatBits(v float64) uint64 {
+	if v == 0 {
+		v = 0
+	}
+	return math.Float64bits(v)
+}

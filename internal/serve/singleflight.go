@@ -1,0 +1,48 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller (the leader) runs fn, every concurrent
+// duplicate blocks and receives the leader's exact return values —
+// the same *solved pointer, so coalesced responses are bitwise
+// identical to the leader's by construction. A minimal reimplementation
+// of golang.org/x/sync/singleflight (the module has no external
+// dependencies).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val *solved
+	err error
+}
+
+// Do executes fn once per concurrent key and returns its result.
+// shared reports whether this caller piggybacked on another's
+// execution.
+func (g *flightGroup) Do(key string, fn func() (*solved, error)) (val *solved, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

@@ -1,0 +1,110 @@
+package solver
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/mesh"
+)
+
+func canonBytes(t *testing.T, p *Problem, includeSources bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteCanonical(&buf, includeSources); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func canonProblem(t *testing.T) *Problem {
+	t.Helper()
+	g, err := mesh.Uniform(1e-3, 2e-3, 1e-4, 4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(g)
+	for c := range p.KX {
+		p.SetAniso(c, 10+float64(c), 1+0.5*float64(c))
+		// In-plane anisotropy so a KX↔KY swap is a real change.
+		p.KY[c] += 0.25
+		p.Cv[c] = 1.6e6
+		p.Q[c] = float64(c % 7)
+	}
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 300)
+	p.Bounds[XMax] = DirichletBC(350)
+	return p
+}
+
+// TestCanonicalStable: the encoding is a pure function of the problem
+// fields — identical problems produce identical bytes, and the
+// family (source-free) encoding is a strict prefix-compatible variant
+// that drops exactly the Q section.
+func TestCanonicalStable(t *testing.T) {
+	p := canonProblem(t)
+	a := canonBytes(t, p, true)
+	b := canonBytes(t, p, true)
+	if !bytes.Equal(a, b) {
+		t.Fatal("canonical encoding is not deterministic")
+	}
+	fam := canonBytes(t, p, false)
+	if bytes.Equal(a, fam) {
+		t.Fatal("source-free encoding equals the full encoding")
+	}
+	q0 := p.Q[3]
+	p.Q[3] += 1
+	if bytes.Equal(a, canonBytes(t, p, true)) {
+		t.Fatal("source change did not change the full encoding")
+	}
+	if !bytes.Equal(fam, canonBytes(t, p, false)) {
+		t.Fatal("source change leaked into the family encoding")
+	}
+	p.Q[3] = q0
+}
+
+// TestCanonicalSensitivity: every physically meaningful field change
+// changes the byte stream.
+func TestCanonicalSensitivity(t *testing.T) {
+	base := canonBytes(t, canonProblem(t), true)
+	mutations := map[string]func(p *Problem){
+		"kx":      func(p *Problem) { p.KX[0] *= 2 },
+		"ky":      func(p *Problem) { p.KY[5] *= 2 },
+		"kz":      func(p *Problem) { p.KZ[9] *= 2 },
+		"cv":      func(p *Problem) { p.Cv[1] *= 2 },
+		"q":       func(p *Problem) { p.Q[2] += 0.5 },
+		"bc-kind": func(p *Problem) { p.Bounds[YMin] = DirichletBC(0) },
+		"bc-temp": func(p *Problem) { p.Bounds[ZMin].T += 1 },
+		"bc-h":    func(p *Problem) { p.Bounds[ZMin].H *= 2 },
+		"grid-x":  func(p *Problem) { p.Grid.Xs[1] *= 1.01 },
+		"grid-z":  func(p *Problem) { p.Grid.Zs[2] *= 1.01 },
+		"tbr":     func(p *Problem) { p.ZPlaneTBR = make([]float64, p.Grid.NZ()-1) },
+		"tbr-val": func(p *Problem) { p.ZPlaneTBR = []float64{0, 1e-9, 0, 0} },
+		"swap-k":  func(p *Problem) { p.KX, p.KY = p.KY, p.KX },
+	}
+	for name, mutate := range mutations {
+		p := canonProblem(t)
+		mutate(p)
+		if bytes.Equal(base, canonBytes(t, p, true)) {
+			t.Errorf("mutation %q did not change the canonical encoding", name)
+		}
+	}
+}
+
+// TestCanonicalZeroAndNaN: −0 and +0 encode identically (they are the
+// same source density), and any NaN payload canonicalizes to one bit
+// pattern so hashing never depends on how a NaN was produced.
+func TestCanonicalZeroAndNaN(t *testing.T) {
+	p := canonProblem(t)
+	p.Q[0] = 0
+	a := canonBytes(t, p, true)
+	p.Q[0] = math.Copysign(0, -1)
+	if !bytes.Equal(a, canonBytes(t, p, true)) {
+		t.Fatal("-0 and +0 encode differently")
+	}
+	p.Q[0] = math.NaN()
+	n1 := canonBytes(t, p, true)
+	p.Q[0] = math.Float64frombits(0x7ff8000000000001) // NaN with a payload
+	if !bytes.Equal(n1, canonBytes(t, p, true)) {
+		t.Fatal("NaN payloads encode differently")
+	}
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter names maintained by the evaluation service
+// (internal/serve). They live here with the solver counters so every
+// layer shares one naming scheme and one report schema.
+const (
+	// CounterCacheHits counts requests answered from the
+	// content-addressed solve cache without running a solver.
+	CounterCacheHits = "cache_hits"
+	// CounterCacheMisses counts requests that had to solve (including
+	// coalesced leaders).
+	CounterCacheMisses = "cache_misses"
+	// CounterCoalesced counts requests that piggybacked on an
+	// identical in-flight solve instead of starting their own.
+	CounterCoalesced = "coalesced"
+	// CounterRejected counts requests shed by backpressure (queue
+	// full) or refused during drain.
+	CounterRejected = "rejected"
+)
+
+// LatencyWindow records the most recent N observations of a duration
+// and reports quantiles over that window — the p50/p99 surface of the
+// evaluation service's /metrics endpoint. A sliding window (rather
+// than an all-time histogram) keeps the quantiles responsive to the
+// current workload mix. Safe for concurrent use; the zero value is
+// not usable, call NewLatencyWindow.
+type LatencyWindow struct {
+	mu    sync.Mutex
+	ring  []int64 // nanoseconds
+	next  int
+	count int
+}
+
+// DefaultLatencyWindow is the observation capacity used by
+// NewLatencyWindow when size ≤ 0.
+const DefaultLatencyWindow = 1024
+
+// NewLatencyWindow returns a window retaining the last size
+// observations (DefaultLatencyWindow when size ≤ 0).
+func NewLatencyWindow(size int) *LatencyWindow {
+	if size <= 0 {
+		size = DefaultLatencyWindow
+	}
+	return &LatencyWindow{ring: make([]int64, size)}
+}
+
+// Observe records one duration.
+func (l *LatencyWindow) Observe(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ring[l.next] = int64(d)
+	l.next = (l.next + 1) % len(l.ring)
+	if l.count < len(l.ring) {
+		l.count++
+	}
+	l.mu.Unlock()
+}
+
+// Count returns the number of retained observations.
+func (l *LatencyWindow) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the retained window
+// using the nearest-rank method, or 0 when the window is empty.
+func (l *LatencyWindow) Quantile(q float64) time.Duration {
+	qs := l.Quantiles(q)
+	return qs[0]
+}
+
+// Quantiles returns several quantiles in one pass (one sort of the
+// window instead of one per quantile).
+func (l *LatencyWindow) Quantiles(qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	if l == nil {
+		return out
+	}
+	l.mu.Lock()
+	snap := make([]int64, l.count)
+	if l.count < len(l.ring) {
+		copy(snap, l.ring[:l.count])
+	} else {
+		copy(snap, l.ring)
+	}
+	l.mu.Unlock()
+	if len(snap) == 0 {
+		return out
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		// Nearest rank: ceil(q·n), clamped to [1, n], as a 0-based index.
+		rank := int(q*float64(len(snap))+0.999999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(snap) {
+			rank = len(snap) - 1
+		}
+		out[i] = time.Duration(snap[rank])
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyWindowQuantiles(t *testing.T) {
+	w := NewLatencyWindow(100)
+	if got := w.Quantile(0.5); got != 0 {
+		t.Fatalf("empty window p50 = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	qs := w.Quantiles(0.5, 0.99, 1.0)
+	if qs[0] != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", qs[0])
+	}
+	if qs[1] != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", qs[1])
+	}
+	if qs[2] != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", qs[2])
+	}
+}
+
+// TestLatencyWindowSlides: the window retains only the newest N
+// observations, so stale outliers age out.
+func TestLatencyWindowSlides(t *testing.T) {
+	w := NewLatencyWindow(4)
+	w.Observe(time.Hour) // ancient outlier
+	for i := 0; i < 4; i++ {
+		w.Observe(time.Millisecond)
+	}
+	if got := w.Quantile(1.0); got != time.Millisecond {
+		t.Fatalf("max after slide = %v, want 1ms", got)
+	}
+	if got := w.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+}
+
+// TestLatencyWindowNilAndConcurrent: nil windows are no-ops (matching
+// the collector's nil-safety convention) and concurrent observers are
+// race-free.
+func TestLatencyWindowNilAndConcurrent(t *testing.T) {
+	var nilW *LatencyWindow
+	nilW.Observe(time.Second)
+	if nilW.Quantile(0.5) != 0 || nilW.Count() != 0 {
+		t.Fatal("nil window is not a zero-valued no-op")
+	}
+	w := NewLatencyWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w.Observe(time.Duration(i))
+				w.Quantile(0.99)
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Count() != 64 {
+		t.Fatalf("count = %d, want full window", w.Count())
+	}
+}
