@@ -1,14 +1,20 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// JSON array on stdout, one record per benchmark result:
+// JSON array on stdout, one record per benchmark:
 //
 //	[{"name": "BenchmarkSteadyPrecond/precond=multigrid/n=64",
-//	  "ns_per_op": 9.4e7, "iterations": 2, "workers": 1}, ...]
+//	  "ns_per_op": 9.4e7, "median_ns_per_op": 9.6e7, "runs": 5,
+//	  "iterations": 2, "workers": 1}, ...]
 //
-// iterations is the harness repeat count (b.N); workers is parsed
-// from a "workers=N" sub-benchmark component when present (1
-// otherwise). The Makefile bench-json target pipes the solver suite
-// through this tool into BENCH_solver.json so successive PRs can
-// track the performance trajectory with a stable, diffable format.
+// With `-count=N` the harness prints one line per repeat; benchjson
+// aggregates repeats of the same benchmark into a single record:
+// ns_per_op is the minimum (the least-noise estimate on a shared CI
+// box — noise only ever adds time), median_ns_per_op the median, and
+// runs the repeat count. iterations is b.N from the minimum run;
+// workers is parsed from a "workers=N" sub-benchmark component when
+// present (1 otherwise). The Makefile bench-json target pipes the
+// solver suite through this tool into BENCH_solver.json so successive
+// PRs can track the performance trajectory with a stable, diffable
+// format.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -23,17 +30,26 @@ import (
 type result struct {
 	Name       string  `json:"name"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	MedianNs   float64 `json:"median_ns_per_op"`
+	Runs       int     `json:"runs"`
 	Iterations int     `json:"iterations"`
 	Workers    int     `json:"workers"`
+}
+
+// sample is one parsed benchmark line.
+type sample struct {
+	name       string
+	nsPerOp    float64
+	iterations int
 }
 
 func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	results := []result{}
+	var samples []sample
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
+		if s, ok := parseLine(sc.Text()); ok {
+			samples = append(samples, s)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -42,30 +58,69 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(aggregate(samples)); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-// parseLine extracts one benchmark result from a line of `go test
+// aggregate folds repeated samples of one benchmark (from -count=N)
+// into a single record, in first-seen order.
+func aggregate(samples []sample) []result {
+	order := []string{}
+	byName := map[string][]sample{}
+	for _, s := range samples {
+		if _, ok := byName[s.name]; !ok {
+			order = append(order, s.name)
+		}
+		byName[s.name] = append(byName[s.name], s)
+	}
+	out := []result{}
+	for _, name := range order {
+		group := byName[name]
+		best := group[0]
+		ns := make([]float64, len(group))
+		for i, s := range group {
+			ns[i] = s.nsPerOp
+			if s.nsPerOp < best.nsPerOp {
+				best = s
+			}
+		}
+		sort.Float64s(ns)
+		med := ns[len(ns)/2]
+		if len(ns)%2 == 0 {
+			med = (ns[len(ns)/2-1] + ns[len(ns)/2]) / 2
+		}
+		out = append(out, result{
+			Name:       name,
+			NsPerOp:    best.nsPerOp,
+			MedianNs:   med,
+			Runs:       len(group),
+			Iterations: best.iterations,
+			Workers:    parseWorkers(name),
+		})
+	}
+	return out
+}
+
+// parseLine extracts one benchmark sample from a line of `go test
 // -bench` output, e.g.:
 //
 //	BenchmarkSteadyZLine64Workers/workers=4-8   3   328412345 ns/op
-func parseLine(line string) (result, bool) {
+func parseLine(line string) (sample, bool) {
 	f := strings.Fields(strings.TrimSpace(line))
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
-		return result{}, false
+		return sample{}, false
 	}
 	n, err := strconv.Atoi(f[1])
 	if err != nil {
-		return result{}, false
+		return sample{}, false
 	}
 	ns, err := strconv.ParseFloat(f[2], 64)
 	if err != nil {
-		return result{}, false
+		return sample{}, false
 	}
-	return result{Name: f[0], NsPerOp: ns, Iterations: n, Workers: parseWorkers(f[0])}, true
+	return sample{name: f[0], nsPerOp: ns, iterations: n}, true
 }
 
 // parseWorkers pulls N out of a "workers=N" component of the

@@ -6,17 +6,17 @@ func TestParseLine(t *testing.T) {
 	cases := []struct {
 		line string
 		ok   bool
-		want result
+		want sample
 	}{
 		{
 			line: "BenchmarkSteadyPrecond/precond=multigrid/n=64         	       3	  93531457 ns/op",
 			ok:   true,
-			want: result{Name: "BenchmarkSteadyPrecond/precond=multigrid/n=64", NsPerOp: 93531457, Iterations: 3, Workers: 1},
+			want: sample{name: "BenchmarkSteadyPrecond/precond=multigrid/n=64", nsPerOp: 93531457, iterations: 3},
 		},
 		{
 			line: "BenchmarkSteadyZLine64Workers/workers=4-8   3   328412345.5 ns/op",
 			ok:   true,
-			want: result{Name: "BenchmarkSteadyZLine64Workers/workers=4-8", NsPerOp: 328412345.5, Iterations: 3, Workers: 4},
+			want: sample{name: "BenchmarkSteadyZLine64Workers/workers=4-8", nsPerOp: 328412345.5, iterations: 3},
 		},
 		{line: "goos: linux", ok: false},
 		{line: "PASS", ok: false},
@@ -33,6 +33,34 @@ func TestParseLine(t *testing.T) {
 		if ok && got != c.want {
 			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
 		}
+	}
+}
+
+// TestAggregate covers the -count=N folding: min as the headline
+// number, median across repeats, runs counted, first-seen order kept.
+func TestAggregate(t *testing.T) {
+	in := []sample{
+		{name: "BenchmarkB/workers=4", nsPerOp: 300, iterations: 2},
+		{name: "BenchmarkA", nsPerOp: 120, iterations: 3},
+		{name: "BenchmarkA", nsPerOp: 100, iterations: 4},
+		{name: "BenchmarkA", nsPerOp: 140, iterations: 2},
+		{name: "BenchmarkB/workers=4", nsPerOp: 280, iterations: 3},
+	}
+	out := aggregate(in)
+	if len(out) != 2 {
+		t.Fatalf("got %d records, want 2", len(out))
+	}
+	b := out[0]
+	if b.Name != "BenchmarkB/workers=4" || b.NsPerOp != 280 || b.MedianNs != 290 || b.Runs != 2 || b.Iterations != 3 || b.Workers != 4 {
+		t.Errorf("BenchmarkB record wrong: %+v", b)
+	}
+	a := out[1]
+	if a.Name != "BenchmarkA" || a.NsPerOp != 100 || a.MedianNs != 120 || a.Runs != 3 || a.Iterations != 4 || a.Workers != 1 {
+		t.Errorf("BenchmarkA record wrong: %+v", a)
+	}
+
+	if got := aggregate(nil); len(got) != 0 {
+		t.Errorf("empty input produced %d records", len(got))
 	}
 }
 

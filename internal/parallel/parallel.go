@@ -38,6 +38,15 @@ func NumChunks(n int) int {
 	return (n + Grain - 1) / Grain
 }
 
+// serialCutoffChunks is the dispatch threshold: regions with at most
+// this many chunks run inline on the caller instead of waking helper
+// goroutines. Sub-grain and few-chunk kernels (coarse multigrid
+// levels, small test grids) spend more on channel sends and wakeups
+// than on the work itself — the workers=2 small-n regression. The
+// inline path executes chunks in ascending order, so chunk-ordered
+// reductions are bit-identical to the dispatched path.
+const serialCutoffChunks = 4
+
 // region is one parallel-for dispatched to the pool: workers
 // repeatedly claim the next unclaimed chunk until none remain.
 type region struct {
@@ -80,7 +89,10 @@ func NewPool(workers int) *Pool {
 	}
 	p := &Pool{workers: workers}
 	if workers > 1 {
-		p.regions = make(chan *region)
+		// Buffered so region dispatch never blocks on a helper
+		// being ready to receive: the caller queues the handoffs
+		// and immediately starts claiming chunks itself.
+		p.regions = make(chan *region, workers-1)
 		for id := 1; id < workers; id++ {
 			go p.helper(id)
 		}
@@ -120,7 +132,7 @@ func (p *Pool) helper(id int) {
 // must not depend on which worker runs a chunk, only on the chunk
 // index.
 func (p *Pool) Run(numChunks int, fn func(worker, chunk int)) {
-	if p.workers <= 1 || numChunks <= 1 {
+	if p.workers <= 1 || numChunks <= serialCutoffChunks {
 		for c := 0; c < numChunks; c++ {
 			fn(0, c)
 		}
@@ -198,6 +210,22 @@ func (p *Pool) ReduceSum(n int, scratch []float64, fn func(start, end int) float
 		return fn(0, n)
 	}
 	nc := NumChunks(n)
+	if nc <= serialCutoffChunks {
+		// Inline, no scratch: accumulate the per-chunk partials
+		// in ascending chunk order — the same order the
+		// dispatched path sums its partial array, so the result
+		// is bit-identical.
+		sum := 0.0
+		for c := 0; c < nc; c++ {
+			s := c * Grain
+			e := s + Grain
+			if e > n {
+				e = n
+			}
+			sum += fn(s, e)
+		}
+		return sum
+	}
 	if cap(scratch) < nc {
 		scratch = make([]float64, nc)
 	}

@@ -1,10 +1,12 @@
 package pillar
 
 import (
+	"fmt"
 	"testing"
 
 	"thermalscaffold/internal/design"
 	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/stack"
 )
 
@@ -19,6 +21,90 @@ func BenchmarkPlaceScaffold12(b *testing.B) {
 		if _, err := Place(req); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPlacementLoop times the placement-style candidate sweep:
+// K candidate power scenarios evaluated against one fixed stack
+// geometry. "percandidate" is the pre-batch pattern — every candidate
+// pays operator assembly, a fresh multigrid hierarchy, and its own
+// worker pool. "batched" is SolveSteadyBatch: one operator, one
+// hierarchy, one pool, K right-hand sides. The fields are bitwise
+// identical between the two paths (pinned by the solver equivalence
+// suite); only the cost differs.
+func BenchmarkPlacementLoop(b *testing.B) {
+	d := design.Gemmini()
+	spec := &stack.Spec{
+		DieW: d.Tier.Die.W, DieH: d.Tier.Die.H,
+		Tiers: 12, NX: 16, NY: 16,
+		PowerMaps:     [][]float64{d.Tier.PowerMap(16, 16)},
+		BEOL:          stack.ScaffoldedBEOL(),
+		PillarK:       Default().EffectiveK(),
+		Sink:          heatsink.TwoPhase(),
+		MemoryPerTier: true,
+	}
+	p, _, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 8
+	qs := make([][]float64, k)
+	for i := range qs {
+		q := make([]float64, len(p.Q))
+		scale := 0.6 + 0.1*float64(i) // candidate power scenarios
+		for c := range q {
+			q[c] = p.Q[c] * scale
+		}
+		qs[i] = q
+	}
+	opts := solver.Options{Tol: 1e-7, MaxIter: 80000, Precond: solver.Multigrid}
+
+	b.Run("percandidate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				cp := *p
+				cp.Q = q
+				if _, err := solver.SolveSteady(&cp, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.SolveSteadyBatch(p, qs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlaceEngine compares the full bisection loop with the
+// caller-supplied persistent engine against per-solve pools (the
+// Engine==nil path creates one internally, so both rows now share a
+// pool across the loop; the comparison bounds the engine plumbing
+// overhead).
+func BenchmarkPlaceEngine(b *testing.B) {
+	req := Request{
+		Design: design.Gemmini(), Tiers: 12,
+		Sink: heatsink.TwoPhase(), TTargetC: 125,
+		BEOL: stack.ScaffoldedBEOL(), NX: 12, NY: 12,
+	}
+	for _, withEngine := range []bool{false, true} {
+		b.Run(fmt.Sprintf("engine=%v", withEngine), func(b *testing.B) {
+			r := req
+			if withEngine {
+				eng := solver.NewEngine(0)
+				defer eng.Close()
+				r.Engine = eng
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Place(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

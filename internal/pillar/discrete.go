@@ -155,6 +155,7 @@ func (d *DiscretePlacement) verify(r *Request) (*stack.Result, error) {
 		InitialGuess: d.lastT,
 		Ctx:          r.Ctx,
 		Telemetry:    r.Telemetry,
+		Engine:       r.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -194,6 +195,13 @@ func (d *DiscretePlacement) RefineFill(req Request, maxRounds int) (*RefineResul
 	}
 	tier := r.Design.Tier
 	macros := macroRects(tier)
+	// Refinement re-verifies after every round; share one pool across
+	// the whole loop unless the caller already supplied an engine.
+	if r.Engine == nil {
+		eng := solver.NewEngine(0)
+		defer eng.Close()
+		r.Engine = eng
+	}
 	out := &RefineResult{}
 	res, err := d.verify(r)
 	if err != nil {

@@ -92,6 +92,13 @@ type Request struct {
 	// Telemetry, when non-nil, collects solve traces and counters from
 	// every thermal solve the placement runs (see internal/telemetry).
 	Telemetry *telemetry.Collector
+	// Engine, when non-nil, supplies a persistent solver worker pool
+	// shared by every thermal solve this request issues. Place and
+	// RefineFill run ~20 same-sized solves back to back; without an
+	// engine each one builds and tears down its own pool. When nil,
+	// those loops create a private engine for their own duration.
+	// Results are bitwise identical either way (see solver.Engine).
+	Engine *solver.Engine
 }
 
 func (r *Request) withDefaults() (*Request, error) {
@@ -261,6 +268,13 @@ func Place(req Request) (*Placement, error) {
 	macroFrac := tier.MacroAreaFraction(r.NX, r.NY)
 	halfW := macroHalfWidth(tier)
 
+	// One pool serves the whole bisection (~20 solves on one grid).
+	eng := r.Engine
+	if eng == nil {
+		eng = solver.NewEngine(0)
+		defer eng.Close()
+	}
+
 	// fieldFor returns the effective field seen by the thermal solver
 	// and the physical metal field used for footprint accounting.
 	fieldFor := func(lambda float64) (eff, metal *stack.PillarField) {
@@ -297,6 +311,7 @@ func Place(req Request) (*Placement, error) {
 		res, err := spec.Solve(solver.Options{
 			Tol: r.Tol, MaxIter: 80000, Precond: solver.Multigrid,
 			InitialGuess: lastField, Ctx: r.Ctx, Telemetry: r.Telemetry,
+			Engine: eng,
 		})
 		if err != nil {
 			return 0, nil, nil, err

@@ -1,0 +1,242 @@
+package serve
+
+// POST /v1/evalbatch: K power scenarios against one stack, answered
+// with the same pipeline as /v1/eval — shared normalize/key path,
+// per-item cache hits, intra-batch deduplication — and one coalesced
+// SolveSteadyBatch for whatever remains. The batch occupies a single
+// admission slot: it is one bounded unit of work, not K queue
+// entries.
+//
+// Determinism: batch misses solve cold (no warm start), so every
+// item's numbers are bitwise identical to a cold /v1/eval solve of
+// the same derived request, independent of arrival order and of which
+// siblings happen to be cached. Cached items reuse the stored entry
+// verbatim, exactly as /v1/eval does.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/specio"
+	"thermalscaffold/internal/telemetry"
+)
+
+// batchItem tracks one item through the pipeline.
+type batchItem struct {
+	ev     *specio.Eval // nil while only the key memo has seen it
+	key    string
+	famKey string
+	sv     *solved
+	cached bool
+	dupOf  int // index of the first item with the same key, else -1
+}
+
+func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		s.reject(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, specio.EvalBatchResponse{Error: err.Error()})
+		return
+	}
+	if len(body) > maxRequestBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, specio.EvalBatchResponse{Error: "request body exceeds 16 MiB"})
+		return
+	}
+	breq, err := specio.ParseEvalBatch(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, specio.EvalBatchResponse{Error: err.Error()})
+		return
+	}
+	derived, err := breq.Expand()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, specio.EvalBatchResponse{Error: err.Error()})
+		return
+	}
+
+	// Resolve every item through the shared normalize/key path and
+	// dedup within the batch: items with equal keys are the same
+	// physical problem and share one answer.
+	items := make([]batchItem, len(derived))
+	norms := make([]specio.EvalRequest, len(derived))
+	seen := map[string]int{}
+	for i, rq := range derived {
+		norm, nerr := rq.Normalize()
+		if nerr != nil {
+			writeJSON(w, http.StatusBadRequest, specio.EvalBatchResponse{Error: itemErr(i, nerr)})
+			return
+		}
+		norms[i] = norm
+		ev, key, famKey, status, rerr := s.resolveKeys(norm)
+		if rerr != nil {
+			writeJSON(w, status, specio.EvalBatchResponse{Error: itemErr(i, rerr)})
+			return
+		}
+		items[i] = batchItem{ev: ev, key: key, famKey: famKey, dupOf: -1}
+		if j, ok := seen[key]; ok {
+			items[i].dupOf = j
+		} else {
+			seen[key] = i
+		}
+	}
+
+	// Per-item cache hits, then one coalesced batch solve for the
+	// remaining unique misses.
+	var missIdx []int
+	for i := range items {
+		if items[i].dupOf >= 0 {
+			continue
+		}
+		if hit, ok := s.cache.getSolved(items[i].key); ok {
+			items[i].sv, items[i].cached = hit, true
+			s.hits.Add(1)
+			s.cfg.Telemetry.Add(telemetry.CounterCacheHits, 1)
+			continue
+		}
+		if items[i].ev == nil {
+			// Memoized key but evicted result: assemble for the solve.
+			ev, berr := specio.BuildEval(norms[i])
+			if berr != nil {
+				writeJSON(w, http.StatusBadRequest, specio.EvalBatchResponse{Error: itemErr(i, berr)})
+				return
+			}
+			items[i].ev = ev
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) > 0 {
+		solvedList, serr := s.admitAndSolveBatch(items, missIdx)
+		switch {
+		case serr == nil:
+		case errors.Is(serr, errBusy):
+			s.reject(w, http.StatusServiceUnavailable, "solve queue is full, retry later")
+			return
+		case errors.Is(serr, errDraining):
+			s.reject(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		default:
+			s.failures.Add(1)
+			status := http.StatusInternalServerError
+			if errors.Is(serr, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+			} else if errors.Is(serr, context.Canceled) {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, specio.EvalBatchResponse{Mode: "steady", Error: serr.Error()})
+			return
+		}
+		for bi, i := range missIdx {
+			items[i].sv = solvedList[bi]
+			s.misses.Add(1)
+			s.cfg.Telemetry.Add(telemetry.CounterCacheMisses, 1)
+		}
+	}
+
+	resp := specio.EvalBatchResponse{Mode: "steady", Items: make([]specio.EvalResponse, len(items))}
+	wall := time.Since(start).Nanoseconds()
+	for i := range items {
+		lead, coalesced := &items[i], false
+		if items[i].dupOf >= 0 {
+			lead, coalesced = &items[items[i].dupOf], true
+			s.coalesced.Add(1)
+			s.cfg.Telemetry.Add(telemetry.CounterCoalesced, 1)
+		}
+		ir := lead.sv.resp
+		ir.Cached = lead.cached
+		ir.Coalesced = coalesced
+		ir.WallNS = wall
+		resp.Items[i] = ir
+	}
+	s.lat.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// admitAndSolveBatch takes one admission slot for the whole batch and
+// runs the coalesced solve; only called with at least one miss.
+func (s *Server) admitAndSolveBatch(items []batchItem, missIdx []int) ([]*solved, error) {
+	if s.pending.Add(1) > int64(s.cfg.Parallel+s.cfg.QueueDepth) {
+		s.pending.Add(-1)
+		return nil, errBusy
+	}
+	defer s.pending.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.baseCtx.Done():
+		return nil, errDraining
+	}
+	defer func() { <-s.sem }()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	return s.solveBatch(items, missIdx)
+}
+
+// solveBatch runs the K-miss coalesced solve: one operator assembly,
+// one preconditioner hierarchy, K right-hand sides (the items differ
+// only in their power maps by construction of the batch schema). Each
+// result is bitwise identical to an independent cold solve of that
+// item, so cache entries written here are indistinguishable from ones
+// written by /v1/eval.
+func (s *Server) solveBatch(items []batchItem, missIdx []int) ([]*solved, error) {
+	ev0 := items[missIdx[0]].ev
+	timeout := ev0.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	opts := solver.Options{
+		Tol: ev0.Tol, MaxIter: ev0.MaxIter, Precond: ev0.Precond,
+		Engine: s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
+	}
+	qs := make([][]float64, len(missIdx))
+	for bi, i := range missIdx {
+		qs[bi] = items[i].ev.Problem.Q
+	}
+	solveStart := time.Now()
+	results, err := solver.SolveSteadyBatch(ev0.Problem, qs, opts)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(solveStart).Nanoseconds()
+	out := make([]*solved, len(missIdx))
+	for bi, i := range missIdx {
+		ev, res := items[i].ev, results[bi]
+		peak, mean := ev.FieldStats(res.T)
+		sv := &solved{
+			key: items[i].key,
+			T:   res.T,
+			resp: specio.EvalResponse{
+				Key:        items[i].key,
+				Mode:       "steady",
+				PeakT:      telemetry.Float(peak),
+				MeanT:      telemetry.Float(mean),
+				Tiers:      ev.TierProfile(res.T),
+				Iterations: res.Iterations,
+				Residual:   telemetry.Float(res.Residual),
+				WallNS:     wall,
+			},
+		}
+		s.cache.Add(items[i].key, sv)
+		s.family.Add(items[i].famKey, sv)
+		out[bi] = sv
+	}
+	return out, nil
+}
+
+// itemErr prefixes an error with the failing item's index.
+func itemErr(i int, err error) string {
+	return fmt.Sprintf("item %d: %v", i, err)
+}

@@ -104,3 +104,65 @@ func BenchmarkServe100MixedNoCache(b *testing.B) {
 		CacheSize: -1, FamilySize: -1, DisableWarmStart: true,
 	})
 }
+
+// BenchmarkServeBatch compares the same 10-scenario sweep issued as
+// 10 single /v1/eval requests versus one /v1/evalbatch request, both
+// on a cold cache with the multigrid preconditioner (the serving
+// configuration for large grids): the batch pays operator assembly
+// and the multigrid hierarchy once and shares one admission slot.
+func BenchmarkServeBatch(b *testing.B) {
+	base := specio.EvalRequest{Stack: testStack(4, 16, 20)}
+	base.Solver.Precond = "multigrid"
+	singles := make([][]byte, benchDistinct)
+	items := make([]specio.BatchItem, benchDistinct)
+	for i := range singles {
+		power := 20 + 3*float64(i)
+		req := specio.EvalRequest{Stack: testStack(4, 16, power)}
+		req.Solver.Precond = "multigrid"
+		raw, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		singles[i] = raw
+		p := power
+		items[i] = specio.BatchItem{UniformPower: &p}
+	}
+	batchRaw, err := json.Marshal(specio.EvalBatchRequest{Base: base, Items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{SolverWorkers: 1, Parallel: 4, QueueDepth: 256, CacheSize: -1, FamilySize: -1, DisableWarmStart: true}
+
+	b.Run("singles", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			b.StopTimer()
+			s := New(cfg)
+			b.StartTimer()
+			for _, raw := range singles {
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/eval", bytes.NewReader(raw)))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.StopTimer()
+			s.Shutdown(context.Background())
+			b.StartTimer()
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			b.StopTimer()
+			s := New(cfg)
+			b.StartTimer()
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/evalbatch", bytes.NewReader(batchRaw)))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+			}
+			b.StopTimer()
+			s.Shutdown(context.Background())
+			b.StartTimer()
+		}
+	})
+}

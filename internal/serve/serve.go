@@ -156,6 +156,11 @@ type Server struct {
 	keys    *lru // normalized request JSON → keyPair; hits skip assembly+hashing
 	flights flightGroup
 	sem     chan struct{}
+	// engine is the server-lifetime solver pool: every solve this
+	// server runs shares it instead of building a pool per solve. The
+	// pool multiplexes concurrent solves and is bitwise neutral
+	// (solver.Engine), so responses are unchanged by the sharing.
+	engine *solver.Engine
 
 	mu       sync.Mutex // guards draining vs. inflight.Add
 	draining bool
@@ -182,6 +187,7 @@ func New(cfg Config) *Server {
 		cache:      newLRU(cfg.CacheSize),
 		family:     newLRU(cfg.FamilySize),
 		keys:       newLRU(cfg.CacheSize),
+		engine:     solver.NewEngine(cfg.SolverWorkers),
 		sem:        make(chan struct{}, cfg.Parallel),
 		baseCtx:    ctx,
 		cancelBase: cancel,
@@ -189,6 +195,7 @@ func New(cfg Config) *Server {
 		mux:        http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -229,10 +236,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.cancelBase()
+		s.engine.Close()
 		return nil
 	case <-ctx.Done():
 		s.cancelBase()
 		<-done
+		s.engine.Close()
 		return ctx.Err()
 	}
 }
@@ -364,38 +373,10 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		mode = "transient"
 	}
 
-	// Key memo: a request whose normalized form was addressed before
-	// skips problem assembly and hashing — on a cache hit the solver
-	// data structures are never touched at all.
-	var (
-		ev          *specio.Eval
-		key, famKey string
-		memoKey     string
-	)
-	if normJSON, jerr := json.Marshal(norm); jerr == nil {
-		memoKey = string(normJSON)
-		if v, ok := s.keys.Get(memoKey); ok {
-			kp := v.(keyPair)
-			key, famKey = kp.key, kp.family
-		}
-	}
-	if key == "" {
-		ev, err = specio.BuildEval(norm)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, specio.EvalResponse{Error: err.Error()})
-			return
-		}
-		if key, err = Key(ev); err != nil {
-			writeJSON(w, http.StatusInternalServerError, specio.EvalResponse{Error: err.Error()})
-			return
-		}
-		if famKey, err = FamilyKey(ev); err != nil {
-			writeJSON(w, http.StatusInternalServerError, specio.EvalResponse{Error: err.Error()})
-			return
-		}
-		if memoKey != "" {
-			s.keys.Add(memoKey, keyPair{key: key, family: famKey})
-		}
+	ev, key, famKey, status, err := s.resolveKeys(norm)
+	if err != nil {
+		writeJSON(w, status, specio.EvalResponse{Error: err.Error()})
+		return
 	}
 
 	if hit, ok := s.cache.getSolved(key); ok {
@@ -458,6 +439,37 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, sv, start, leaderFromCache && !shared, shared)
 }
 
+// resolveKeys returns the content and family addresses of a
+// normalized request, consulting the key memo first — a request whose
+// normalized form was addressed before skips problem assembly and
+// hashing entirely. ev is non-nil only when the problem had to be
+// assembled (memo miss); callers that go on to solve must BuildEval
+// themselves when it is nil and the result cache also misses. On
+// error, status is the HTTP status to answer with.
+func (s *Server) resolveKeys(norm specio.EvalRequest) (ev *specio.Eval, key, famKey string, status int, err error) {
+	var memoKey string
+	if normJSON, jerr := json.Marshal(norm); jerr == nil {
+		memoKey = string(normJSON)
+		if v, ok := s.keys.Get(memoKey); ok {
+			kp := v.(keyPair)
+			return nil, kp.key, kp.family, 0, nil
+		}
+	}
+	if ev, err = specio.BuildEval(norm); err != nil {
+		return nil, "", "", http.StatusBadRequest, err
+	}
+	if key, err = Key(ev); err != nil {
+		return nil, "", "", http.StatusInternalServerError, err
+	}
+	if famKey, err = FamilyKey(ev); err != nil {
+		return nil, "", "", http.StatusInternalServerError, err
+	}
+	if memoKey != "" {
+		s.keys.Add(memoKey, keyPair{key: key, family: famKey})
+	}
+	return ev, key, famKey, 0, nil
+}
+
 // respond writes one reply from an immutable solved entry. Only the
 // routing fields are stamped per reply; every numeric field is the
 // template's, untouched.
@@ -503,7 +515,7 @@ func (s *Server) solve(ev *specio.Eval, key, famKey string) (*solved, error) {
 	defer cancel()
 	opts := solver.Options{
 		Tol: ev.Tol, MaxIter: ev.MaxIter, Precond: ev.Precond,
-		Workers: s.cfg.SolverWorkers, Ctx: ctx, Telemetry: s.cfg.Telemetry,
+		Engine: s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
 	}
 	warm := false
 	if !s.cfg.DisableWarmStart && ev.Steady() {

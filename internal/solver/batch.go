@@ -1,0 +1,105 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"thermalscaffold/internal/parallel"
+)
+
+// Engine owns a persistent worker pool shared across many solves.
+// The outer loops of this codebase — pillar placement bisection,
+// RefineFill, the evaluation service — issue thousands of solves
+// against same-sized grids; without an engine each solve builds and
+// tears down its own pool (W−1 goroutines plus channel setup).
+// Attach an engine via Options.Engine to amortize that across the
+// whole loop.
+//
+// Determinism: an engine changes where kernels run, never what they
+// compute — chunk boundaries depend only on the problem size, so a
+// solve through an engine is bitwise identical to the same solve
+// with Options.Workers alone.
+//
+// An Engine is safe for concurrent use by multiple solves (the pool
+// multiplexes regions). Close releases the helper goroutines; the
+// engine must not be used afterwards.
+type Engine struct {
+	pool    *parallel.Pool
+	workers int
+}
+
+// NewEngine creates an engine with the given worker count; workers
+// ≤ 0 defaults to one worker per CPU core (runtime.GOMAXPROCS).
+func NewEngine(workers int) *Engine {
+	p := parallel.NewPool(workers)
+	return &Engine{pool: p, workers: p.Workers()}
+}
+
+// Workers returns the engine's worker count (≥ 1).
+func (e *Engine) Workers() int { return e.workers }
+
+// Close releases the engine's helper goroutines. Idempotent.
+func (e *Engine) Close() { e.pool.Close() }
+
+// SolveSteadyBatch solves the steady problem for K volumetric source
+// fields sharing p's grid, conductivities, and boundary conditions:
+// the operator is assembled once, the preconditioner (for Multigrid,
+// the whole hierarchy) is built once, and one worker pool serves all
+// K solves. qs[i] is item i's source field (W/m³, length NumCells);
+// a nil entry reuses p.Q. This is the coalesced-miss path of the
+// evaluation service's /v1/evalbatch, where sibling requests differ
+// only in their power maps — the 7-point matrix depends on geometry
+// and conductivity alone, so K power maps are K right-hand sides
+// against one operator.
+//
+// Every result is bitwise identical to an independent
+// SolveSteady(p', opts) with p'.Q = qs[i]: re-sourcing rebuilds b in
+// assemble's exact per-cell arithmetic order, and the shared kern
+// and cached preconditioners are pure functions of the (unchanged)
+// operator matrix. The equivalence suite pins this at Workers 1 and
+// 8.
+//
+// Solves run sequentially in item order (each solve already
+// parallelizes internally). On the first item failure the batch
+// stops and returns the error wrapped with the item index; earlier
+// items' results are discarded.
+func SolveSteadyBatch(p *Problem, qs [][]float64, opts Options) ([]*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Grid.NumCells()
+	for i, q := range qs {
+		if q == nil {
+			continue
+		}
+		if len(q) != n {
+			return nil, fmt.Errorf("solver: batch item %d has %d source entries, want %d", i, len(q), n)
+		}
+		for c, v := range q {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("solver: batch item %d has invalid source at cell %d: %g", i, c, v)
+			}
+		}
+	}
+	opts = opts.withDefaults()
+	op := assemble(p)
+	kr := newKern(opts, n)
+	defer kr.close()
+	pcs := precondCache{}
+	results := make([]*Result, len(qs))
+	for i, q := range qs {
+		if q == nil {
+			q = p.Q
+		}
+		op.setSources(q)
+		out, fallbacks, err := solveOperatorWith(op, op.b, opts, "pcg", kr, pcs)
+		if err != nil {
+			return nil, fmt.Errorf("solver: batch item %d: %w", i, err)
+		}
+		results[i] = &Result{
+			T: out.x, Iterations: out.iterations, Residual: out.residual,
+			Residuals: out.history, Fallbacks: fallbacks, grid: p.Grid,
+		}
+	}
+	return results, nil
+}

@@ -208,7 +208,7 @@ func BenchmarkOperatorApplyWorkers(b *testing.B) {
 	}
 	for _, w := range benchWorkerCounts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			kr := newKern(w, len(op.b))
+			kr := newKern(Options{Workers: w}, len(op.b))
 			defer kr.close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -216,6 +216,44 @@ func BenchmarkOperatorApplyWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSteadyBatch compares K independent steady solves against
+// one SolveSteadyBatch of the same K source fields on the 32×32
+// 12-tier stack: the batch assembles the operator and builds the
+// multigrid hierarchy once instead of K times. Results are bitwise
+// identical (equivalence suite); only the setup cost differs.
+func BenchmarkSteadyBatch(b *testing.B) {
+	p := benchStack(b, 32)
+	const k = 8
+	qs := make([][]float64, k)
+	for i := range qs {
+		q := make([]float64, len(p.Q))
+		scale := 0.6 + 0.1*float64(i)
+		for c := range q {
+			q[c] = p.Q[c] * scale
+		}
+		qs[i] = q
+	}
+	opts := Options{Tol: 1e-7, Precond: Multigrid}
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				cp := *p
+				cp.Q = q
+				if _, err := SolveSteady(&cp, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveSteadyBatch(p, qs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTransientStepWorkers times one backward-Euler step (inner

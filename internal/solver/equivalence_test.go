@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"thermalscaffold/internal/mesh"
+	"thermalscaffold/internal/parallel"
 )
 
 // eqRNG is a splitmix64-style deterministic generator so the
@@ -289,6 +290,150 @@ func TestEquivalenceNonlinear(t *testing.T) {
 	}
 	if !bitIdentical(par, run(2)) {
 		t.Error("nonlinear field differs across worker counts")
+	}
+}
+
+// refReduce replicates the deterministic reduction the kernels
+// promise: a single index-order accumulator at workers=1, and
+// chunk-ordered partial sums at workers ≥ 2.
+func refReduce(n, workers int, f func(c int) float64) float64 {
+	if workers <= 1 {
+		sum := 0.0
+		for c := 0; c < n; c++ {
+			sum += f(c)
+		}
+		return sum
+	}
+	total := 0.0
+	for s := 0; s < n; s += parallel.Grain {
+		e := s + parallel.Grain
+		if e > n {
+			e = n
+		}
+		part := 0.0
+		for c := s; c < e; c++ {
+			part += f(c)
+		}
+		total += part
+	}
+	return total
+}
+
+// TestEquivalenceFusedKernels pins each fused kernel bitwise against
+// the unfused two-pass sequence it replaced: applyDot vs apply+dot,
+// residual vs apply+subtract+norm, updateNorm vs update+norm, and
+// applyDirDot vs a materialized direction update followed by
+// apply+dot. This is the direct statement of the fusion contract —
+// fusing passes must not change a single bit — checked at the exact
+// serial path and at two chunked worker counts.
+func TestEquivalenceFusedKernels(t *testing.T) {
+	rng := &eqRNG{s: 0xF05ED}
+	p := randomProblem(t, rng, 15, 11, 13) // 2145 cells, 3 reduction chunks
+	op := assemble(p)
+	op.ensureStencil()
+	n := len(op.b)
+	zv := mgRandVec(rng, n)
+	pv := mgRandVec(rng, n)
+	xv := mgRandVec(rng, n)
+	const beta, alpha = 0.37, 1.13
+
+	for _, w := range []int{1, 4, 8} {
+		kr := newKern(Options{Workers: w}, n)
+
+		// applyDot vs apply + dot.
+		ap := make([]float64, n)
+		got := kr.applyDot(op, pv, ap)
+		apRef := make([]float64, n)
+		kr.apply(op, pv, apRef)
+		if !bitIdentical(ap, apRef) {
+			t.Errorf("workers=%d: applyDot SpMV output differs from apply", w)
+		}
+		want := refReduce(n, w, func(c int) float64 { return pv[c] * apRef[c] })
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("workers=%d: applyDot sum %x differs from unfused reference %x", w, math.Float64bits(got), math.Float64bits(want))
+		}
+
+		// residual vs apply + subtract + norm.
+		r := make([]float64, n)
+		rn := kr.residual(op, xv, op.b, r)
+		rRef := make([]float64, n)
+		kr.apply(op, xv, rRef)
+		for c := range rRef {
+			rRef[c] = op.b[c] - rRef[c]
+		}
+		if !bitIdentical(r, rRef) {
+			t.Errorf("workers=%d: fused residual field differs from unfused", w)
+		}
+		wantN := math.Sqrt(refReduce(n, w, func(c int) float64 { return rRef[c] * rRef[c] }))
+		if math.Float64bits(rn) != math.Float64bits(wantN) {
+			t.Errorf("workers=%d: fused residual norm differs from unfused reference", w)
+		}
+
+		// updateNorm vs separate update passes + norm.
+		x1 := append([]float64(nil), xv...)
+		r1 := append([]float64(nil), rRef...)
+		gotN := kr.updateNorm(x1, r1, pv, ap, alpha)
+		x2 := append([]float64(nil), xv...)
+		r2 := append([]float64(nil), rRef...)
+		for c := 0; c < n; c++ {
+			x2[c] += alpha * pv[c]
+			r2[c] = r2[c] - alpha*ap[c]
+		}
+		if !bitIdentical(x1, x2) || !bitIdentical(r1, r2) {
+			t.Errorf("workers=%d: fused update vectors differ from unfused", w)
+		}
+		wantN = math.Sqrt(refReduce(n, w, func(c int) float64 { return r2[c] * r2[c] }))
+		if math.Float64bits(gotN) != math.Float64bits(wantN) {
+			t.Errorf("workers=%d: fused update norm differs from unfused reference", w)
+		}
+
+		// applyDirDot vs materialized direction + apply + dot. The
+		// fused kernel recomputes neighbor direction values as
+		// z[nb]+β·p[nb] — the same expression that materialization
+		// writes — so both the direction vector and the SpMV must
+		// agree bitwise.
+		pn := make([]float64, n)
+		apd := make([]float64, n)
+		gotD := kr.applyDirDot(op, zv, pv, pn, apd, beta)
+		pnRef := make([]float64, n)
+		for c := 0; c < n; c++ {
+			pnRef[c] = zv[c] + beta*pv[c]
+		}
+		apdRef := make([]float64, n)
+		kr.apply(op, pnRef, apdRef)
+		if !bitIdentical(pn, pnRef) {
+			t.Errorf("workers=%d: applyDirDot direction differs from materialized z+β·p", w)
+		}
+		if !bitIdentical(apd, apdRef) {
+			t.Errorf("workers=%d: applyDirDot SpMV differs from apply on materialized direction", w)
+		}
+		wantD := refReduce(n, w, func(c int) float64 { return pnRef[c] * apdRef[c] })
+		if math.Float64bits(gotD) != math.Float64bits(wantD) {
+			t.Errorf("workers=%d: applyDirDot sum differs from unfused reference", w)
+		}
+
+		kr.close()
+	}
+}
+
+// TestStencilMatchesSliceApply pins the structure-of-arrays stencil
+// SpMV against the legacy slice-walking path bitwise — same operator,
+// same input, both execution strategies.
+func TestStencilMatchesSliceApply(t *testing.T) {
+	rng := &eqRNG{s: 0x57E9C}
+	for _, size := range [][3]int{{1, 1, 6}, {5, 1, 3}, {12, 10, 8}, {17, 13, 7}} {
+		p := randomProblem(t, rng, size[0], size[1], size[2])
+		op := assemble(p)
+		n := len(op.b)
+		x := mgRandVec(rng, n)
+		yLegacy := make([]float64, n)
+		op.applyRange(x, yLegacy, 0, n) // st == nil: slice path
+		op.ensureStencil()
+		ySt := make([]float64, n)
+		op.applyRange(x, ySt, 0, n)
+		if !bitIdentical(yLegacy, ySt) {
+			t.Errorf("size %v: stencil SpMV differs bitwise from slice SpMV", size)
+		}
 	}
 }
 

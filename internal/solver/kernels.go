@@ -13,24 +13,48 @@ import (
 // worker count and identical across any worker count ≥ 2. With one
 // worker every kernel falls through to the exact single-threaded
 // legacy loop (no goroutines, no closures on the hot path).
+//
+// The hot-path kernels are fused: each one makes a single sweep over
+// the vectors where the pre-fusion solver made two or three (SpMV
+// then dot, update then norm). Fusion never reorders floating-point
+// arithmetic — each fused loop evaluates the same per-element
+// expressions in the same order and accumulates the same chunk
+// partials as the separate passes did, so fused results are bitwise
+// identical to the unfused legacy path (pinned by the equivalence
+// suite).
 type kern struct {
 	pool     *parallel.Pool
+	owned    bool      // close() releases the pool only if we created it
 	partials []float64 // chunk partial sums for deterministic reductions
 }
 
-// newKern builds the kernel set for an n-cell solve with the given
-// worker count (≤ 0 defaults to one worker per CPU core, as
-// documented on Options.Workers).
-func newKern(workers, n int) *kern {
-	k := &kern{pool: parallel.NewPool(workers)}
+// newKern builds the kernel set for an n-cell solve. When
+// opts.Engine is set its persistent pool is shared (and left open on
+// close); otherwise a pool with opts.Workers workers is created for
+// this kern and released by close(). opts must already have defaults
+// resolved (withDefaults), so opts.Workers reflects the pool size
+// either way.
+func newKern(opts Options, n int) *kern {
+	k := &kern{}
+	if opts.Engine != nil {
+		k.pool = opts.Engine.pool
+	} else {
+		k.pool = parallel.NewPool(opts.Workers)
+		k.owned = true
+	}
 	if !k.pool.Serial() {
 		k.partials = make([]float64, parallel.NumChunks(n))
 	}
 	return k
 }
 
-// close releases the pool's helper goroutines.
-func (k *kern) close() { k.pool.Close() }
+// close releases the pool's helper goroutines (no-op for a shared
+// Engine pool, which outlives individual solves).
+func (k *kern) close() {
+	if k.owned {
+		k.pool.Close()
+	}
+}
 
 func (k *kern) workers() int { return k.pool.Workers() }
 
@@ -45,21 +69,93 @@ func (k *kern) apply(op *operator, x, y []float64) {
 	k.pool.For(len(x), func(s, e int) { op.applyRange(x, y, s, e) })
 }
 
-// residual computes r = b − A·x and returns ‖r‖₂.
-func (k *kern) residual(op *operator, x, b, r []float64) float64 {
-	k.apply(op, x, r)
-	if k.pool.Serial() {
-		for c := range r {
-			r[c] = b[c] - r[c]
-		}
-		return norm2(r)
-	}
-	k.pool.For(len(r), func(s, e int) {
+// applyDot fuses the SpMV with the PCG curvature reduction: one sweep
+// computes ap = A·p and returns pᵀ·ap. The per-chunk partial is
+// Σ p[c]·ap[c] in index order — the same partials the separate
+// kern.dot produced — and the serial path is one full-range pass in
+// the legacy accumulation order.
+func (k *kern) applyDot(op *operator, p, ap []float64) float64 {
+	n := len(p)
+	body := func(s, e int) float64 {
+		op.applyRange(p, ap, s, e)
+		sum := 0.0
 		for c := s; c < e; c++ {
-			r[c] = b[c] - r[c]
+			sum += p[c] * ap[c]
 		}
-	})
-	return k.norm2(r)
+		return sum
+	}
+	if k.pool.Serial() {
+		return body(0, n)
+	}
+	return k.pool.ReduceSum(n, k.partials, body)
+}
+
+// applyDirDot folds the direction update into the next SpMV: one
+// sweep computes pn = z + β·p, ap = A·pn and returns pnᵀ·ap, saving
+// the separate read-modify-write direction pass over p. Neighbor
+// values of pn are recomputed as z[nb] + β·p[nb] — the identical
+// expression that produces pn[nb] — so every operand is bit-equal to
+// what a materialized direction pass followed by applyDot would have
+// read. Requires the stencil (callers go through pcg, which builds
+// it).
+func (k *kern) applyDirDot(op *operator, z, p, pn, ap []float64, beta float64) float64 {
+	n := len(p)
+	st := op.st
+	sy, sz := op.sy, op.sz
+	body := func(s, e int) float64 {
+		sum := 0.0
+		for c := s; c < e; c++ {
+			o := stencilStride * c
+			pc := z[c] + beta*p[c]
+			v := st[o] * pc
+			if g := st[o+1]; g != 0 {
+				v -= g * (z[c+1] + beta*p[c+1])
+			}
+			if g := st[o+2]; g != 0 {
+				v -= g * (z[c-1] + beta*p[c-1])
+			}
+			if g := st[o+3]; g != 0 {
+				v -= g * (z[c+sy] + beta*p[c+sy])
+			}
+			if g := st[o+4]; g != 0 {
+				v -= g * (z[c-sy] + beta*p[c-sy])
+			}
+			if g := st[o+5]; g != 0 {
+				v -= g * (z[c+sz] + beta*p[c+sz])
+			}
+			if g := st[o+6]; g != 0 {
+				v -= g * (z[c-sz] + beta*p[c-sz])
+			}
+			pn[c] = pc
+			ap[c] = v
+			sum += pc * v
+		}
+		return sum
+	}
+	if k.pool.Serial() {
+		return body(0, n)
+	}
+	return k.pool.ReduceSum(n, k.partials, body)
+}
+
+// residual computes r = b − A·x and returns ‖r‖₂ in one fused sweep
+// per chunk (SpMV, subtraction, and the norm partial together).
+func (k *kern) residual(op *operator, x, b, r []float64) float64 {
+	n := len(x)
+	body := func(s, e int) float64 {
+		op.applyRange(x, r, s, e)
+		sum := 0.0
+		for c := s; c < e; c++ {
+			rc := b[c] - r[c]
+			r[c] = rc
+			sum += rc * rc
+		}
+		return sum
+	}
+	if k.pool.Serial() {
+		return math.Sqrt(body(0, n))
+	}
+	return math.Sqrt(k.pool.ReduceSum(n, k.partials, body))
 }
 
 // dot returns aᵀb with the deterministic chunked reduction.
@@ -78,34 +174,24 @@ func (k *kern) dot(a, b []float64) float64 {
 
 func (k *kern) norm2(a []float64) float64 { return math.Sqrt(k.dot(a, a)) }
 
-// xrUpdate performs the fused PCG update x += α·p, r −= α·ap.
-func (k *kern) xrUpdate(x, r, p, ap []float64, alpha float64) {
-	if k.pool.Serial() {
-		for c := range x {
-			x[c] += alpha * p[c]
-			r[c] -= alpha * ap[c]
-		}
-		return
-	}
-	k.pool.For(len(x), func(s, e int) {
+// updateNorm performs the fused PCG update x += α·p, r −= α·ap and
+// returns ‖r‖₂ from the same sweep (the residual-norm partials
+// accumulate the freshly written r values in index order, exactly as
+// a separate norm pass would read them back).
+func (k *kern) updateNorm(x, r, p, ap []float64, alpha float64) float64 {
+	n := len(x)
+	body := func(s, e int) float64 {
+		sum := 0.0
 		for c := s; c < e; c++ {
 			x[c] += alpha * p[c]
-			r[c] -= alpha * ap[c]
+			rc := r[c] - alpha*ap[c]
+			r[c] = rc
+			sum += rc * rc
 		}
-	})
-}
-
-// direction computes p = z + β·p.
-func (k *kern) direction(p, z []float64, beta float64) {
-	if k.pool.Serial() {
-		for c := range p {
-			p[c] = z[c] + beta*p[c]
-		}
-		return
+		return sum
 	}
-	k.pool.For(len(p), func(s, e int) {
-		for c := s; c < e; c++ {
-			p[c] = z[c] + beta*p[c]
-		}
-	})
+	if k.pool.Serial() {
+		return math.Sqrt(body(0, n))
+	}
+	return math.Sqrt(k.pool.ReduceSum(n, k.partials, body))
 }

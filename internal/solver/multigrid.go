@@ -66,10 +66,6 @@ type mgLevel struct {
 	// xmap/ymap map each fine axis index to its aggregate.
 	xoff, yoff []int
 	xmap, ymap []int
-	// cols lists the flat column indices of each red-black color
-	// ((i+j)&1) in ascending order — lateral neighbors always have the
-	// opposite color, so same-color columns never couple.
-	cols [2][]int
 	// Per-cell Thomas LU factors of the column tridiagonals (sub/super
 	// diagonals −gzp, full operator diagonal): cpf is the eliminated
 	// super-diagonal coefficient, minv the inverse pivot. The operator
@@ -77,19 +73,27 @@ type mgLevel struct {
 	// per level halves the per-sweep column-solve cost (no divisions
 	// on the hot path).
 	cpf, minv []float64
+	// dp is the full-grid forward-elimination scratch of the
+	// layer-wise smoother. Making it grid-sized (instead of one
+	// column's worth) is what lets the smoother sweep layer by layer
+	// in linear memory order rather than column by column at stride
+	// sz — the column walk touched one cache line per z-layer per
+	// column and defeated the hardware prefetchers.
+	dp []float64
+	// colGrain is the parallel column-range grain for this level,
+	// rounded up to whole rows so each worker strip runs linearly
+	// through every layer.
+	colGrain int
 	// Scratch: b is the restricted right-hand side and x the solution
 	// estimate (levels below the finest; the finest uses the caller's
 	// r/z).
 	b, x []float64
 }
 
-// multigrid is the assembled hierarchy plus per-worker column scratch
-// (nz is identical on every level, so one scratch set serves all).
+// multigrid is the assembled hierarchy.
 type multigrid struct {
-	levels   []*mgLevel
-	kr       *kern
-	rhs, dps [][]float64
-	colGrain int
+	levels []*mgLevel
+	kr     *kern
 }
 
 // newMultigrid builds the semi-coarsened hierarchy for op. The
@@ -100,10 +104,15 @@ func newMultigrid(op *operator, kr *kern) *multigrid {
 	for cur := op; ; {
 		lvl := &mgLevel{op: cur}
 		lvl.cpf, lvl.minv = columnFactors(cur)
-		for col := 0; col < cur.sz; col++ {
-			color := (col%cur.nx + col/cur.nx) & 1
-			lvl.cols[color] = append(lvl.cols[color], col)
+		lvl.dp = make([]float64, len(cur.diag))
+		cg := parallel.Grain / cur.nz
+		if cg < 1 {
+			cg = 1
 		}
+		if cur.nx > 1 {
+			cg = (cg + cur.nx - 1) / cur.nx * cur.nx
+		}
+		lvl.colGrain = cg
 		mg.levels = append(mg.levels, lvl)
 		if (cur.nx == 1 && cur.ny == 1) || len(mg.levels) >= mgMaxLevels {
 			break
@@ -117,18 +126,6 @@ func newMultigrid(op *operator, kr *kern) *multigrid {
 	for _, lvl := range mg.levels[1:] {
 		lvl.b = make([]float64, len(lvl.op.diag))
 		lvl.x = make([]float64, len(lvl.op.diag))
-	}
-	// Per-worker column scratch, shared across levels (same nz).
-	w := kr.workers()
-	mg.rhs = make([][]float64, w)
-	mg.dps = make([][]float64, w)
-	for i := range mg.rhs {
-		mg.rhs[i] = make([]float64, op.nz)
-		mg.dps[i] = make([]float64, op.nz)
-	}
-	mg.colGrain = parallel.Grain / op.nz
-	if mg.colGrain < 1 {
-		mg.colGrain = 1
 	}
 	return mg
 }
@@ -312,81 +309,140 @@ func (mg *multigrid) cycle(l int, b, x []float64) {
 // rbLineSmooth runs one red-black line Gauss-Seidel sweep on
 // lvl.op·x ≈ b. Each half-sweep relaxes every column of one color
 // exactly while reading lateral values only from the opposite color
-// (fixed during the half-sweep), so columns chunk across the pool
-// race-free and the result is bitwise identical at any worker count.
-// reverse flips the color order (the post-smooth adjoint); fromZero
-// treats x as logically zero, letting the first color skip the
-// lateral gather and the caller skip zeroing stale scratch.
+// (fixed during the half-sweep), so column ranges chunk across the
+// pool race-free and the result is bitwise identical at any worker
+// count. reverse flips the color order (the post-smooth adjoint);
+// fromZero treats x as logically zero, letting the first color skip
+// the lateral gather and the caller skip zeroing stale scratch.
 func (mg *multigrid) rbLineSmooth(lvl *mgLevel, b, x []float64, reverse, fromZero bool) {
 	order := [2]int{0, 1}
 	if reverse {
 		order = [2]int{1, 0}
 	}
 	for pass, color := range order {
-		cols := lvl.cols[color]
 		gather := !(fromZero && pass == 0)
-		if mg.kr.pool.Serial() {
-			rhs, dp := mg.rhs[0], mg.dps[0]
-			for _, col := range cols {
-				mg.gsColumn(lvl, b, x, col, gather, rhs, dp)
-			}
-			continue
-		}
-		mg.kr.pool.ForGrain(len(cols), mg.colGrain, func(worker, s, e int) {
-			rhs, dp := mg.rhs[worker], mg.dps[worker]
-			for ci := s; ci < e; ci++ {
-				mg.gsColumn(lvl, b, x, cols[ci], gather, rhs, dp)
-			}
-		})
+		mg.solveColumns(lvl, b, x, color, gather)
 	}
 }
 
-// gsColumn relaxes one vertical column exactly: it gathers the
-// lateral coupling into rhs[k] = b − (lateral)·x (skipped when gather
-// is false, i.e. x is logically zero or the operator has no lateral
-// neighbors) and solves the column's tridiagonal z-system with the
-// precomputed LU factors, writing the result into x. rhs/dp are
-// caller scratch of length nz.
-func (mg *multigrid) gsColumn(lvl *mgLevel, b, x []float64, col int, gather bool, rhs, dp []float64) {
+// solveColumns relaxes the columns of one color (or every column when
+// color < 0) exactly, fanning contiguous column ranges out across the
+// pool. Columns are independent tridiagonal solves writing disjoint
+// cells, so any partition produces bit-identical results.
+func (mg *multigrid) solveColumns(lvl *mgLevel, b, x []float64, color int, gather bool) {
+	sz := lvl.op.sz
+	if mg.kr.pool.Serial() {
+		lvl.smoothRange(b, x, color, gather, 0, sz)
+		return
+	}
+	mg.kr.pool.ForGrain(sz, lvl.colGrain, func(_, s, e int) {
+		lvl.smoothRange(b, x, color, gather, s, e)
+	})
+}
+
+// rowSpan returns the in-row iteration bounds for flat column range
+// [lo, hi) intersected with the row starting at flat index rs: the
+// first in-row offset (parity-adjusted to color when color ≥ 0), the
+// end offset, and the step (2 within one color, else 1).
+func rowSpan(nx, lo, hi, rs, j, color int) (i, ie, step int) {
+	if rs < lo {
+		i = lo - rs
+	}
+	ie = nx
+	if rs+ie > hi {
+		ie = hi - rs
+	}
+	step = 1
+	if color >= 0 {
+		if (i+j)&1 != color {
+			i++
+		}
+		step = 2
+	}
+	return i, ie, step
+}
+
+// smoothRange relaxes the color-matching columns within flat column
+// range [lo, hi): a fused lateral-gather + Thomas forward elimination
+// sweeping the layers bottom-up, then back substitution sweeping
+// top-down. Processing whole layers in linear memory order (instead
+// of one column at a time, which strides sz — one cache line per
+// z-layer per cell) is the smoother's main cache optimization; the
+// per-cell arithmetic is exactly the per-column Thomas recurrence, so
+// results are bitwise identical to the column-at-a-time order
+// (columns never couple within a color).
+func (lvl *mgLevel) smoothRange(b, x []float64, color int, gather bool, lo, hi int) {
 	op := lvl.op
-	nz, sy, sz := op.nz, op.sy, op.sz
-	if gather {
-		for k := 0; k < nz; k++ {
-			c := col + k*sz
-			s := b[c]
-			if g := op.gxp[c]; g != 0 {
-				s += g * x[c+1]
-			}
-			if c >= 1 {
-				if g := op.gxp[c-1]; g != 0 {
-					s += g * x[c-1]
+	nx, sy, sz, nz := op.nx, op.sy, op.sz, op.nz
+	gxp, gyp, gzp := op.gxp, op.gyp, op.gzp
+	cpf, minv, dp := lvl.cpf, lvl.minv, lvl.dp
+	row0 := lo - lo%nx
+	// Forward elimination: dp[c] = (rhs[c] + gzp[c−sz]·dp[c−sz])·minv[c]
+	// with rhs gathered in place (b plus lateral coupling to the
+	// fixed opposite color).
+	for k := 0; k < nz; k++ {
+		base := k * sz
+		for rs := row0; rs < hi; rs += nx {
+			j := rs / nx
+			i, ie, step := rowSpan(nx, lo, hi, rs, j, color)
+			if gather {
+				for ; i < ie; i += step {
+					c := base + rs + i
+					s := b[c]
+					if g := gxp[c]; g != 0 {
+						s += g * x[c+1]
+					}
+					if c >= 1 {
+						if g := gxp[c-1]; g != 0 {
+							s += g * x[c-1]
+						}
+					}
+					if g := gyp[c]; g != 0 {
+						s += g * x[c+sy]
+					}
+					if c >= sy {
+						if g := gyp[c-sy]; g != 0 {
+							s += g * x[c-sy]
+						}
+					}
+					if c >= sz {
+						s += gzp[c-sz] * dp[c-sz]
+					}
+					dp[c] = s * minv[c]
+				}
+			} else {
+				for ; i < ie; i += step {
+					c := base + rs + i
+					s := b[c]
+					if c >= sz {
+						s += gzp[c-sz] * dp[c-sz]
+					}
+					dp[c] = s * minv[c]
 				}
 			}
-			if g := op.gyp[c]; g != 0 {
-				s += g * x[c+sy]
-			}
-			if c >= sy {
-				if g := op.gyp[c-sy]; g != 0 {
-					s += g * x[c-sy]
-				}
-			}
-			rhs[k] = s
-		}
-	} else {
-		for k := 0; k < nz; k++ {
-			rhs[k] = b[col+k*sz]
 		}
 	}
-	cpf, minv := lvl.cpf, lvl.minv
-	dp[0] = rhs[0] * minv[col]
-	for k := 1; k < nz; k++ {
-		c := col + k*sz
-		dp[k] = (rhs[k] + op.gzp[c-sz]*dp[k-1]) * minv[c]
+	// Back substitution: top layer is dp directly, then
+	// x[c] = dp[c] − cpf[c]·x[c+sz] layer by layer downward.
+	top := (nz - 1) * sz
+	for rs := row0; rs < hi; rs += nx {
+		j := rs / nx
+		i, ie, step := rowSpan(nx, lo, hi, rs, j, color)
+		for ; i < ie; i += step {
+			c := top + rs + i
+			x[c] = dp[c]
+		}
 	}
-	x[col+(nz-1)*sz] = dp[nz-1]
 	for k := nz - 2; k >= 0; k-- {
-		c := col + k*sz
-		x[c] = dp[k] - cpf[c]*x[c+sz]
+		base := k * sz
+		for rs := row0; rs < hi; rs += nx {
+			j := rs / nx
+			i, ie, step := rowSpan(nx, lo, hi, rs, j, color)
+			for ; i < ie; i += step {
+				c := base + rs + i
+				x[c] = dp[c] - cpf[c]*x[c+sz]
+			}
+		}
 	}
 }
 
@@ -395,20 +451,7 @@ func (mg *multigrid) gsColumn(lvl *mgLevel, b, x []float64, col int, gather bool
 // level. Columns write disjoint entries, so the result is bitwise
 // identical at any worker count.
 func (mg *multigrid) lineSolve(lvl *mgLevel, r, z []float64) {
-	op := lvl.op
-	if mg.kr.pool.Serial() {
-		rhs, dp := mg.rhs[0], mg.dps[0]
-		for col := 0; col < op.sz; col++ {
-			mg.gsColumn(lvl, r, z, col, false, rhs, dp)
-		}
-		return
-	}
-	mg.kr.pool.ForGrain(op.sz, mg.colGrain, func(worker, s, e int) {
-		rhs, dp := mg.rhs[worker], mg.dps[worker]
-		for col := s; col < e; col++ {
-			mg.gsColumn(lvl, r, z, col, false, rhs, dp)
-		}
-	})
+	mg.solveColumns(lvl, r, z, -1, false)
 }
 
 // restrictResidual forms the coarse right-hand side rc = R·(b − A·x)

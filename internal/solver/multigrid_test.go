@@ -23,7 +23,7 @@ func TestMultigridSymmetricPD(t *testing.T) {
 	p := anisotropicStackProblem(t)
 	op := assemble(p)
 	n := len(op.b)
-	kr := newKern(1, n)
+	kr := newKern(Options{Workers: 1}, n)
 	defer kr.close()
 	mg := newMultigrid(op, kr)
 
@@ -89,7 +89,7 @@ func TestMultigridCycleBitwiseDeterministic(t *testing.T) {
 
 	var ref []float64
 	for _, w := range []int{1, 2, 3, 4, 8} {
-		kr := newKern(w, n)
+		kr := newKern(Options{Workers: w}, n)
 		mg := newMultigrid(op, kr)
 		z := make([]float64, n)
 		mg.apply(r, z)

@@ -247,6 +247,55 @@ type operator struct {
 	gzp        []float64
 	diag       []float64
 	b          []float64 // rhs: sources + boundary terms
+	// bBound is the boundary-only part of b (b before sources were
+	// added) — setSources rebuilds b from it for a new source field,
+	// which is how SolveSteadyBatch re-targets one assembled operator
+	// at K power maps.
+	bBound []float64
+	// st is the structure-of-arrays stencil built by ensureStencil:
+	// seven coefficients per cell in one contiguous stream, in the
+	// exact accumulation order of the legacy applyRange — [diag,
+	// gxp(c), gxp(c−1), gyp(c), gyp(c−sy), gzp(c), gzp(c−sz)] — with
+	// zeros baked in at domain edges so the apply kernels need no
+	// index guards. The slice views (gxp…diag) stay authoritative for
+	// assembly-time consumers (coarsening, SOR, Thomas factors).
+	st []float64
+	// diagChecked records that every diagonal entry was verified
+	// positive (makePreconditioner's singularity guard) so batched
+	// solves scan once, not once per item.
+	diagChecked bool
+}
+
+// stencilStride is the per-cell width of operator.st.
+const stencilStride = 7
+
+// ensureStencil builds the SoA stencil once per operator; subsequent
+// calls are free. Callers must invoke it before any parallel kernel
+// that reads op.st (the build itself is a single serial pass).
+func (op *operator) ensureStencil() {
+	if op.st != nil {
+		return
+	}
+	n := len(op.diag)
+	sy, sz := op.sy, op.sz
+	st := make([]float64, stencilStride*n)
+	for c := 0; c < n; c++ {
+		o := stencilStride * c
+		st[o] = op.diag[c]
+		st[o+1] = op.gxp[c]
+		if c >= 1 {
+			st[o+2] = op.gxp[c-1]
+		}
+		st[o+3] = op.gyp[c]
+		if c >= sy {
+			st[o+4] = op.gyp[c-sy]
+		}
+		st[o+5] = op.gzp[c]
+		if c >= sz {
+			st[o+6] = op.gzp[c-sz]
+		}
+	}
+	op.st = st
 }
 
 // halfRes returns the half-cell thermal resistance per unit area
@@ -341,12 +390,37 @@ func assemble(p *Problem) *operator {
 				if k == nz-1 {
 					op.addBoundary(c, areaZ, dz, p.KZ[c], p.Bounds[ZMax])
 				}
-				// Source.
-				op.b[c] += p.Q[c] * dx * dy * dz
 			}
 		}
 	}
+	// Snapshot the boundary-only rhs, then add the sources. b[c] is
+	// touched only in cell c's own iteration (couplings accumulate
+	// into diag, not b), so splitting the source add into a second
+	// pass keeps the exact per-cell accumulation order: boundary
+	// terms first, then + q·dx·dy·dz.
+	op.bBound = append([]float64(nil), op.b...)
+	op.setSources(p.Q)
 	return op
+}
+
+// setSources rebuilds the rhs for the volumetric source field q
+// (W/m³): b = bBound + q·dV, in the exact per-cell arithmetic order
+// of assemble, so an operator re-sourced with q is bitwise identical
+// to one assembled from a Problem carrying Q = q.
+func (op *operator) setSources(q []float64) {
+	g := op.g
+	nx, ny, nz := op.nx, op.ny, op.nz
+	for k := 0; k < nz; k++ {
+		dz := g.DZ(k)
+		for j := 0; j < ny; j++ {
+			dy := g.DY(j)
+			base := (k*ny + j) * nx
+			for i := 0; i < nx; i++ {
+				c := base + i
+				op.b[c] = op.bBound[c] + q[c]*g.DX(i)*dy*dz
+			}
+		}
+	}
 }
 
 func (op *operator) addBoundary(c int, area, d, k float64, bc Boundary) {
@@ -365,8 +439,40 @@ func (op *operator) apply(x, y []float64) {
 
 // applyRange computes y[start:end] of y = A·x. Each call writes only
 // its own y range and reads x, so disjoint ranges can run
-// concurrently (the chunked SpMV of the parallel kernels).
+// concurrently (the chunked SpMV of the parallel kernels). When the
+// SoA stencil has been built the kernel streams one coefficient
+// array instead of seven strided views of four; both paths evaluate
+// the identical per-cell expression in the identical order (the
+// stencil bakes zeros at domain edges exactly where the index guards
+// used to skip reads), so the results are bitwise equal.
 func (op *operator) applyRange(x, y []float64, start, end int) {
+	if st := op.st; st != nil {
+		sy, sz := op.sy, op.sz
+		for c := start; c < end; c++ {
+			o := stencilStride * c
+			v := st[o] * x[c]
+			if g := st[o+1]; g != 0 {
+				v -= g * x[c+1]
+			}
+			if g := st[o+2]; g != 0 {
+				v -= g * x[c-1]
+			}
+			if g := st[o+3]; g != 0 {
+				v -= g * x[c+sy]
+			}
+			if g := st[o+4]; g != 0 {
+				v -= g * x[c-sy]
+			}
+			if g := st[o+5]; g != 0 {
+				v -= g * x[c+sz]
+			}
+			if g := st[o+6]; g != 0 {
+				v -= g * x[c-sz]
+			}
+			y[c] = v
+		}
+		return
+	}
 	sy, sz := op.sy, op.sz
 	for c := start; c < end; c++ {
 		v := op.diag[c] * x[c]

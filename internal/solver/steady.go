@@ -120,6 +120,15 @@ type Options struct {
 	// with and without a collector attached (the equivalence suite
 	// verifies this).
 	Telemetry *telemetry.Collector
+	// Engine, when non-nil, supplies a persistent worker pool shared
+	// across solves (see NewEngine) instead of building and tearing
+	// one down per solve — the outer loops of pillar placement and the
+	// evaluation service issue thousands of solves, and pool reuse
+	// removes the per-solve goroutine churn. Workers is ignored in
+	// favor of the engine's worker count. Results are bitwise
+	// identical with and without an engine: the pool only executes
+	// kernels, and chunking depends solely on the problem size.
+	Engine *Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +137,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Tol <= 0 {
 		o.Tol = 1e-8
+	}
+	if o.Engine != nil {
+		o.Workers = o.Engine.Workers()
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -216,6 +228,19 @@ var testBreakdownHook func(pc Preconditioner, iteration int) bool
 // same initial guess), counts and logs the event — never silently —
 // and records one telemetry trace for the attempt sequence.
 func solveOperator(op *operator, b []float64, opts Options, method string) (*iterOutcome, []Preconditioner, error) {
+	kr := newKern(opts, len(b))
+	defer kr.close()
+	return solveOperatorWith(op, b, opts, method, kr, precondCache{})
+}
+
+// solveOperatorWith is solveOperator against a caller-provided kern
+// and preconditioner cache — the batch entry point shares both across
+// K solves of the same operator (one pool, one multigrid hierarchy).
+// Sharing is bitwise-safe: the kern only fixes the worker count
+// (chunking depends on the problem size alone) and the cached
+// preconditioners are pure functions of the operator matrix, which
+// does not change between items.
+func solveOperatorWith(op *operator, b []float64, opts Options, method string, kr *kern, pcs precondCache) (*iterOutcome, []Preconditioner, error) {
 	tel := opts.Telemetry
 	var start time.Time
 	if tel != nil {
@@ -230,7 +255,7 @@ func solveOperator(op *operator, b []float64, opts Options, method string) (*ite
 		used = try
 		o := opts
 		o.Precond = try
-		out, err = pcg(op, b, o)
+		out, err = pcg(op, b, o, kr, pcs)
 		if err == nil {
 			break
 		}
@@ -282,8 +307,9 @@ func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
 	}
 	opts = opts.withDefaults()
 	op := assemble(p)
+	op.ensureStencil()
 	n := len(op.b)
-	kr := newKern(opts.Workers, n)
+	kr := newKern(opts, n)
 	defer kr.close()
 	t := make([]float64, n)
 	if opts.InitialGuess != nil {
@@ -311,8 +337,7 @@ func SolveSteadySOR(p *Problem, omega float64, opts Options) (*Result, error) {
 	var history []float64
 	// Seed res with the initial true residual so a failure before the
 	// first residual check still reports a meaningful value.
-	kr.residual(op, t, op.b, r)
-	res := kr.norm2(r) / bn
+	res := kr.residual(op, t, op.b, r) / bn
 	bestRes, bestIter := math.Inf(1), 0
 	fail := func(reason FailureReason, it int, cause error) (*Result, error) {
 		err := &ConvergenceError{
@@ -477,9 +502,13 @@ type iterOutcome struct {
 }
 
 // pcg runs preconditioned conjugate gradient on A·x = b. All O(n)
-// kernels — SpMV, the dot/norm reductions, the fused vector updates,
-// and the preconditioner — run on the worker pool selected by
-// opts.Workers (see Options.Workers for the determinism contract).
+// kernels — the fused SpMV+reduction sweeps and the preconditioner —
+// run on kr's worker pool (see Options.Workers for the determinism
+// contract). Per iteration the loop makes three fused sweeps instead
+// of the historical seven passes: apply+direction+dot in one,
+// update+norm in one, precondition(+dot for Jacobi) in one; every
+// fusion preserves the exact legacy arithmetic order, so results are
+// bitwise identical to the unfused loop.
 //
 // Failures return a *ConvergenceError: ReasonCancelled when
 // opts.Ctx fires (checked once per iteration), ReasonBreakdown on
@@ -487,8 +516,9 @@ type iterOutcome struct {
 // residual stops improving for opts.StagnationWindow iterations, and
 // ReasonMaxIter when the budget runs out. The error always carries
 // the residual history and the best iterate observed.
-func pcg(op *operator, b []float64, opts Options) (*iterOutcome, error) {
+func pcg(op *operator, b []float64, opts Options, kr *kern, pcs precondCache) (*iterOutcome, error) {
 	n := len(b)
+	op.ensureStencil()
 	x := make([]float64, n)
 	if opts.InitialGuess != nil {
 		if len(opts.InitialGuess) != n {
@@ -499,12 +529,10 @@ func pcg(op *operator, b []float64, opts Options) (*iterOutcome, error) {
 	r := make([]float64, n)
 	z := make([]float64, n)
 	p := make([]float64, n)
+	pn := make([]float64, n) // next direction, pointer-swapped with p
 	ap := make([]float64, n)
 
-	kr := newKern(opts.Workers, n)
-	defer kr.close()
-
-	kr.residual(op, x, b, r)
+	resNum := kr.residual(op, x, b, r)
 	bn := kr.norm2(b)
 	if bn == 0 {
 		// Zero RHS with SPD A ⇒ zero solution.
@@ -522,7 +550,7 @@ func pcg(op *operator, b []float64, opts Options) (*iterOutcome, error) {
 	// r already holds the initial residual; seeding res with its norm
 	// means a failure before the first iteration completes (e.g. an
 	// already-cancelled context) still reports a meaningful residual.
-	res := kr.norm2(r) / bn
+	res := resNum / bn
 	// Best-iterate tracking for deadline-bounded callers. Copying x
 	// every time the residual improves would cost O(n) per iteration,
 	// so the snapshot refreshes lazily: only when the residual halves
@@ -541,15 +569,23 @@ func pcg(op *operator, b []float64, opts Options) (*iterOutcome, error) {
 			Best: best, BestResidual: bres, Err: cause,
 		}
 	}
-	applyM, err := makePreconditioner(op, opts.Precond, kr)
+	pc, err := pcs.get(op, opts.Precond, kr)
 	if err != nil {
 		return nil, &ConvergenceError{
 			Method: "pcg", Precond: opts.Precond, Reason: ReasonBreakdown, Err: err,
 		}
 	}
-	applyM(r, z)
+	var rz float64
+	if pc.applyDot != nil {
+		rz = pc.applyDot(r, z)
+	} else {
+		pc.apply(r, z)
+		rz = kr.dot(r, z)
+	}
+	// Iteration 1 takes p = z directly (a β=0 fused direction could
+	// flip signed zeros: z + 0·p is not always bit-equal to z).
 	copy(p, z)
-	rz := kr.dot(r, z)
+	beta := 0.0
 	for it := 1; it <= opts.MaxIter; it++ {
 		if done != nil {
 			select {
@@ -558,15 +594,22 @@ func pcg(op *operator, b []float64, opts Options) (*iterOutcome, error) {
 			default:
 			}
 		}
-		kr.apply(op, p, ap)
-		pap := kr.dot(p, ap)
+		var pap float64
+		if it == 1 {
+			pap = kr.applyDot(op, p, ap)
+		} else {
+			// The direction update p ← z + β·p of the previous
+			// iteration is folded into this sweep (written to pn,
+			// then pointer-swapped), saving a full pass over p.
+			pap = kr.applyDirDot(op, z, p, pn, ap, beta)
+			p, pn = pn, p
+		}
 		if !(pap > 0) {
 			return fail(ReasonBreakdown, it-1,
 				fmt.Errorf("operator lost positive definiteness (pᵀAp = %g)", pap))
 		}
 		alpha := rz / pap
-		kr.xrUpdate(x, r, p, ap, alpha)
-		res = kr.norm2(r) / bn
+		res = kr.updateNorm(x, r, p, ap, alpha) / bn
 		history = append(history, res)
 		if testBreakdownHook != nil && testBreakdownHook(opts.Precond, it) {
 			return fail(ReasonBreakdown, it, errors.New("injected breakdown (test hook)"))
@@ -593,23 +636,61 @@ func pcg(op *operator, b []float64, opts Options) (*iterOutcome, error) {
 			return fail(ReasonStagnation, it,
 				fmt.Errorf("no residual improvement in %d iterations (best %g at iteration %d)", it-bestIter, bestRes, bestIter))
 		}
-		applyM(r, z)
-		rzNew := kr.dot(r, z)
-		beta := rzNew / rz
+		var rzNew float64
+		if pc.applyDot != nil {
+			rzNew = pc.applyDot(r, z)
+		} else {
+			pc.apply(r, z)
+			rzNew = kr.dot(r, z)
+		}
+		beta = rzNew / rz
 		rz = rzNew
-		kr.direction(p, z, beta)
 	}
 	return fail(ReasonMaxIter, opts.MaxIter, nil)
 }
 
-// makePreconditioner returns z ← M⁻¹·r for the selected scheme,
+// precondOp is one built preconditioner. apply is z ← M⁻¹·r;
+// applyDot, when non-nil, additionally returns rᵀz from the same
+// sweep. The fusion is offered only where it preserves the flat
+// index-order summation of the separate dot pass (Jacobi); the
+// column-ordered ZLine/Multigrid solvers keep the separate reduction
+// so the determinism contract's summation order never changes.
+type precondOp struct {
+	apply    func(r, z []float64)
+	applyDot func(r, z []float64) float64
+}
+
+// precondCache memoizes built preconditioners by kind. One cache
+// lives per solveOperator call (covering the fallback ladder) or per
+// batch (covering K solves against the same operator): preconditioner
+// construction is a pure function of the operator matrix, so reuse is
+// bitwise-neutral, and for Multigrid it saves rebuilding the whole
+// hierarchy per item.
+type precondCache map[Preconditioner]precondOp
+
+func (pcs precondCache) get(op *operator, kind Preconditioner, kr *kern) (precondOp, error) {
+	if pc, ok := pcs[kind]; ok {
+		return pc, nil
+	}
+	pc, err := makePreconditioner(op, kind, kr)
+	if err != nil {
+		return precondOp{}, err
+	}
+	pcs[kind] = pc
+	return pc, nil
+}
+
+// makePreconditioner builds z ← M⁻¹·r for the selected scheme,
 // running on kr's worker pool.
-func makePreconditioner(op *operator, kind Preconditioner, kr *kern) (func(r, z []float64), error) {
+func makePreconditioner(op *operator, kind Preconditioner, kr *kern) (precondOp, error) {
 	n := len(op.diag)
-	for c := 0; c < n; c++ {
-		if op.diag[c] <= 0 {
-			return nil, errors.New("solver: non-positive diagonal — singular system")
+	if !op.diagChecked {
+		for c := 0; c < n; c++ {
+			if op.diag[c] <= 0 {
+				return precondOp{}, errors.New("solver: non-positive diagonal — singular system")
+			}
 		}
+		op.diagChecked = true
 	}
 	switch kind {
 	case Jacobi:
@@ -618,18 +699,42 @@ func makePreconditioner(op *operator, kind Preconditioner, kr *kern) (func(r, z 
 			invDiag[c] = 1 / op.diag[c]
 		}
 		if kr.pool.Serial() {
-			return func(r, z []float64) {
-				for c := range z {
-					z[c] = r[c] * invDiag[c]
-				}
+			return precondOp{
+				apply: func(r, z []float64) {
+					for c := range z {
+						z[c] = r[c] * invDiag[c]
+					}
+				},
+				applyDot: func(r, z []float64) float64 {
+					sum := 0.0
+					for c := range z {
+						zc := r[c] * invDiag[c]
+						z[c] = zc
+						sum += r[c] * zc
+					}
+					return sum
+				},
 			}, nil
 		}
-		return func(r, z []float64) {
-			kr.pool.For(n, func(s, e int) {
-				for c := s; c < e; c++ {
-					z[c] = r[c] * invDiag[c]
-				}
-			})
+		return precondOp{
+			apply: func(r, z []float64) {
+				kr.pool.For(n, func(s, e int) {
+					for c := s; c < e; c++ {
+						z[c] = r[c] * invDiag[c]
+					}
+				})
+			},
+			applyDot: func(r, z []float64) float64 {
+				return kr.pool.ReduceSum(n, kr.partials, func(s, e int) float64 {
+					sum := 0.0
+					for c := s; c < e; c++ {
+						zc := r[c] * invDiag[c]
+						z[c] = zc
+						sum += r[c] * zc
+					}
+					return sum
+				})
+			},
 		}, nil
 	case ZLine:
 		nz := op.nz
@@ -638,11 +743,11 @@ func makePreconditioner(op *operator, kind Preconditioner, kr *kern) (func(r, z 
 			// Thomas scratch reused across calls.
 			cp := make([]float64, nz)
 			dp := make([]float64, nz)
-			return func(r, z []float64) {
+			return precondOp{apply: func(r, z []float64) {
 				for col := 0; col < sz; col++ {
 					op.thomasColumn(r, z, col, cp, dp)
 				}
-			}, nil
+			}}, nil
 		}
 		// Per-column fan-out: columns are independent tridiagonal
 		// solves writing disjoint z entries, so the output is bitwise
@@ -661,18 +766,18 @@ func makePreconditioner(op *operator, kind Preconditioner, kr *kern) (func(r, z 
 		if colGrain < 1 {
 			colGrain = 1
 		}
-		return func(r, z []float64) {
+		return precondOp{apply: func(r, z []float64) {
 			kr.pool.ForGrain(sz, colGrain, func(worker, s, e int) {
 				cp, dp := cps[worker], dps[worker]
 				for col := s; col < e; col++ {
 					op.thomasColumn(r, z, col, cp, dp)
 				}
 			})
-		}, nil
+		}}, nil
 	case Multigrid:
-		return newMultigrid(op, kr).apply, nil
+		return precondOp{apply: newMultigrid(op, kr).apply}, nil
 	default:
-		return nil, fmt.Errorf("solver: unknown preconditioner %d", kind)
+		return precondOp{}, fmt.Errorf("solver: unknown preconditioner %d", kind)
 	}
 }
 

@@ -1,0 +1,114 @@
+package specio
+
+// Batch evaluation schema: POST /v1/evalbatch evaluates K power
+// scenarios against one shared stack description. The base request
+// fixes everything the thermal operator depends on — geometry, tier
+// count, BEOL plan, sink, solver controls — and each item overrides
+// only the power description, so sibling items are K right-hand
+// sides against one assembled operator (solver.SolveSteadyBatch).
+// Batch requests are steady-only: a transient evaluation is one
+// trajectory, not a family of right-hand sides.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EvalMaxBatch bounds the items of one batch request: a batch is one
+// bounded unit of work admitted under a single queue slot.
+const EvalMaxBatch = 64
+
+// BatchItem overrides the power description of the base request.
+// Each field replaces the corresponding base field only when present
+// (a zero item reuses the base power description verbatim):
+//
+//   - power_map_w_per_cm2 replaces the base stack's power map,
+//   - uniform_power_w_per_cm2 replaces the base uniform density,
+//   - power_blocks replaces the base block list (an explicit empty
+//     list removes the base blocks).
+//
+// Geometry, materials, and solver controls cannot vary per item —
+// that is what makes the batch one operator with K right-hand sides.
+type BatchItem struct {
+	PowerMap     []float64    `json:"power_map_w_per_cm2,omitempty"`
+	UniformPower *float64     `json:"uniform_power_w_per_cm2,omitempty"`
+	PowerBlocks  []PowerBlock `json:"power_blocks,omitempty"`
+}
+
+// EvalBatchRequest is the /v1/evalbatch request schema.
+type EvalBatchRequest struct {
+	Base  EvalRequest `json:"base"`
+	Items []BatchItem `json:"items"`
+}
+
+// EvalBatchResponse is the /v1/evalbatch response schema: one
+// EvalResponse per item, in item order. Per-item Cached/Coalesced
+// report how each answer was produced (cache hit, intra-batch
+// duplicate, or part of the coalesced batch solve).
+type EvalBatchResponse struct {
+	Mode  string         `json:"mode"`
+	Items []EvalResponse `json:"items,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// ParseEvalBatch decodes a raw batch request, rejecting unknown
+// fields.
+func ParseEvalBatch(raw []byte) (EvalBatchRequest, error) {
+	var req EvalBatchRequest
+	if err := unmarshalStrictish(raw, &req); err != nil {
+		return EvalBatchRequest{}, fmt.Errorf("specio: %w", err)
+	}
+	return req, nil
+}
+
+// Expand validates the batch envelope and returns the K derived
+// per-item requests (base with the item's power overrides applied,
+// not yet normalized). Each derived request is exactly what a client
+// would have POSTed to /v1/eval for that scenario — the batch
+// endpoint answers each item bitwise identically to that single
+// request.
+func (r EvalBatchRequest) Expand() ([]EvalRequest, error) {
+	if len(r.Items) == 0 {
+		return nil, fmt.Errorf("specio: batch has no items")
+	}
+	if len(r.Items) > EvalMaxBatch {
+		return nil, fmt.Errorf("specio: batch has %d items, max %d", len(r.Items), EvalMaxBatch)
+	}
+	if r.Base.Transient != nil {
+		return nil, fmt.Errorf("specio: batch requests are steady-only")
+	}
+	out := make([]EvalRequest, len(r.Items))
+	for i, it := range r.Items {
+		d := r.Base
+		if it.PowerMap != nil {
+			d.Stack.PowerMap = it.PowerMap
+		}
+		if it.UniformPower != nil {
+			d.Stack.UniformPower = *it.UniformPower
+		}
+		if it.PowerBlocks != nil {
+			d.PowerBlocks = it.PowerBlocks
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// MarshalEvalBatch renders a batch request as indented JSON.
+func MarshalEvalBatch(r EvalBatchRequest) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ExampleEvalBatch returns a ready-to-POST batch: the example stack
+// evaluated under three hotspot scenarios.
+func ExampleEvalBatch() EvalBatchRequest {
+	base := ExampleEval()
+	return EvalBatchRequest{
+		Base: base,
+		Items: []BatchItem{
+			{}, // the base scenario itself
+			{PowerBlocks: []PowerBlock{{X0: 2, Y0: 2, X1: 6, Y1: 6, DensityWPerCm2: 60}}},
+			{PowerBlocks: []PowerBlock{{X0: 10, Y0: 10, X1: 14, Y1: 14, DensityWPerCm2: 80}}},
+		},
+	}
+}

@@ -1,0 +1,78 @@
+package specio
+
+import (
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func TestEvalBatchExpand(t *testing.T) {
+	base := ExampleEval()
+	breq := EvalBatchRequest{
+		Base: base,
+		Items: []BatchItem{
+			{}, // base verbatim
+			{UniformPower: f64(77)},
+			{PowerBlocks: []PowerBlock{}}, // explicit empty list removes base blocks
+			{PowerMap: make([]float64, base.Stack.NX*base.Stack.NY)},
+		},
+	}
+	derived, err := breq.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(derived) != 4 {
+		t.Fatalf("expanded to %d items, want 4", len(derived))
+	}
+	if got := derived[0]; got.Stack.UniformPower != base.Stack.UniformPower || len(got.PowerBlocks) != len(base.PowerBlocks) {
+		t.Errorf("zero item changed the base request: %+v", got)
+	}
+	if derived[1].Stack.UniformPower != 77 {
+		t.Errorf("uniform override: got %g, want 77", derived[1].Stack.UniformPower)
+	}
+	if len(derived[1].PowerBlocks) != len(base.PowerBlocks) {
+		t.Error("uniform override clobbered the base power blocks")
+	}
+	if len(derived[2].PowerBlocks) != 0 {
+		t.Error("explicit empty block list did not remove the base blocks")
+	}
+	if len(derived[3].Stack.PowerMap) != base.Stack.NX*base.Stack.NY {
+		t.Error("power map override not applied")
+	}
+
+	// Envelope errors.
+	if _, err := (EvalBatchRequest{Base: base}).Expand(); err == nil || !strings.Contains(err.Error(), "no items") {
+		t.Errorf("empty batch: err = %v", err)
+	}
+	big := EvalBatchRequest{Base: base, Items: make([]BatchItem, EvalMaxBatch+1)}
+	if _, err := big.Expand(); err == nil || !strings.Contains(err.Error(), "max") {
+		t.Errorf("oversized batch: err = %v", err)
+	}
+	tr := EvalBatchRequest{Base: base, Items: []BatchItem{{}}}
+	tr.Base.Transient = &TransientJSON{DtS: 1e-4, Steps: 1}
+	if _, err := tr.Expand(); err == nil || !strings.Contains(err.Error(), "steady-only") {
+		t.Errorf("transient base: err = %v", err)
+	}
+}
+
+func TestEvalBatchJSONRoundTrip(t *testing.T) {
+	breq := ExampleEvalBatch()
+	raw, err := MarshalEvalBatch(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseEvalBatch(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Items) != len(breq.Items) {
+		t.Fatalf("round trip lost items: %d vs %d", len(back.Items), len(breq.Items))
+	}
+	if _, err := back.Expand(); err != nil {
+		t.Fatalf("example batch does not expand: %v", err)
+	}
+	if _, err := ParseEvalBatch([]byte(`{"base":{},"items":[{"bogus":1}]}`)); err == nil {
+		t.Error("unknown item field accepted")
+	}
+}
