@@ -34,6 +34,10 @@ type result struct {
 	Runs       int     `json:"runs"`
 	Iterations int     `json:"iterations"`
 	Workers    int     `json:"workers"`
+	// Metrics carries custom b.ReportMetric values (unit → value, from
+	// the minimum-time run), e.g. the rc tier's certified bound_K and
+	// its measured speedup over the full solve.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // sample is one parsed benchmark line.
@@ -41,6 +45,7 @@ type sample struct {
 	name       string
 	nsPerOp    float64
 	iterations int
+	metrics    map[string]float64
 }
 
 func main() {
@@ -98,6 +103,7 @@ func aggregate(samples []sample) []result {
 			Runs:       len(group),
 			Iterations: best.iterations,
 			Workers:    parseWorkers(name),
+			Metrics:    best.metrics,
 		})
 	}
 	return out
@@ -107,6 +113,10 @@ func aggregate(samples []sample) []result {
 // -bench` output, e.g.:
 //
 //	BenchmarkSteadyZLine64Workers/workers=4-8   3   328412345 ns/op
+//	BenchmarkROMEval/n=64-8   50000   21034 ns/op   107.2 bound_K
+//
+// Trailing `<value> <unit>` pairs (from b.ReportMetric) land in the
+// sample's metrics map.
 func parseLine(line string) (sample, bool) {
 	f := strings.Fields(strings.TrimSpace(line))
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
@@ -120,7 +130,18 @@ func parseLine(line string) (sample, bool) {
 	if err != nil {
 		return sample{}, false
 	}
-	return sample{name: f[0], nsPerOp: ns, iterations: n}, true
+	s := sample{name: f[0], nsPerOp: ns, iterations: n}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			break
+		}
+		if s.metrics == nil {
+			s.metrics = map[string]float64{}
+		}
+		s.metrics[f[i+1]] = v
+	}
+	return s, true
 }
 
 // parseWorkers pulls N out of a "workers=N" component of the

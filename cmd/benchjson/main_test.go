@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	cases := []struct {
@@ -18,6 +21,12 @@ func TestParseLine(t *testing.T) {
 			ok:   true,
 			want: sample{name: "BenchmarkSteadyZLine64Workers/workers=4-8", nsPerOp: 328412345.5, iterations: 3},
 		},
+		{
+			line: "BenchmarkROMEval/n=64-8   50000   21034 ns/op   107.2 bound_K   4450 x_vs_full",
+			ok:   true,
+			want: sample{name: "BenchmarkROMEval/n=64-8", nsPerOp: 21034, iterations: 50000,
+				metrics: map[string]float64{"bound_K": 107.2, "x_vs_full": 4450}},
+		},
 		{line: "goos: linux", ok: false},
 		{line: "PASS", ok: false},
 		{line: "ok  	thermalscaffold/internal/solver	8.003s", ok: false},
@@ -30,7 +39,7 @@ func TestParseLine(t *testing.T) {
 			t.Errorf("parseLine(%q) ok = %v, want %v", c.line, ok, c.ok)
 			continue
 		}
-		if ok && got != c.want {
+		if ok && !reflect.DeepEqual(got, c.want) {
 			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
 		}
 	}

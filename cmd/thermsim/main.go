@@ -36,8 +36,10 @@ import (
 	"os/signal"
 
 	"thermalscaffold/internal/report"
+	"thermalscaffold/internal/rom"
 	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/specio"
+	"thermalscaffold/internal/stack"
 	"thermalscaffold/internal/telemetry"
 	"thermalscaffold/internal/units"
 )
@@ -59,6 +61,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	showMap := fs.Bool("map", false, "render the top-tier temperature field as an ASCII heatmap")
 	workers := fs.Int("workers", 0, "solver worker goroutines (0 = one per CPU core, 1 = serial)")
 	precond := fs.String("precond", "zline", "PCG preconditioner: zline or multigrid (jacobi parses but stack solves upgrade it to zline)")
+	fidelity := fs.String("fidelity", specio.FidelityFull, "evaluation tier: full (exact FVM solve) or rc (certified reduced-order estimate)")
 	reportPath := fs.String("report", "", "write a JSON run report (solve traces, counters, timings) to this path; \"-\" = stdout")
 	debugAddr := fs.String("debug-addr", "", "serve pprof and expvar endpoints on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +71,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	pc, err := solver.ParsePreconditioner(*precond)
 	if err != nil {
 		fmt.Fprintf(stderr, "thermsim: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+	if *fidelity != specio.FidelityFull && *fidelity != specio.FidelityRC {
+		fmt.Fprintf(stderr, "thermsim: unknown -fidelity %q (want %q or %q)\n",
+			*fidelity, specio.FidelityFull, specio.FidelityRC)
 		fs.Usage()
 		return 2
 	}
@@ -118,6 +127,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "thermsim: %v\n", err)
 		return 1
 	}
+	if *fidelity == specio.FidelityRC {
+		code := runRC(spec, tel, stdout, stderr)
+		if !writeReport(tel, *reportPath, args, stderr) {
+			return 1
+		}
+		return code
+	}
 	stopPhase := tel.Phase("solve")
 	res, err := spec.Solve(solver.Options{
 		Tol: 1e-7, MaxIter: 100000, Workers: *workers, Precond: pc,
@@ -153,6 +169,52 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if !writeReport(tel, *reportPath, args, stderr) {
 		return 1
+	}
+	return 0
+}
+
+// runRC answers from the certified reduced-order tier: reduce the
+// spec's problem onto per-tier aggregation blocks, evaluate, and
+// print the peak estimate with its certified error bound (a hard
+// guarantee on the distance to the exact FVM answer, not a
+// statistical one).
+func runRC(spec *stack.Spec, tel *telemetry.Collector, stdout, stderr io.Writer) int {
+	stopPhase := tel.Phase("rc-eval")
+	scorer, err := rom.NewStackScorer(spec, rom.Options{})
+	if err != nil {
+		stopPhase()
+		fmt.Fprintf(stderr, "thermsim: rc reduce: %v\n", err)
+		return 1
+	}
+	res, err := scorer.Score(spec.PowerMaps)
+	stopPhase()
+	if err != nil {
+		fmt.Fprintf(stderr, "thermsim: rc eval: %v\n", err)
+		return 1
+	}
+	tel.Add(telemetry.CounterRCEvals, 1)
+	fmt.Fprintf(stdout, "total flux: %.1f W/cm²  sink: %s\n",
+		units.WPerM2ToWPerCm2(spec.TotalFlux()), spec.Sink)
+	fmt.Fprintf(stdout, "T_max ≈ %s ± %.2f K certified (rc fidelity, %d modes, defect %.1e)\n",
+		units.FormatTemp(res.PeakT), res.Bound, scorer.Model().NumModes(), res.RelResidual)
+	p, lay, err := spec.Build()
+	if err != nil {
+		fmt.Fprintf(stderr, "thermsim: %v\n", err)
+		return 1
+	}
+	g := p.Grid
+	for t := 0; t < spec.Tiers; t++ {
+		maxT := 0.0
+		for _, k := range lay.DeviceLayers[t] {
+			for j := 0; j < spec.NY; j++ {
+				for i := 0; i < spec.NX; i++ {
+					if v := res.T()[g.Index(i, j, k)]; v > maxT {
+						maxT = v
+					}
+				}
+			}
+		}
+		fmt.Fprintf(stdout, "  tier %2d: %s (estimate)\n", t, units.FormatTemp(maxT))
 	}
 	return 0
 }

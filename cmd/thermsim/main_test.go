@@ -8,6 +8,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -65,6 +67,51 @@ func TestCancelledRunExitsNonZero(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "cancelled") {
 		t.Fatalf("stderr does not flag cancellation: %q", stderr)
+	}
+}
+
+func TestUnknownFidelityRejected(t *testing.T) {
+	code, _, stderr := runCLI(t, context.Background(), "-fidelity", "quantum")
+	if code == 0 {
+		t.Fatal("unknown -fidelity accepted")
+	}
+	if !strings.Contains(stderr, "unknown -fidelity") {
+		t.Fatalf("stderr does not explain the rejection: %q", stderr)
+	}
+}
+
+// TestRCFidelityRun: -fidelity rc answers with the certified-bound
+// line and per-tier estimates, and its peak estimate is within the
+// printed bound of the full run's peak (the CLI-level conformance
+// check).
+func TestRCFidelityRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeExampleSpec(t, dir)
+	code, stdout, stderr := runCLI(t, context.Background(), "-spec", spec, "-fidelity", "rc")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "certified (rc fidelity") {
+		t.Fatalf("rc output missing certified bound line: %q", stdout)
+	}
+	if !strings.Contains(stdout, "tier  0:") || !strings.Contains(stdout, "(estimate)") {
+		t.Fatalf("rc output missing per-tier estimates: %q", stdout)
+	}
+	code, fullOut, stderr := runCLI(t, context.Background(), "-spec", spec, "-workers", "1")
+	if code != 0 {
+		t.Fatalf("full run: exit %d, stderr %q", code, stderr)
+	}
+	var rcPeak, bound, fullPeak float64
+	if _, err := fmt.Sscanf(stdout[strings.Index(stdout, "T_max"):],
+		"T_max ≈ %g°C ± %g K", &rcPeak, &bound); err != nil {
+		t.Fatalf("cannot parse rc peak from %q: %v", stdout, err)
+	}
+	if _, err := fmt.Sscanf(fullOut[strings.Index(fullOut, "T_max"):],
+		"T_max = %g°C", &fullPeak); err != nil {
+		t.Fatalf("cannot parse full peak from %q: %v", fullOut, err)
+	}
+	if d := math.Abs(rcPeak - fullPeak); d > bound+1e-3 {
+		t.Fatalf("|rc − full| = %.4f K exceeds certified bound %.4f K", d, bound)
 	}
 }
 

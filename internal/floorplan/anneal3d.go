@@ -29,6 +29,19 @@ type Anneal3DOptions struct {
 	// Ctx, when non-nil, cancels the annealing loop: it is checked
 	// every iteration and Anneal3D returns a wrapped ctx.Err().
 	Ctx context.Context
+	// Score, when non-nil, replaces the built-in column proxy as the
+	// thermal term of the annealing cost. Callers inject a real
+	// thermal model here — typically the certified reduced-order tier
+	// (internal/rom.StackScorer) scoring the candidate's power maps —
+	// without this package depending on the solver stack. It must be
+	// deterministic for a given placement; lower is better. A returned
+	// error aborts the anneal.
+	Score func(tiers []*Floorplan, die Rect) (float64, error)
+	// VerifyBest, when non-nil, re-verifies the best accepted
+	// placement before Anneal3D commits to it — the full-fidelity
+	// check of an RC-scored anneal. A returned error aborts the
+	// anneal (the RC tier's ranking was not trustworthy).
+	VerifyBest func(tiers []*Floorplan, die Rect) error
 }
 
 func (o Anneal3DOptions) withDefaults(nUnits int) (Anneal3DOptions, error) {
@@ -60,6 +73,10 @@ type Anneal3DResult struct {
 	// floorplan, for comparison.
 	BaseColumnPeak float64
 	Accepted       int
+	// RCScored counts Score-callback evaluations (0 when the built-in
+	// proxy scored the anneal); FullVerified counts VerifyBest runs.
+	RCScored     int
+	FullVerified int
 }
 
 // columnProxy computes the stacked smoothed power peak of a set of
@@ -158,17 +175,42 @@ func Anneal3D(seed *Floorplan, opts Anneal3DOptions) (*Anneal3DResult, error) {
 		return tiers, die
 	}
 
+	// thermal is the cost's heat term: the injected Score callback when
+	// one is wired (counted in RCScored), the column proxy otherwise.
+	scored := 0
+	thermal := func(tiers []*Floorplan, die Rect) (float64, error) {
+		if opts.Score == nil {
+			return columnProxy(tiers, die), nil
+		}
+		scored++
+		return opts.Score(tiers, die)
+	}
+
 	baseTiers, baseDie := build(states)
 	baseArea := baseDie.Area()
-	baseProxy := columnProxy(baseTiers, baseDie)
-	if baseProxy <= 0 {
+	// baseColumn is always the physical proxy (reported for
+	// comparison); baseProxy normalizes whichever thermal term the
+	// cost actually uses.
+	baseColumn := columnProxy(baseTiers, baseDie)
+	if baseColumn <= 0 {
 		return nil, errors.New("floorplan: seed has no power")
+	}
+	baseProxy, err := thermal(baseTiers, baseDie)
+	if err != nil {
+		return nil, fmt.Errorf("floorplan: scoring the seed placement: %w", err)
+	}
+	if baseProxy <= 0 {
+		return nil, errors.New("floorplan: seed placement scored non-positive")
 	}
 	baseHPWL := baseTiers[0].HPWL()
 
-	cost := func(tiers []*Floorplan, die Rect) float64 {
+	cost := func(tiers []*Floorplan, die Rect) (float64, error) {
+		heat, err := thermal(tiers, die)
+		if err != nil {
+			return 0, err
+		}
 		wArea := 0.25 + 0.75*opts.AreaWeight
-		c := wArea*(die.Area()/baseArea) + (1-wArea)*(columnProxy(tiers, die)/baseProxy)
+		c := wArea*(die.Area()/baseArea) + (1-wArea)*(heat/baseProxy)
 		if baseHPWL > 0 {
 			for _, f := range tiers {
 				if excess := f.HPWL()/baseHPWL - (1 + opts.WirelengthBound); excess > 0 {
@@ -176,12 +218,15 @@ func Anneal3D(seed *Floorplan, opts Anneal3DOptions) (*Anneal3DResult, error) {
 				}
 			}
 		}
-		return c
+		return c, nil
 	}
 
 	cur := states
 	curTiers, curDie := build(cur)
-	curCost := cost(curTiers, curDie)
+	curCost, err := cost(curTiers, curDie)
+	if err != nil {
+		return nil, err
+	}
 	best := cloneStates(cur)
 	bestCost := curCost
 	temp := 0.5
@@ -214,7 +259,10 @@ func Anneal3D(seed *Floorplan, opts Anneal3DOptions) (*Anneal3DResult, error) {
 			st.pad[u] = math.Max(0, math.Min(opts.MaxPadding, st.pad[u]+(rng.Float64()-0.4)*0.1))
 		}
 		candTiers, candDie := build(cand)
-		cc := cost(candTiers, candDie)
+		cc, err := cost(candTiers, candDie)
+		if err != nil {
+			return nil, fmt.Errorf("floorplan: scoring candidate at iteration %d: %w", it, err)
+		}
 		if cc < curCost || rng.Float64() < math.Exp((curCost-cc)/temp) {
 			cur, curCost = cand, cc
 			accepted++
@@ -232,12 +280,21 @@ func Anneal3D(seed *Floorplan, opts Anneal3DOptions) (*Anneal3DResult, error) {
 			return nil, fmt.Errorf("floorplan: 3D annealer produced invalid tier %d: %w", t, err)
 		}
 	}
+	verified := 0
+	if opts.VerifyBest != nil {
+		if err := opts.VerifyBest(tiers, die); err != nil {
+			return nil, fmt.Errorf("floorplan: best placement failed full-fidelity verification: %w", err)
+		}
+		verified = 1
+	}
 	return &Anneal3DResult{
 		Tiers:          tiers,
 		Die:            die,
 		ColumnPeak:     columnProxy(tiers, die),
-		BaseColumnPeak: baseProxy,
+		BaseColumnPeak: baseColumn,
 		Accepted:       accepted,
+		RCScored:       scored,
+		FullVerified:   verified,
 	}, nil
 }
 

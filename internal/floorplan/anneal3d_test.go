@@ -114,3 +114,87 @@ func TestAnneal3DCancellation(t *testing.T) {
 		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
 	}
 }
+
+// TestAnneal3DScoreHook: an injected Score callback replaces the
+// column proxy as the thermal cost term, is called for the seed and
+// every candidate, and VerifyBest sees exactly the committed result.
+func TestAnneal3DScoreHook(t *testing.T) {
+	opts := Anneal3DOptions{Tiers: 3, AreaWeight: 0.5, Seed: 5, Iterations: 200}
+	calls := 0
+	opts.Score = func(tiers []*Floorplan, die Rect) (float64, error) {
+		calls++
+		if len(tiers) != 3 {
+			t.Fatalf("Score saw %d tiers", len(tiers))
+		}
+		return columnProxy(tiers, die), nil
+	}
+	var verifiedTiers []*Floorplan
+	var verifiedDie Rect
+	opts.VerifyBest = func(tiers []*Floorplan, die Rect) error {
+		verifiedTiers, verifiedDie = tiers, die
+		return nil
+	}
+	res, err := Anneal3D(annealPlan(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RCScored != calls || calls < opts.Iterations {
+		t.Errorf("RCScored = %d, Score calls = %d, iterations = %d", res.RCScored, calls, opts.Iterations)
+	}
+	if res.FullVerified != 1 {
+		t.Errorf("FullVerified = %d, want 1", res.FullVerified)
+	}
+	if len(verifiedTiers) != len(res.Tiers) || verifiedDie != res.Die {
+		t.Error("VerifyBest did not see the committed placement")
+	}
+	for i := range res.Tiers {
+		if verifiedTiers[i] != res.Tiers[i] {
+			t.Fatalf("VerifyBest tier %d is not the committed tier", i)
+		}
+	}
+	// Same seed with the equivalent built-in proxy: identical anneal.
+	plain, err := Anneal3D(annealPlan(), Anneal3DOptions{Tiers: 3, AreaWeight: 0.5, Seed: 5, Iterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RCScored != 0 || plain.FullVerified != 0 {
+		t.Errorf("built-in proxy run reports callback counts: %+v", plain)
+	}
+	if plain.ColumnPeak != res.ColumnPeak || plain.Die != res.Die {
+		t.Error("proxy-equivalent Score changed the anneal trajectory")
+	}
+}
+
+// TestAnneal3DScoreError: a failing Score aborts the anneal with a
+// wrapped error, whether it fails on the seed or mid-anneal.
+func TestAnneal3DScoreError(t *testing.T) {
+	boom := errors.New("rc model exploded")
+	opts := Anneal3DOptions{Tiers: 2, Seed: 1, Iterations: 50}
+	opts.Score = func([]*Floorplan, Rect) (float64, error) { return 0, boom }
+	if _, err := Anneal3D(annealPlan(), opts); !errors.Is(err, boom) {
+		t.Fatalf("seed-score failure not propagated: %v", err)
+	}
+	n := 0
+	opts.Score = func(tiers []*Floorplan, die Rect) (float64, error) {
+		n++
+		if n > 10 {
+			return 0, boom
+		}
+		return columnProxy(tiers, die), nil
+	}
+	if _, err := Anneal3D(annealPlan(), opts); !errors.Is(err, boom) {
+		t.Fatalf("mid-anneal score failure not propagated: %v", err)
+	}
+}
+
+// TestAnneal3DVerifyBestError: a failed full-fidelity verification
+// refuses to commit the placement.
+func TestAnneal3DVerifyBestError(t *testing.T) {
+	boom := errors.New("full solve disagrees")
+	opts := Anneal3DOptions{Tiers: 2, Seed: 1, Iterations: 50}
+	opts.VerifyBest = func([]*Floorplan, Rect) error { return boom }
+	res, err := Anneal3D(annealPlan(), opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("verification failure not propagated: %v (res %+v)", err, res)
+	}
+}

@@ -1,0 +1,108 @@
+package floorplan
+
+// RC-scored 3D floorplanning: the Score hook wired to the certified
+// reduced-order tier (internal/rom) so every anneal move is scored by
+// the RC model, and VerifyBest wired to the full FVM solve so the
+// committed placement is re-verified against the RC estimate's
+// certified bound before Anneal3D returns. This is the tentpole's
+// "anneal moves scored by ROM, accepted moves re-verified by the full
+// solve" loop, exercised end to end.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/rom"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/stack"
+)
+
+// rcSpecFor assembles the thermal stack a candidate placement
+// implies: each tier's power rasterized over the shared outline.
+func rcSpecFor(tiers []*Floorplan, die Rect, nx, ny int) *stack.Spec {
+	maps := make([][]float64, len(tiers))
+	for t, f := range tiers {
+		shared := f.Clone()
+		shared.Die = die
+		maps[t] = shared.PowerMap(nx, ny)
+	}
+	return &stack.Spec{
+		DieW: die.W, DieH: die.H,
+		Tiers: len(tiers), NX: nx, NY: ny,
+		PowerMaps:     maps,
+		BEOL:          stack.ScaffoldedBEOL(),
+		Sink:          heatsink.TwoPhase(),
+		MemoryPerTier: true,
+	}
+}
+
+func TestAnneal3DRCScored(t *testing.T) {
+	const nx, ny = 8, 8
+	rcEvals, fullVerifies := 0, 0
+	var lastEst, lastBound float64
+	opts := Anneal3DOptions{Tiers: 2, AreaWeight: 0.5, Seed: 7, Iterations: 40}
+	// The die outline changes move to move, so each score reduces a
+	// fresh model — still microseconds against the full solve it
+	// replaces.
+	opts.Score = func(tiers []*Floorplan, die Rect) (float64, error) {
+		spec := rcSpecFor(tiers, die, nx, ny)
+		scorer, err := rom.NewStackScorer(spec, rom.Options{})
+		if err != nil {
+			return 0, err
+		}
+		res, err := scorer.Score(spec.PowerMaps)
+		if err != nil {
+			return 0, err
+		}
+		rcEvals++
+		lastEst, lastBound = res.PeakT, res.Bound
+		return res.PeakT, nil
+	}
+	// Full-fidelity commit gate: the exact FVM peak must sit inside
+	// the RC estimate's certified bound (plus the full solve's own
+	// tolerance slack) or the placement is rejected.
+	opts.VerifyBest = func(tiers []*Floorplan, die Rect) error {
+		// Score ran on this exact placement last (the annealer rebuilds
+		// the best state before verifying), so lastEst/lastBound do not
+		// apply here — re-score to pair estimate and truth.
+		spec := rcSpecFor(tiers, die, nx, ny)
+		scorer, err := rom.NewStackScorer(spec, rom.Options{})
+		if err != nil {
+			return err
+		}
+		est, err := scorer.Score(spec.PowerMaps)
+		if err != nil {
+			return err
+		}
+		res, err := spec.Solve(solver.Options{Tol: 1e-8, MaxIter: 80000, Precond: solver.Multigrid, Workers: 1})
+		if err != nil {
+			return err
+		}
+		fullVerifies++
+		if d := math.Abs(est.PeakT - res.MaxT()); d > est.Bound+1e-6*res.MaxT() {
+			return fmt.Errorf("rc peak %g K off full peak %g K by %g, certified bound %g",
+				est.PeakT, res.MaxT(), d, est.Bound)
+		}
+		return nil
+	}
+	res, err := Anneal3D(annealPlan(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RCScored != rcEvals || rcEvals < opts.Iterations {
+		t.Errorf("RCScored = %d, rc evals = %d, iterations = %d", res.RCScored, rcEvals, opts.Iterations)
+	}
+	if res.FullVerified != 1 || fullVerifies != 1 {
+		t.Errorf("FullVerified = %d, full solves = %d, want 1", res.FullVerified, fullVerifies)
+	}
+	if lastBound < 0 || lastEst <= 0 {
+		t.Errorf("degenerate rc score: est %g bound %g", lastEst, lastBound)
+	}
+	for i, f := range res.Tiers {
+		if err := f.Validate(); err != nil {
+			t.Errorf("tier %d invalid: %v", i, err)
+		}
+	}
+}

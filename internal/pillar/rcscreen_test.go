@@ -1,0 +1,150 @@
+package pillar
+
+// Two-tier placement suite: the reduced-order screen inside the
+// bisection must never change a placement decision — a certified-
+// infeasible verdict only discards candidates the full solve would
+// also reject — and every full solve doubles as a conformance check
+// of the screen's bound. The physical screen's certified bounds on
+// deep stacks are much wider than typical feasibility margins, so the
+// skip and violation branches are driven through the screenFn seam
+// with bounds of chosen tightness.
+
+import (
+	"errors"
+	"testing"
+
+	"thermalscaffold/internal/design"
+	"thermalscaffold/internal/heatsink"
+	"thermalscaffold/internal/stack"
+	"thermalscaffold/internal/telemetry"
+)
+
+func screenRequest() Request {
+	return Request{
+		Design: design.Gemmini(), Tiers: 12,
+		Sink: heatsink.TwoPhase(), TTargetC: 125,
+		BEOL: stack.ScaffoldedBEOL(),
+	}
+}
+
+// TestRCScreenDecisionEquivalent: the headline 12-tier placement with
+// the real screen lands on the same λ trajectory and the same
+// placement as the full-only run, every screened candidate is
+// re-verified by a full solve, and no full solve falls outside the
+// screen's certified bound.
+func TestRCScreenDecisionEquivalent(t *testing.T) {
+	full, err := Place(screenRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := screenRequest()
+	req.RCScreen = true
+	tel := telemetry.New()
+	req.Telemetry = tel
+	screened, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if screened.Feasible != full.Feasible {
+		t.Fatalf("screen changed feasibility: %v vs %v", screened.Feasible, full.Feasible)
+	}
+	// Certified skips only remove candidates the full solve would also
+	// reject, so the bisection walks the same λ sequence either way.
+	if screened.Lambda != full.Lambda {
+		t.Errorf("screen changed the converged λ: %g vs %g", screened.Lambda, full.Lambda)
+	}
+	if d := screened.TMaxC - full.TMaxC; d > 0.01 || d < -0.01 {
+		t.Errorf("screen changed the achieved temperature: %g vs %g", screened.TMaxC, full.TMaxC)
+	}
+	if screened.RCEvals == 0 {
+		t.Error("screen ran no reduced-order evals")
+	}
+	if screened.FullVerifies == 0 || screened.FullVerifies > screened.RCEvals {
+		t.Errorf("full verifies %d inconsistent with %d rc evals", screened.FullVerifies, screened.RCEvals)
+	}
+	if screened.BoundViolations != 0 {
+		t.Errorf("%d certified-bound violations", screened.BoundViolations)
+	}
+	for counter, want := range map[string]int{
+		telemetry.CounterRCEvals:         screened.RCEvals,
+		telemetry.CounterFullVerifies:    screened.FullVerifies,
+		telemetry.CounterBoundViolations: screened.BoundViolations,
+	} {
+		if got := tel.Counter(counter); got != int64(want) {
+			t.Errorf("telemetry %s = %d, placement says %d", counter, got, want)
+		}
+	}
+	// The full-only run reports no screen activity.
+	if full.RCEvals != 0 || full.FullVerifies != 0 || full.BoundViolations != 0 {
+		t.Errorf("full-only run reports screen counters: %+v", full)
+	}
+}
+
+// TestRCScreenSkipsCertifiedInfeasible: a candidate whose estimate
+// minus bound clears the target is discarded without a full solve —
+// and the bisection still converges to a feasible placement.
+func TestRCScreenSkipsCertifiedInfeasible(t *testing.T) {
+	req := screenRequest()
+	req.RCScreen = true
+	tel := telemetry.New()
+	req.Telemetry = tel
+	first := true
+	req.screenFn = func(lambda float64) (float64, float64, error) {
+		if first {
+			first = false
+			// Certified infeasible: even the bound-wide optimistic end
+			// of the estimate misses the target.
+			return req.TTargetC + 1000, 1, nil
+		}
+		// Uninformative but honest: a bound this wide can neither
+		// certify infeasibility nor be violated.
+		return req.TTargetC, 1e18, nil
+	}
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible {
+		t.Fatalf("placement infeasible: %+v", p)
+	}
+	if skips := p.RCEvals - p.FullVerifies; skips != 1 {
+		t.Errorf("%d certified skips, want exactly 1 (rc %d, full %d)", skips, p.RCEvals, p.FullVerifies)
+	}
+	if p.BoundViolations != 0 {
+		t.Errorf("%d bound violations from an uninformative screen", p.BoundViolations)
+	}
+	if got := tel.Counter(telemetry.CounterFullVerifies); got != int64(p.FullVerifies) {
+		t.Errorf("telemetry full_verifies %d, placement says %d", got, p.FullVerifies)
+	}
+}
+
+// TestRCScreenBoundViolationCounted: a screen whose bound is a lie is
+// caught by every verifying full solve.
+func TestRCScreenBoundViolationCounted(t *testing.T) {
+	req := screenRequest()
+	req.RCScreen = true
+	req.screenFn = func(lambda float64) (float64, float64, error) {
+		// Estimate far below any physical answer, zero bound: never
+		// certifies infeasibility, always violates on verification.
+		return req.Sink.AmbientC - 1000, 0, nil
+	}
+	p, err := Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FullVerifies == 0 || p.BoundViolations != p.FullVerifies {
+		t.Errorf("violations %d != full verifies %d: a zero bound must fail every check",
+			p.BoundViolations, p.FullVerifies)
+	}
+}
+
+// TestRCScreenErrorPropagates: a failing screen aborts the placement.
+func TestRCScreenErrorPropagates(t *testing.T) {
+	boom := errors.New("reduce failed")
+	req := screenRequest()
+	req.RCScreen = true
+	req.screenFn = func(lambda float64) (float64, float64, error) { return 0, 0, boom }
+	if _, err := Place(req); !errors.Is(err, boom) {
+		t.Fatalf("screen failure not propagated: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package rom_test
+
+// Fidelity-ladder benchmarks on the solver suite's 12-tier chip stack
+// (mirrored from internal/solver's benchStack — test helpers cannot
+// be imported across packages). BenchmarkROMEval/n=64 is the headline
+// rc-vs-full comparison: its ns/op against
+// BenchmarkSteadyPrecond/precond=multigrid/n=64 in BENCH_solver.json,
+// with the certified bound (bound_K) and the measured speedup
+// (x_vs_full, one full multigrid solve timed in setup) attached as
+// custom metrics. The rc tier must be ≥50× faster at n=64.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"thermalscaffold/internal/mesh"
+	"thermalscaffold/internal/rom"
+	"thermalscaffold/internal/solver"
+)
+
+// romBenchStack mirrors internal/solver benchStack: a 12-tier stack
+// at n×n in-plane resolution, handle wafer below, two-phase-like
+// convective ZMin.
+func romBenchStack(b testing.TB, n int) *solver.Problem {
+	b.Helper()
+	zb := mesh.NewZLayerBuilder()
+	zb.Add("handle", 10e-6, 2)
+	for t := 0; t < 12; t++ {
+		zb.Add("si", 100e-9, 1)
+		zb.Add("beol", 940e-9, 2)
+	}
+	xs := make([]float64, n+1)
+	for i := range xs {
+		xs[i] = 690e-6 * float64(i) / float64(n)
+	}
+	g, err := mesh.New(xs, xs, zb.Bounds())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := solver.NewProblem(g)
+	for k := 0; k < g.NZ(); k++ {
+		kv, kl := 0.4, 5.6
+		switch {
+		case k < 2:
+			kv, kl = 180, 180
+		case (k-2)%3 == 0:
+			kv, kl = 30, 65
+		}
+		for j := 0; j < g.NY(); j++ {
+			for i := 0; i < g.NX(); i++ {
+				c := g.Index(i, j, k)
+				p.SetAniso(c, kl, kv)
+				p.Cv[c] = 1.66e6
+				if k >= 2 && (k-2)%3 == 0 {
+					p.Q[c] = 53e4 / 100e-9
+				}
+			}
+		}
+	}
+	p.Bounds[solver.ZMin] = solver.ConvectiveBC(1e6, 373.15)
+	return p
+}
+
+// BenchmarkROMReduce times the one-off model construction (Ar
+// assembly, Cholesky, path-resistance Dijkstra) that a fidelity-
+// ladder cache amortizes across evals.
+func BenchmarkROMReduce(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		p := romBenchStack(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rom.Reduce(p, rom.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// fullSolveNs caches one full multigrid solve's wall time per grid
+// size, so repeated b.N calibration runs don't re-pay it.
+var fullSolveNs = map[int]float64{}
+
+// BenchmarkROMEval times one certified reduced-order evaluation
+// against a pre-built model — the steady inner-loop cost of the rc
+// tier — and reports the certified peak bound (bound_K) plus the
+// measured speedup over one full multigrid solve of the same problem
+// (x_vs_full).
+func BenchmarkROMEval(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		p := romBenchStack(b, n)
+		m, err := rom.Reduce(p, rom.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := fullSolveNs[n]; !ok {
+			start := time.Now()
+			if _, err := solver.SolveSteady(p, solver.Options{Tol: 1e-7, Precond: solver.Multigrid}); err != nil {
+				b.Fatal(err)
+			}
+			fullSolveNs[n] = float64(time.Since(start).Nanoseconds())
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var bound float64
+			for i := 0; i < b.N; i++ {
+				res, err := m.Eval(p.Q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bound = res.Bound
+			}
+			b.ReportMetric(bound, "bound_K")
+			if b.Elapsed() > 0 {
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				b.ReportMetric(fullSolveNs[n]/perOp, "x_vs_full")
+			}
+		})
+	}
+}

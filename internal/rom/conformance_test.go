@@ -1,0 +1,121 @@
+package rom_test
+
+// Cross-fidelity conformance harness (run under -race in `make
+// equivalence`): over hundreds of randomized problems — the same
+// input classes the solver's energy-balance suite samples — the rc
+// tier's certified bound must be a hard contract against the full
+// FVM answer, per cell, per block, and at the peak. The full solve is
+// itself iterative, so each comparison budgets both certificates:
+//
+//	|T_rc(c) − T_full(c)| ≤ bound_rc(c) + bound_full(c)
+//
+// where bound_full comes from certifying the full solver's field with
+// the same resistance certificate (valid for ANY candidate field).
+// Zero violations are tolerated. A companion check asserts that
+// richer mode sets shrink the bound: the finest ladder rung's bound
+// must not exceed any coarser rung's.
+
+import (
+	"testing"
+
+	"thermalscaffold/internal/rom"
+)
+
+// conformanceProblems is the randomized-problem count of the contract
+// test; the ladder test adds more on top. The issue floor is 200.
+const conformanceProblems = 200
+
+func TestROMConformanceContract(t *testing.T) {
+	rng := &eqRNG{s: 0xC04F}
+	cells := 0
+	for i := 0; i < conformanceProblems; i++ {
+		nx, ny, nz := 4+rng.intn(9), 4+rng.intn(9), 3+rng.intn(6)
+		p := randomProblem(t, rng, nx, ny, nz)
+		opt := rom.Options{
+			BlocksX: 1 + rng.intn(nx),
+			BlocksY: 1 + rng.intn(ny),
+			ZBands:  1 + rng.intn(nz),
+		}
+		m, err := rom.Reduce(p, opt)
+		if err != nil {
+			t.Fatalf("problem %d (%dx%dx%d, %+v): reduce: %v", i, nx, ny, nz, opt, err)
+		}
+		res, err := m.Eval(p.Q)
+		if err != nil {
+			t.Fatalf("problem %d: eval: %v", i, err)
+		}
+		full := fullSolve(t, p)
+		cert, err := m.Certify(p.Q, full.T)
+		if err != nil {
+			t.Fatalf("problem %d: certify: %v", i, err)
+		}
+
+		fullPeak := full.T[0]
+		for c := range full.T {
+			tf := full.T[c]
+			if tf > fullPeak {
+				fullPeak = tf
+			}
+			if d := abs(res.T()[c] - tf); d > res.CellBound(c)+cert.Bound(c) {
+				t.Fatalf("problem %d (%dx%dx%d, %+v) cell %d: |T_rc−T_full| = %g exceeds budget %g+%g",
+					i, nx, ny, nz, opt, c, d, res.CellBound(c), cert.Bound(c))
+			}
+			g := m.BlockOf(c)
+			if d := abs(res.BlockT[g] - tf); d > res.BlockBound[g]+cert.Bound(c) {
+				t.Fatalf("problem %d cell %d (block %d): |T_block−T_full| = %g exceeds budget %g+%g",
+					i, c, g, d, res.BlockBound[g], cert.Bound(c))
+			}
+			cells++
+		}
+		if d := abs(res.PeakT - fullPeak); d > res.Bound+cert.PeakBound() {
+			t.Fatalf("problem %d: |peak_rc−peak_full| = %g exceeds budget %g+%g",
+				i, d, res.Bound, cert.PeakBound())
+		}
+	}
+	t.Logf("%d problems, %d cell comparisons, zero violations", conformanceProblems, cells)
+}
+
+// TestROMConformanceMonotonicity: on a nested doubling ladder
+// (BlocksX/Y and ZBands 2 → 4 → 8, coarse blocks exact unions of fine
+// ones) the finest model's certified bound must not exceed any
+// coarser rung's. Intermediate rungs are NOT pairwise monotone — the
+// certificate tracks the residual, not the A-norm error the Galerkin
+// hierarchy actually contracts — so only finest-vs-coarser is a
+// contract.
+func TestROMConformanceMonotonicity(t *testing.T) {
+	rng := &eqRNG{s: 0x10D1}
+	const ladders = 60
+	for i := 0; i < ladders; i++ {
+		nx, ny, nz := 8+rng.intn(5), 8+rng.intn(5), 4+rng.intn(5)
+		p := randomProblem(t, rng, nx, ny, nz)
+		var bounds [3]float64
+		var modes [3]int
+		for li, b := range []int{2, 4, 8} {
+			m, err := rom.Reduce(p, rom.Options{BlocksX: b, BlocksY: b, ZBands: b})
+			if err != nil {
+				t.Fatalf("ladder %d rung %d: %v", i, b, err)
+			}
+			res, err := m.Eval(p.Q)
+			if err != nil {
+				t.Fatalf("ladder %d rung %d: %v", i, b, err)
+			}
+			bounds[li], modes[li] = res.Bound, m.NumModes()
+		}
+		if !(modes[0] < modes[1] && modes[1] < modes[2]) {
+			t.Fatalf("ladder %d (%dx%dx%d): mode counts %v not increasing", i, nx, ny, nz, modes)
+		}
+		for coarse := 0; coarse < 2; coarse++ {
+			if bounds[2] > bounds[coarse]*(1+1e-9) {
+				t.Errorf("ladder %d (%dx%dx%d): finest bound %g exceeds rung-%d bound %g",
+					i, nx, ny, nz, bounds[2], coarse, bounds[coarse])
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

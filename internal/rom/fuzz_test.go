@@ -1,0 +1,106 @@
+package rom_test
+
+// FuzzROMReduce drives randomized problems — including hostile block
+// layouts, z-band maps, and power scalings — through reduce → eval →
+// certify. Invalid inputs may error, but may never panic; successful
+// evals must return finite temperatures, non-negative finite bounds,
+// and be deterministic on re-evaluation. Run in `make fuzz-short`;
+// the committed corpus under testdata/fuzz replays in plain test runs.
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/rom"
+)
+
+func FuzzROMReduce(f *testing.F) {
+	f.Add(uint64(0xB0B), 6, 5, 4, 2, 2, 2, false, 1.0)
+	f.Add(uint64(0xC04F), 8, 8, 6, 8, 8, 3, false, 1.0)
+	f.Add(uint64(1), 1, 1, 1, 1, 1, 1, false, 0.0)
+	f.Add(uint64(42), 5, 4, 6, 3, 1, 4, true, -2.5)
+	f.Add(uint64(0xD1AC), 7, 3, 5, 6, 6, 6, true, 1e12)
+	f.Add(uint64(99), 4, 4, 3, 2, 3, 1, false, 1e-9)
+
+	f.Fuzz(func(t *testing.T, seed uint64, nx, ny, nz, bx, by, zb int, useBands bool, qScale float64) {
+		// Bound the work: dims up to 8, block counts up to 6 keep the
+		// dense reduced solve in the microsecond range.
+		clamp := func(v, lim int) int {
+			if v < 0 {
+				v = -v
+			}
+			return 1 + v%lim
+		}
+		nx, ny, nz = clamp(nx, 8), clamp(ny, 8), clamp(nz, 8)
+		if math.IsNaN(qScale) || math.IsInf(qScale, 0) || math.Abs(qScale) > 1e30 {
+			t.Skip()
+		}
+		rng := &eqRNG{s: seed}
+		p := randomProblem(t, rng, nx, ny, nz)
+		for c := range p.Q {
+			p.Q[c] *= qScale
+		}
+		opt := rom.Options{BlocksX: clamp(bx, 6), BlocksY: clamp(by, 6), ZBands: clamp(zb, 6)}
+		if useBands {
+			// Raw, unclamped band ids — gapped, duplicated, and
+			// occasionally negative (which must error, not panic).
+			bands := make([]int, nz)
+			for k := range bands {
+				bands[k] = rng.intn(nz+3) - 1
+			}
+			opt.ZBandOf = bands
+		}
+		m, err := rom.Reduce(p, opt)
+		if err != nil {
+			t.Skip() // rejected input; the error path is the test
+		}
+		res, err := m.Eval(p.Q)
+		if err != nil {
+			t.Skip()
+		}
+		finite := func(name string, v float64) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s = %g not finite (seed %#x, %dx%dx%d, %+v)", name, v, seed, nx, ny, nz, opt)
+			}
+		}
+		finite("PeakT", res.PeakT)
+		finite("MeanT", res.MeanT)
+		finite("Bound", res.Bound)
+		finite("RelResidual", res.RelResidual)
+		if res.Bound < 0 || res.RelResidual < 0 {
+			t.Fatalf("negative certificate: bound %g, residual %g", res.Bound, res.RelResidual)
+		}
+		if len(res.BlockT) != m.NumModes() || len(res.BlockBound) != m.NumModes() {
+			t.Fatalf("%d block values / %d block bounds for %d modes",
+				len(res.BlockT), len(res.BlockBound), m.NumModes())
+		}
+		for c := range res.T() {
+			finite("T", res.T()[c])
+			if b := res.CellBound(c); b < 0 || math.IsNaN(b) {
+				t.Fatalf("cell %d bound %g", c, b)
+			}
+			if g := m.BlockOf(c); g < 0 || g >= m.NumModes() {
+				t.Fatalf("cell %d assigned to block %d of %d", c, g, m.NumModes())
+			}
+		}
+		for g, b := range res.BlockBound {
+			if b < 0 || math.IsNaN(b) {
+				t.Fatalf("block %d bound %g", g, b)
+			}
+		}
+		// Determinism: the same model re-evaluated answers bitwise the
+		// same, and certifying the rc field itself is error-free.
+		res2, err := m.Eval(p.Q)
+		if err != nil {
+			t.Fatalf("re-eval of accepted input failed: %v", err)
+		}
+		if !bitIdentical(res.T(), res2.T()) || res.Bound != res2.Bound {
+			t.Fatal("re-evaluation not bitwise deterministic")
+		}
+		cert, err := m.Certify(p.Q, res.T())
+		if err != nil {
+			t.Fatalf("certify of rc field failed: %v", err)
+		}
+		finite("cert.PeakBound", cert.PeakBound())
+	})
+}

@@ -1,0 +1,92 @@
+package rom_test
+
+// Randomized problem generator mirroring the solver equivalence
+// suite's (test helpers cannot be imported across packages): a
+// splitmix64 rng, non-uniform grids, random anisotropic conductivity,
+// random BC mixes with guaranteed anchoring, and optional z-interface
+// TBR. Keeping the construction identical means the conformance suite
+// samples the same input classes the energy-balance tests do.
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/mesh"
+	"thermalscaffold/internal/solver"
+)
+
+type eqRNG struct{ s uint64 }
+
+func (r *eqRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *eqRNG) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func (r *eqRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func randomGrid(tb testing.TB, rng *eqRNG, nx, ny, nz int) *mesh.Grid {
+	tb.Helper()
+	axis := func(n int, pitch float64) []float64 {
+		xs := make([]float64, n+1)
+		for i := 1; i <= n; i++ {
+			xs[i] = xs[i-1] + pitch*(0.5+rng.float())
+		}
+		return xs
+	}
+	g, err := mesh.New(axis(nx, 1e-4), axis(ny, 1e-4), axis(nz, 2e-5))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func randomProblem(tb testing.TB, rng *eqRNG, nx, ny, nz int) *solver.Problem {
+	tb.Helper()
+	g := randomGrid(tb, rng, nx, ny, nz)
+	p := solver.NewProblem(g)
+	for c := range p.KX {
+		p.KX[c] = 0.5 * math.Pow(10, 2*rng.float())
+		p.KY[c] = 0.5 * math.Pow(10, 2*rng.float())
+		p.KZ[c] = 0.5 * math.Pow(10, 2*rng.float())
+		p.Q[c] = rng.float() * 2e9
+		p.Cv[c] = 1e6 * (0.5 + rng.float())
+	}
+	for f := solver.Face(0); f < 6; f++ {
+		switch rng.intn(3) {
+		case 0:
+			p.Bounds[f] = solver.AdiabaticBC()
+		case 1:
+			p.Bounds[f] = solver.DirichletBC(280 + 100*rng.float())
+		case 2:
+			p.Bounds[f] = solver.ConvectiveBC(math.Pow(10, 4+2*rng.float()), 280+100*rng.float())
+		}
+	}
+	if p.Bounds[solver.ZMin].Kind == solver.Adiabatic && p.Bounds[solver.ZMax].Kind == solver.Adiabatic {
+		p.Bounds[solver.ZMin] = solver.DirichletBC(300 + 50*rng.float())
+	}
+	if rng.intn(2) == 0 {
+		tbr := make([]float64, nz-1)
+		for k := range tbr {
+			tbr[k] = rng.float() * 1e-7
+		}
+		p.ZPlaneTBR = tbr
+	}
+	return p
+}
+
+func bitIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if math.Float64bits(a[c]) != math.Float64bits(b[c]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package rom
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// pathResistance computes √R_c for every cell, where R_c is the
+// cheapest single-path thermal resistance from cell c to the anchored
+// boundary: a multi-source Dijkstra over the face-conductance graph
+// with edge weight 1/g_face, seeded with 1/bdiag at every cell that
+// touches a Dirichlet or convective boundary. By Rayleigh
+// monotonicity R_c upper-bounds the effective resistance (A⁻¹)cc,
+// which is what the certified error bound needs.
+func pathResistance(n, nx, ny, nz int, gxp, gyp, gzp, bdiag []float64) ([]float64, error) {
+	dist := make([]float64, n)
+	for c := range dist {
+		dist[c] = math.Inf(1)
+	}
+	h := &resHeap{}
+	for c := 0; c < n; c++ {
+		if bdiag[c] > 0 {
+			dist[c] = 1 / bdiag[c]
+			h.items = append(h.items, resItem{d: dist[c], c: int32(c)})
+		}
+	}
+	heap.Init(h)
+	sy, sz := nx, nx*ny
+	relax := func(from int, d, g float64, to int) {
+		if g == 0 {
+			return
+		}
+		nd := d + 1/g
+		if nd < dist[to] {
+			dist[to] = nd
+			heap.Push(h, resItem{d: nd, c: int32(to)})
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(resItem)
+		c := int(it.c)
+		if it.d > dist[c] {
+			continue // stale entry
+		}
+		d := it.d
+		relax(c, d, gxp[c], c+1)
+		if c >= 1 {
+			relax(c, d, gxp[c-1], c-1)
+		}
+		relax(c, d, gyp[c], c+sy)
+		if c >= sy {
+			relax(c, d, gyp[c-sy], c-sy)
+		}
+		relax(c, d, gzp[c], c+sz)
+		if c >= sz {
+			relax(c, d, gzp[c-sz], c-sz)
+		}
+	}
+	out := make([]float64, n)
+	for c, r := range dist {
+		if math.IsInf(r, 1) {
+			// Validate guarantees an anchored face and positive face
+			// conductances keep the grid connected, so this is defensive.
+			return nil, errors.New("rom: cell unreachable from any anchored boundary")
+		}
+		out[c] = math.Sqrt(r)
+	}
+	return out, nil
+}
+
+type resItem struct {
+	d float64
+	c int32
+}
+
+// resHeap is a binary min-heap on (distance, cell); the cell index
+// tie-break keeps pop order — and therefore the floating-point relax
+// order — fully deterministic.
+type resHeap struct{ items []resItem }
+
+func (h *resHeap) Len() int { return len(h.items) }
+func (h *resHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.c < b.c
+}
+func (h *resHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *resHeap) Push(x any)    { h.items = append(h.items, x.(resItem)) }
+func (h *resHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

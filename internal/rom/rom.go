@@ -1,0 +1,663 @@
+// Package rom builds certified reduced-order thermal models from the
+// assembled finite-volume operator — the "RC tier" of the fidelity
+// ladder. A Model is a Galerkin projection of A·T = b onto block
+// aggregation modes (uniform x/y blocks × z bands, or per-tier bands
+// supplied by the caller): with P the block indicator basis, the
+// reduced system Ar·y = Pᵀb with Ar = PᵀAP is exactly the aggregated
+// RC network of the stack — cross-block face conductances survive,
+// intra-block ones cancel — so Ar assembles in one O(n) pass over the
+// faces and solves by dense Cholesky in microseconds.
+//
+// Every evaluation carries a certified error bound. For the grounded
+// Laplacian A, (A⁻¹)cc is the effective resistance from cell c to the
+// thermal ground (the anchored boundaries), which by Rayleigh
+// monotonicity is at most the resistance of any single path — Reduce
+// computes the cheapest path resistance R_c with a multi-source
+// Dijkstra over the face-conductance graph. Since A⁻¹ is SPD,
+// |(A⁻¹)cd| ≤ √((A⁻¹)cc·(A⁻¹)dd) ≤ √R_c·√R_d, so the error
+// e = A⁻¹·r of any candidate field with residual r = b − A·x obeys
+//
+//	|e_c| ≤ √R_c · Σ_d √R_d·|r_d|  =  √R_c · S.
+//
+// The bound holds for any x whatsoever — it certifies the ROM answer
+// without trusting the reduction, and Certify applies the same
+// machinery to a full solve so cross-fidelity comparisons can account
+// for the full solver's own tolerance.
+package rom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"thermalscaffold/internal/solver"
+)
+
+// DefaultBlocks is the per-axis aggregation resolution used when an
+// Options field is zero.
+const DefaultBlocks = 8
+
+// Options configures the aggregation basis.
+type Options struct {
+	// BlocksX, BlocksY, ZBands set the uniform block counts per axis
+	// (clamped to the grid dimensions; zero means DefaultBlocks).
+	BlocksX, BlocksY, ZBands int
+	// ZBandOf, when non-nil, assigns each z layer an explicit band
+	// index in [0, ZBands) — the per-tier aggregation used by the
+	// stack scorer. Must have one entry per grid layer.
+	ZBandOf []int
+}
+
+func (o Options) normalized(nx, ny, nz int) (Options, error) {
+	def := func(v, lim int) int {
+		if v <= 0 {
+			v = DefaultBlocks
+		}
+		if v > lim {
+			v = lim
+		}
+		return v
+	}
+	o.BlocksX = def(o.BlocksX, nx)
+	o.BlocksY = def(o.BlocksY, ny)
+	if o.ZBandOf != nil {
+		if len(o.ZBandOf) != nz {
+			return o, fmt.Errorf("rom: ZBandOf has %d entries, want %d", len(o.ZBandOf), nz)
+		}
+		bands := 0
+		for k, b := range o.ZBandOf {
+			if b < 0 {
+				return o, fmt.Errorf("rom: ZBandOf[%d] = %d is negative", k, b)
+			}
+			if b+1 > bands {
+				bands = b + 1
+			}
+		}
+		o.ZBands = bands
+	} else {
+		o.ZBands = def(o.ZBands, nz)
+	}
+	return o, nil
+}
+
+// Model is a reduced RC model of one assembled problem. It is
+// immutable after Reduce and safe for concurrent Eval/Certify calls.
+type Model struct {
+	asm   *solver.Assembled
+	n     int     // full-order cells
+	nm    int     // reduced modes (non-empty blocks)
+	group []int32 // cell → mode index
+	chol  []float64
+	// cholT mirrors chol transposed (row i holds column i of L), so
+	// back-substitution walks memory with unit stride.
+	cholT []float64
+	// brBound is Pᵀ·bBound, the reduced boundary rhs; bBound is the
+	// full-order boundary rhs view used to form b without re-deriving
+	// cell metrics.
+	brBound []float64
+	bBound  []float64
+	// sqrtR[c] = √R_c, the certified bound weight of cell c.
+	sqrtR    []float64
+	maxSqrtR float64
+	// blockMaxSqrtR[g] = max over cells of block g — the per-block
+	// bound weight.
+	blockMaxSqrtR []float64
+	vols          []float64
+	totalVol      float64
+	// blockVol[g] = Σ vols over block g, so MeanT needs only a
+	// per-block pass.
+	blockVol []float64
+	opts     Options
+	// For a blockwise-constant x = P·y, intra-block face terms of A·x
+	// are exactly zero, so (A·x)_c = diagC[c]·y[group[c]] −
+	// Σ_i csrG[i]·y[csrGd[i]] with diagC = bdiag + incident cross-face
+	// conductances and csrPtr/csrG/csrGd the per-cell CSR of cross-
+	// block faces. Eval's defect runs on this instead of the full
+	// 7-point apply (Certify keeps the apply: its field is arbitrary).
+	diagC  []float64
+	csrPtr []int32
+	csrG   []float64
+	csrGd  []int32
+	// scratch pools the n-length work vectors (rhs, and a residual for
+	// Certify) so steady inner-loop calls don't churn the allocator.
+	scratch sync.Pool
+}
+
+// evalScratch is one pooled pair of full-order work vectors.
+type evalScratch struct{ b, r []float64 }
+
+func (m *Model) getScratch() *evalScratch {
+	if v := m.scratch.Get(); v != nil {
+		return v.(*evalScratch)
+	}
+	return &evalScratch{b: make([]float64, m.n), r: make([]float64, m.n)}
+}
+
+// evalChunks is the fixed decomposition of Eval's full-order passes.
+// Partial sums combine in chunk order, so results are bitwise
+// identical whether chunks run serially (small grids) or on
+// goroutines — the decomposition never depends on GOMAXPROCS.
+const evalChunks = 8
+
+// chunkBounds returns the half-open cell range of chunk i.
+func (m *Model) chunkBounds(i int) (lo, hi int) {
+	sz := (m.n + evalChunks - 1) / evalChunks
+	lo = i * sz
+	hi = lo + sz
+	if lo > m.n {
+		lo = m.n
+	}
+	if hi > m.n {
+		hi = m.n
+	}
+	return lo, hi
+}
+
+// runChunks executes work(0..evalChunks-1), concurrently when
+// parallel is set. Chunks touch disjoint state, so scheduling order
+// cannot affect the result.
+func runChunks(parallel bool, work func(chunk int)) {
+	if !parallel {
+		for i := 0; i < evalChunks; i++ {
+			work(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(evalChunks)
+	for i := 0; i < evalChunks; i++ {
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// parallelEvalFloor is the cell count above which Eval's passes are
+// worth spreading across goroutines.
+const parallelEvalFloor = 1 << 14
+
+// Reduce validates p, assembles its operator, and builds the reduced
+// model: block assignment, one-pass Galerkin assembly of Ar = PᵀAP,
+// dense Cholesky factorization, and the Dijkstra pass for the
+// certified bound weights. Cost is O(n log n) once per problem
+// family; the model depends only on geometry/materials/boundaries,
+// never on the source field, so it can be reused across power maps.
+func Reduce(p *solver.Problem, opt Options) (*Model, error) {
+	asm, err := solver.Assemble(p)
+	if err != nil {
+		return nil, err
+	}
+	return reduce(asm, opt)
+}
+
+func reduce(asm *solver.Assembled, opt Options) (*Model, error) {
+	nx, ny, nz := asm.Dims()
+	opt, err := opt.normalized(nx, ny, nz)
+	if err != nil {
+		return nil, err
+	}
+	n := asm.NumCells()
+	bx, by := opt.BlocksX, opt.BlocksY
+
+	// Block assignment: uniform index blocks in x/y, z bands either
+	// uniform or caller-supplied. Raw block ids are compacted to the
+	// occupied set so explicit bands with gaps cannot produce empty
+	// (singular) modes.
+	raw := make([]int32, n)
+	nraw := bx * by * opt.ZBands
+	occupied := make([]int32, nraw)
+	for i := range occupied {
+		occupied[i] = -1
+	}
+	c := 0
+	for k := 0; k < nz; k++ {
+		band := k * opt.ZBands / nz
+		if opt.ZBandOf != nil {
+			band = opt.ZBandOf[k]
+		}
+		for j := 0; j < ny; j++ {
+			gj := j * by / ny
+			for i := 0; i < nx; i++ {
+				gi := i * bx / nx
+				raw[c] = int32((band*by+gj)*bx + gi)
+				occupied[raw[c]] = 0
+				c++
+			}
+		}
+	}
+	nm := 0
+	for g, occ := range occupied {
+		if occ == 0 {
+			occupied[g] = int32(nm)
+			nm++
+		}
+	}
+	group := raw
+	for c := range group {
+		group[c] = occupied[group[c]]
+	}
+
+	// One-pass Galerkin assembly: Ar = PᵀAP. A face conductance g
+	// between cells in the same block contributes g+g−g−g = 0, so only
+	// cross-block faces and the boundary conductance survive — Ar is
+	// literally the aggregated RC network.
+	gxp, gyp, gzp := asm.FaceConductances()
+	bdiag := asm.BoundaryConductance()
+	ar := make([]float64, nm*nm)
+	sy, sz := nx, nx*ny
+	var faceA, faceB []int32
+	var faceG []float64
+	cross := func(a, b int, g float64) {
+		faceA = append(faceA, int32(a))
+		faceB = append(faceB, int32(b))
+		faceG = append(faceG, g)
+	}
+	for c := 0; c < n; c++ {
+		gc := int(group[c])
+		if g := gxp[c]; g != 0 {
+			if gd := int(group[c+1]); gd != gc {
+				ar[gc*nm+gc] += g
+				ar[gd*nm+gd] += g
+				ar[gc*nm+gd] -= g
+				ar[gd*nm+gc] -= g
+				cross(c, c+1, g)
+			}
+		}
+		if g := gyp[c]; g != 0 {
+			if gd := int(group[c+sy]); gd != gc {
+				ar[gc*nm+gc] += g
+				ar[gd*nm+gd] += g
+				ar[gc*nm+gd] -= g
+				ar[gd*nm+gc] -= g
+				cross(c, c+sy, g)
+			}
+		}
+		if g := gzp[c]; g != 0 {
+			if gd := int(group[c+sz]); gd != gc {
+				ar[gc*nm+gc] += g
+				ar[gd*nm+gd] += g
+				ar[gc*nm+gd] -= g
+				ar[gd*nm+gc] -= g
+				cross(c, c+sz, g)
+			}
+		}
+		ar[gc*nm+gc] += bdiag[c]
+	}
+	if err := choleskyInPlace(ar, nm); err != nil {
+		return nil, err
+	}
+	cholT := make([]float64, nm*nm)
+	for i := 0; i < nm; i++ {
+		for j := 0; j <= i; j++ {
+			cholT[j*nm+i] = ar[i*nm+j]
+		}
+	}
+
+	// Per-cell CSR of the cross-block faces (both endpoints of each
+	// face, neighbor stored as its mode index) plus the effective
+	// diagonal diagC = bdiag + incident cross conductances — Eval's
+	// fast defect walks this instead of the 7-point stencil.
+	diagC := append([]float64(nil), bdiag...)
+	csrPtr := make([]int32, n+1)
+	for f := range faceG {
+		diagC[faceA[f]] += faceG[f]
+		diagC[faceB[f]] += faceG[f]
+		csrPtr[faceA[f]+1]++
+		csrPtr[faceB[f]+1]++
+	}
+	for c := 0; c < n; c++ {
+		csrPtr[c+1] += csrPtr[c]
+	}
+	csrG := make([]float64, 2*len(faceG))
+	csrGd := make([]int32, 2*len(faceG))
+	cur := append([]int32(nil), csrPtr[:n]...)
+	for f := range faceG {
+		a, b, g := faceA[f], faceB[f], faceG[f]
+		csrG[cur[a]], csrGd[cur[a]] = g, group[b]
+		cur[a]++
+		csrG[cur[b]], csrGd[cur[b]] = g, group[a]
+		cur[b]++
+	}
+
+	// Certified bound weights: R_c = cheapest path resistance from
+	// cell c to the anchored boundary, via multi-source Dijkstra with
+	// edge weight 1/g_face and source weight 1/bdiag.
+	sqrtR, err := pathResistance(n, nx, ny, nz, gxp, gyp, gzp, bdiag)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		asm:           asm,
+		n:             n,
+		nm:            nm,
+		group:         group,
+		chol:          ar,
+		cholT:         cholT,
+		brBound:       make([]float64, nm),
+		sqrtR:         sqrtR,
+		blockMaxSqrtR: make([]float64, nm),
+		vols:          asm.CellVolumes(),
+		blockVol:      make([]float64, nm),
+		opts:          opt,
+		diagC:         diagC,
+		csrPtr:        csrPtr,
+		csrG:          csrG,
+		csrGd:         csrGd,
+	}
+	bBound := asm.BoundaryRHS()
+	m.bBound = bBound
+	for c := 0; c < n; c++ {
+		g := group[c]
+		m.brBound[g] += bBound[c]
+		if sqrtR[c] > m.blockMaxSqrtR[g] {
+			m.blockMaxSqrtR[g] = sqrtR[c]
+		}
+		if sqrtR[c] > m.maxSqrtR {
+			m.maxSqrtR = sqrtR[c]
+		}
+		m.blockVol[g] += m.vols[c]
+		m.totalVol += m.vols[c]
+	}
+	return m, nil
+}
+
+// NumModes returns the reduced dimension (occupied block count).
+func (m *Model) NumModes() int { return m.nm }
+
+// NumCells returns the full-order cell count.
+func (m *Model) NumCells() int { return m.n }
+
+// BlockOf returns the mode index of cell c.
+func (m *Model) BlockOf(c int) int { return int(m.group[c]) }
+
+// Result is one certified reduced-order evaluation.
+type Result struct {
+	// PeakT and MeanT summarize the field (mean is volume-weighted,
+	// matching the full pipeline's field statistics).
+	PeakT, MeanT float64
+	// Bound certifies |peak(T_full) − PeakT| ≤ Bound and, per cell,
+	// |T_full(c) − T(c)| ≤ CellBound(c) ≤ Bound.
+	Bound float64
+	// BlockT[g] is the block temperature estimate; BlockBound[g]
+	// certifies the block's cells: |T_full(c) − BlockT[g]| ≤
+	// BlockBound[g] for every cell c of block g.
+	BlockT, BlockBound []float64
+	// RelResidual is ‖b − A·T‖₂/‖b‖₂ — the raw defect behind the
+	// bound, useful for telemetry.
+	RelResidual float64
+
+	s     float64   // Σ √R·|r|
+	sqrtR []float64 // view of the model's weights
+	group []int32   // view of the model's cell → mode map
+	t     []float64 // lazily materialized full field
+	once  sync.Once
+}
+
+// CellBound returns the certified per-cell error bound of cell c.
+func (r *Result) CellBound(c int) float64 { return r.sqrtR[c] * r.s }
+
+// T returns the reconstructed full-grid field (piecewise constant per
+// block), in the solver's temperature units. It is materialized on
+// first call — inner-loop callers that only need PeakT, BlockT, or
+// the bounds never pay for the full-order expansion.
+func (r *Result) T() []float64 {
+	r.once.Do(func() {
+		x := make([]float64, len(r.group))
+		for c, g := range r.group {
+			x[c] = r.BlockT[g]
+		}
+		r.t = x
+	})
+	return r.t
+}
+
+// Eval solves the reduced model for the volumetric source field q
+// (W/m³) and certifies the answer against the full operator. All
+// accumulation follows a fixed decomposition that never depends on
+// GOMAXPROCS, so results are bitwise reproducible regardless of
+// machine or worker configuration, and Eval is safe for concurrent
+// use.
+func (m *Model) Eval(q []float64) (*Result, error) {
+	if len(q) != m.n {
+		return nil, fmt.Errorf("rom: source field has %d entries, want %d", len(q), m.n)
+	}
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	parallel := m.n >= parallelEvalFloor
+	// Form b = bBound + q·dV (the same per-cell arithmetic as the full
+	// assembly's RHS) and the reduced rhs Pᵀb in one chunked pass,
+	// partials combined in chunk order. Every stream is resliced to
+	// the chunk's end so the loop indexes without bounds checks.
+	// Non-finite sources poison the reduced solve and are diagnosed on
+	// that error path, keeping per-cell validation off the hot loop.
+	b := sc.b
+	group := m.group
+	brParts := make([]float64, evalChunks*m.nm)
+	var bnParts [evalChunks]float64
+	runChunks(parallel, func(ch int) {
+		lo, hi := m.chunkBounds(ch)
+		if lo >= hi {
+			return
+		}
+		brL := brParts[ch*m.nm : (ch+1)*m.nm]
+		bBound, vols, qs, bs, grp := m.bBound[:hi], m.vols[:hi], q[:hi], b[:hi], group[:hi]
+		var bnL float64
+		for c := lo; c < hi; c++ {
+			v := bBound[c] + qs[c]*vols[c]
+			bs[c] = v
+			bnL += v * v
+			brL[grp[c]] += v
+		}
+		bnParts[ch] = bnL
+	})
+	br := brParts[:m.nm]
+	var bn float64
+	for ch := 0; ch < evalChunks; ch++ {
+		bn += bnParts[ch]
+		if ch > 0 {
+			part := brParts[ch*m.nm : (ch+1)*m.nm]
+			for g, v := range part {
+				br[g] += v
+			}
+		}
+	}
+	y := make([]float64, m.nm)
+	cholSolve(m.chol, m.cholT, m.nm, br, y)
+	for g, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			for c, qv := range q {
+				if math.IsNaN(qv) || math.IsInf(qv, 0) {
+					return nil, fmt.Errorf("rom: source field has invalid value at cell %d: %g", c, qv)
+				}
+			}
+			return nil, fmt.Errorf("rom: reduced solve produced non-finite temperature in block %d", g)
+		}
+	}
+	// Certify x = P·y in one fixed-order pass without materializing
+	// it. Because x is blockwise constant, intra-block face terms of
+	// A·x are exactly zero, so the residual at cell c is
+	// b[c] − diagC[c]·y[group[c]] plus the cross-block exchanges from
+	// the CSR — no 7-point apply, no residual vector, and the full
+	// field itself stays lazy (Result.T expands it on demand).
+	var sParts, rnParts [evalChunks]float64
+	runChunks(parallel, func(ch int) {
+		lo, hi := m.chunkBounds(ch)
+		if lo >= hi {
+			return
+		}
+		diagC, sqrtR, grp, bs := m.diagC[:hi], m.sqrtR[:hi], group[:hi], b[:hi]
+		csrPtr := m.csrPtr[:hi+1]
+		csrG, csrGd := m.csrG, m.csrGd
+		var sL, rnL float64
+		ptr := csrPtr[lo]
+		for c := lo; c < hi; c++ {
+			ax := diagC[c] * y[grp[c]]
+			end := csrPtr[c+1]
+			for f := ptr; f < end; f++ {
+				ax -= csrG[f] * y[csrGd[f]]
+			}
+			ptr = end
+			d := bs[c] - ax
+			sL += sqrtR[c] * math.Abs(d)
+			rnL += d * d
+		}
+		sParts[ch], rnParts[ch] = sL, rnL
+	})
+	var s, rn float64
+	for ch := 0; ch < evalChunks; ch++ {
+		s += sParts[ch]
+		rn += rnParts[ch]
+	}
+	if math.IsInf(s, 0) || math.IsNaN(s) {
+		return nil, errors.New("rom: certified bound overflowed to non-finite")
+	}
+	rel := 0.0
+	if bn > 0 {
+		rel = math.Sqrt(rn) / math.Sqrt(bn)
+	}
+	// Field statistics reduce to per-block sums: every mode is
+	// occupied, so peak(x) = max_g y[g], and the volume-weighted mean
+	// uses the per-block volumes accumulated at Reduce time.
+	peak, mean := y[0], 0.0
+	for g := 0; g < m.nm; g++ {
+		if y[g] > peak {
+			peak = y[g]
+		}
+		mean += y[g] * m.blockVol[g]
+	}
+	res := &Result{
+		PeakT:       peak,
+		MeanT:       mean / m.totalVol,
+		Bound:       m.maxSqrtR * s,
+		BlockT:      y,
+		BlockBound:  make([]float64, m.nm),
+		RelResidual: rel,
+		s:           s,
+		sqrtR:       m.sqrtR,
+		group:       m.group,
+	}
+	for g := 0; g < m.nm; g++ {
+		res.BlockBound[g] = m.blockMaxSqrtR[g] * s
+	}
+	return res, nil
+}
+
+// Certificate bounds the error of an arbitrary candidate field — the
+// same machinery Eval uses, applied to e.g. a full iterative solve so
+// conformance checks can budget for its tolerance too.
+type Certificate struct {
+	m *Model
+	// S is Σ_d √R_d·|r_d| for the certified field's residual.
+	S float64
+	// RelResidual is ‖r‖₂/‖b‖₂.
+	RelResidual float64
+}
+
+// Certify computes the certified error bound of candidate field T for
+// source field q: |T_exact(c) − T(c)| ≤ Bound(c) for every cell.
+func (m *Model) Certify(q, T []float64) (*Certificate, error) {
+	if len(q) != m.n || len(T) != m.n {
+		return nil, fmt.Errorf("rom: certify got %d sources and %d temperatures, want %d", len(q), len(T), m.n)
+	}
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	b, err := m.asm.RHS(q, sc.b)
+	if err != nil {
+		return nil, err
+	}
+	s, rel := m.defect(b, T, sc.r)
+	if math.IsInf(s, 0) || math.IsNaN(s) {
+		return nil, errors.New("rom: certified bound overflowed to non-finite")
+	}
+	return &Certificate{m: m, S: s, RelResidual: rel}, nil
+}
+
+// Bound returns the certified error bound at cell c.
+func (ct *Certificate) Bound(c int) float64 { return ct.m.sqrtR[c] * ct.S }
+
+// PeakBound returns the certified bound on the domain peak error.
+func (ct *Certificate) PeakBound() float64 { return ct.m.maxSqrtR * ct.S }
+
+// BlockBound returns the certified bound over the cells of block g.
+func (ct *Certificate) BlockBound(g int) float64 { return ct.m.blockMaxSqrtR[g] * ct.S }
+
+// defect computes the residual r = b − A·x via the general 7-point
+// apply (x is arbitrary here) and returns the bound sum S = Σ √R·|r|
+// plus the relative two-norm residual. r is caller-provided scratch.
+func (m *Model) defect(b, x, r []float64) (s, rel float64) {
+	m.asm.Apply(x, r)
+	var rn, bn float64
+	for c := 0; c < m.n; c++ {
+		d := b[c] - r[c]
+		s += m.sqrtR[c] * math.Abs(d)
+		rn += d * d
+		bn += b[c] * b[c]
+	}
+	if bn > 0 {
+		rel = math.Sqrt(rn) / math.Sqrt(bn)
+	}
+	return s, rel
+}
+
+// choleskyInPlace factors the dense SPD matrix a (n×n row-major) into
+// its lower-triangular Cholesky factor, in place.
+func choleskyInPlace(a []float64, n int) error {
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*n+k] * a[j*n+k]
+		}
+		if !(d > 0) {
+			return fmt.Errorf("rom: reduced operator not SPD at mode %d (pivot %g)", j, d)
+		}
+		d = math.Sqrt(d)
+		a[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*n+k] * a[j*n+k]
+			}
+			a[i*n+j] = s / d
+		}
+	}
+	return nil
+}
+
+// cholSolve solves L·Lᵀ·y = b given the factored matrix l and its
+// transpose lt; both substitutions then walk rows with unit stride.
+// The summation order matches a column-scan of l exactly, so results
+// are bitwise identical to the untransposed formulation.
+func cholSolve(l, lt []float64, n int, b, y []float64) {
+	// Forward: L·z = b.
+	for i := 0; i < n; i++ {
+		y[i] = (b[i] - dot4(l[i*n:i*n+i], y)) / l[i*n+i]
+	}
+	// Back: Lᵀ·y = z, reading row i of Lᵀ.
+	for i := n - 1; i >= 0; i-- {
+		row := lt[i*n+i+1 : i*n+n]
+		y[i] = (y[i] - dot4(row, y[i+1:i+1+len(row)])) / lt[i*n+i]
+	}
+}
+
+// dot4 computes Σ a[k]·x[k] with four independent accumulators so the
+// additions pipeline instead of serializing on one add-latency chain.
+// The grouping is fixed (stride 4, combined as (s0+s2)+(s1+s3)), so
+// the result is deterministic for a given length.
+func dot4(a, x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		s0 += a[k] * x[k]
+		s1 += a[k+1] * x[k+1]
+		s2 += a[k+2] * x[k+2]
+		s3 += a[k+3] * x[k+3]
+	}
+	for ; k < len(a); k++ {
+		s0 += a[k] * x[k]
+	}
+	return (s0 + s2) + (s1 + s3)
+}

@@ -1,0 +1,229 @@
+package rom_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"thermalscaffold/internal/rom"
+	"thermalscaffold/internal/solver"
+)
+
+// fullSolve runs the reference multigrid solve at tight tolerance.
+func fullSolve(tb testing.TB, p *solver.Problem) *solver.Result {
+	tb.Helper()
+	res, err := solver.SolveSteady(p, solver.Options{
+		Tol: 1e-12, MaxIter: 100000, Precond: solver.Multigrid,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// TestROMExactWhenBlocksMatchGrid: with one block per cell the
+// Galerkin projection is the identity, so the "reduced" solve is a
+// dense direct solve of the full operator — the ROM must reproduce
+// the PCG answer to solver tolerance and certify it with a bound that
+// is tiny relative to the temperature rise.
+func TestROMExactWhenBlocksMatchGrid(t *testing.T) {
+	rng := &eqRNG{s: 0xD1AC}
+	p := randomProblem(t, rng, 6, 5, 4)
+	m, err := rom.Reduce(p, rom.Options{BlocksX: 6, BlocksY: 5, ZBands: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.NumModes(), 6*5*4; got != want {
+		t.Fatalf("modes = %d, want %d", got, want)
+	}
+	res, err := m.Eval(p.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fullSolve(t, p)
+	for c := range full.T {
+		if d := math.Abs(res.T()[c] - full.T[c]); d > 1e-6 {
+			t.Fatalf("cell %d: direct ROM %.9g vs PCG %.9g (Δ %.3g)", c, res.T()[c], full.T[c], d)
+		}
+	}
+	// The direct solve's residual is pure rounding; its certified
+	// bound must be far below the physical temperature scale.
+	if res.Bound > 1e-6*res.PeakT {
+		t.Fatalf("direct-solve bound %.3g not tiny vs peak %.3g", res.Bound, res.PeakT)
+	}
+	if res.RelResidual > 1e-10 {
+		t.Fatalf("direct-solve relative residual %.3g", res.RelResidual)
+	}
+}
+
+// TestROMBoundIsHardContract: on randomized problems the certified
+// per-cell, per-block, and peak bounds must dominate the true
+// ROM-vs-full error, after budgeting the full solve's own certified
+// tolerance (the full answer is iterative, not exact).
+func TestROMBoundIsHardContract(t *testing.T) {
+	rng := &eqRNG{s: 0xB0B}
+	for round := 0; round < 6; round++ {
+		p := randomProblem(t, rng, 10+rng.intn(6), 9+rng.intn(6), 6+rng.intn(4))
+		m, err := rom.Reduce(p, rom.Options{BlocksX: 4, BlocksY: 4, ZBands: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Eval(p.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := fullSolve(t, p)
+		cert, err := m.Certify(p.Q, full.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range full.T {
+			budget := res.CellBound(c) + cert.Bound(c)
+			if d := math.Abs(res.T()[c] - full.T[c]); d > budget {
+				t.Fatalf("round %d cell %d: |Δ| %.6g exceeds bound %.6g", round, c, d, budget)
+			}
+		}
+		peakFull := full.T[0]
+		for _, v := range full.T {
+			if v > peakFull {
+				peakFull = v
+			}
+		}
+		if d := math.Abs(res.PeakT - peakFull); d > res.Bound+cert.PeakBound() {
+			t.Fatalf("round %d: peak |Δ| %.6g exceeds bound %.6g", round, d, res.Bound+cert.PeakBound())
+		}
+		for c := range full.T {
+			g := m.BlockOf(c)
+			budget := res.BlockBound[g] + cert.Bound(c)
+			if d := math.Abs(res.BlockT[g] - full.T[c]); d > budget {
+				t.Fatalf("round %d cell %d block %d: |Δ| %.6g exceeds block bound %.6g", round, c, g, d, budget)
+			}
+		}
+	}
+}
+
+// TestROMDeterministic: reduce+eval twice from scratch must agree
+// bitwise — the whole pipeline is serial with fixed accumulation
+// order.
+func TestROMDeterministic(t *testing.T) {
+	rng1 := &eqRNG{s: 0x5EED}
+	rng2 := &eqRNG{s: 0x5EED}
+	p1 := randomProblem(t, rng1, 12, 11, 7)
+	p2 := randomProblem(t, rng2, 12, 11, 7)
+	opt := rom.Options{BlocksX: 5, BlocksY: 4, ZBands: 3}
+	m1, err := rom.Reduce(p1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := rom.Reduce(p2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m1.Eval(p1.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.Eval(p2.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(r1.T(), r2.T()) || !bitIdentical(r1.BlockT, r2.BlockT) {
+		t.Fatal("repeated reduce+eval not bitwise identical")
+	}
+	if math.Float64bits(r1.Bound) != math.Float64bits(r2.Bound) {
+		t.Fatalf("bounds differ: %x vs %x", math.Float64bits(r1.Bound), math.Float64bits(r2.Bound))
+	}
+	// Concurrent evals on one shared model must also be bitwise
+	// stable (serve evaluates one cached model from many goroutines).
+	done := make(chan []float64, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			r, err := m1.Eval(p1.Q)
+			if err != nil {
+				done <- nil
+				return
+			}
+			done <- r.T()
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		T := <-done
+		if T == nil {
+			t.Fatal("concurrent eval failed")
+		}
+		if !bitIdentical(T, r1.T()) {
+			t.Fatal("concurrent eval not bitwise identical")
+		}
+	}
+}
+
+// TestROMZBandOf: explicit per-layer bands (the per-tier aggregation)
+// must be honored, including non-contiguous band ids.
+func TestROMZBandOf(t *testing.T) {
+	rng := &eqRNG{s: 0x2B}
+	p := randomProblem(t, rng, 8, 8, 6)
+	bands := []int{0, 0, 3, 3, 3, 5} // gaps: ids 1,2,4 unused
+	m, err := rom.Reduce(p, rom.Options{BlocksX: 2, BlocksY: 2, ZBandOf: bands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.NumModes(), 2*2*3; got != want {
+		t.Fatalf("modes = %d, want %d (gapped bands must compact)", got, want)
+	}
+	if _, err := m.Eval(p.Q); err != nil {
+		t.Fatal(err)
+	}
+	g := p.Grid
+	// Layers 2,3,4 share a band: same (i,j) block there ⇒ same mode.
+	a := m.BlockOf(g.Index(1, 1, 2))
+	b := m.BlockOf(g.Index(1, 1, 4))
+	if a != b {
+		t.Fatalf("layers 2 and 4 should share a band: modes %d vs %d", a, b)
+	}
+	if m.BlockOf(g.Index(1, 1, 0)) == a {
+		t.Fatal("layers 0 and 2 should be distinct bands")
+	}
+}
+
+// TestROMErrors: malformed inputs must error, never panic.
+func TestROMErrors(t *testing.T) {
+	rng := &eqRNG{s: 0xE44}
+	p := randomProblem(t, rng, 5, 5, 4)
+
+	if _, err := rom.Reduce(p, rom.Options{ZBandOf: []int{0, 1}}); err == nil ||
+		!strings.Contains(err.Error(), "ZBandOf") {
+		t.Fatalf("short ZBandOf: err = %v", err)
+	}
+	if _, err := rom.Reduce(p, rom.Options{ZBandOf: []int{0, -1, 0, 0}}); err == nil ||
+		!strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative band: err = %v", err)
+	}
+
+	bad := randomProblem(t, rng, 5, 5, 4)
+	for f := solver.Face(0); f < 6; f++ {
+		bad.Bounds[f] = solver.AdiabaticBC()
+	}
+	if _, err := rom.Reduce(bad, rom.Options{}); err == nil {
+		t.Fatal("unanchored problem must fail validation")
+	}
+
+	m, err := rom.Reduce(p, rom.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Eval(p.Q[:10]); err == nil {
+		t.Fatal("short source field must error")
+	}
+	q := append([]float64(nil), p.Q...)
+	q[3] = math.NaN()
+	if _, err := m.Eval(q); err == nil {
+		t.Fatal("NaN source must error")
+	}
+	q[3] = math.Inf(1)
+	if _, err := m.Eval(q); err == nil {
+		t.Fatal("Inf source must error")
+	}
+	if _, err := m.Certify(p.Q, p.Q[:10]); err == nil {
+		t.Fatal("short certify field must error")
+	}
+}

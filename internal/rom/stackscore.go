@@ -1,0 +1,86 @@
+package rom
+
+import (
+	"fmt"
+
+	"thermalscaffold/internal/stack"
+)
+
+// StackScorer is the RC tier of the placement inner loops: it reduces
+// a stack spec once (per-tier z bands, so every tier is its own band
+// and the handle wafer another) and then scores candidate power maps
+// in microseconds, each score carrying its certified peak bound. The
+// model depends only on the spec's geometry and materials — power
+// maps enter through the source field — so one scorer serves an
+// entire anneal as long as the floorplan only moves power around.
+type StackScorer struct {
+	m      *Model
+	lay    *stack.Layout
+	nx, ny int
+	tiers  int
+}
+
+// NewStackScorer builds the spec's problem and reduces it. BlocksX/Y
+// of opt control the in-plane aggregation (defaults apply); the z
+// aggregation is always per physical tier, overriding opt's ZBands.
+func NewStackScorer(spec *stack.Spec, opt Options) (*StackScorer, error) {
+	p, lay, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Per-tier bands: handle layers (tier −1) share band 0, tier t is
+	// band t+1. Memory sub-layers inherit their tier's band.
+	bands := make([]int, len(lay.TierOfLayer))
+	for k, t := range lay.TierOfLayer {
+		bands[k] = t + 1
+	}
+	opt.ZBandOf = bands
+	m, err := Reduce(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &StackScorer{m: m, lay: lay, nx: spec.NX, ny: spec.NY, tiers: spec.Tiers}, nil
+}
+
+// Model returns the underlying reduced model (for Certify against a
+// full solve of the same spec).
+func (s *StackScorer) Model() *Model { return s.m }
+
+// Score evaluates candidate per-tier power maps (W/m², NX·NY
+// row-major, bottom tier first; a single map replicates to all
+// tiers). The returned Result's PeakT carries the certified Bound;
+// both are in kelvin, matching the full solver's field. Safe for
+// concurrent use.
+func (s *StackScorer) Score(powerMaps [][]float64) (*Result, error) {
+	switch len(powerMaps) {
+	case 1, s.tiers:
+	default:
+		return nil, fmt.Errorf("rom: %d power maps for %d tiers", len(powerMaps), s.tiers)
+	}
+	plane := s.nx * s.ny
+	for t, pm := range powerMaps {
+		if len(pm) != plane {
+			return nil, fmt.Errorf("rom: power map %d has %d cells, want %d", t, len(pm), plane)
+		}
+	}
+	// Paint the volumetric source field exactly as stack.Build does:
+	// tier power lands in the tier's device-silicon layers as
+	// areal-power / layer-thickness.
+	g := s.lay.Grid
+	q := make([]float64, s.m.n)
+	for tier := 0; tier < s.tiers; tier++ {
+		pm := powerMaps[0]
+		if len(powerMaps) > 1 {
+			pm = powerMaps[tier]
+		}
+		for _, k := range s.lay.DeviceLayers[tier] {
+			dz := g.DZ(k)
+			for j := 0; j < s.ny; j++ {
+				for i := 0; i < s.nx; i++ {
+					q[g.Index(i, j, k)] = pm[j*s.nx+i] / dz
+				}
+			}
+		}
+	}
+	return s.m.Eval(q)
+}

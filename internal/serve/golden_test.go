@@ -166,6 +166,42 @@ func TestGoldenTransientResponse(t *testing.T) {
 	goldenCompare(t, "response_transient.golden.json", normalizeResponse(t, body))
 }
 
+// TestGoldenRCRequestNormalization pins the canonical form of an
+// rc-tier request: the fidelity field survives normalization
+// verbatim alongside the usual defaults.
+func TestGoldenRCRequestNormalization(t *testing.T) {
+	req := goldenRequest()
+	req.Fidelity = specio.FidelityRC
+	norm, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := specio.MarshalEval(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "request_rc_normalized.golden.json", append(raw, '\n'))
+}
+
+// TestGoldenRCResponse pins the reduced-order response: the
+// fidelity:"rc" marker, the certified bound_k, iterations 0 (direct
+// solve), and the same tier-profile schema as the full tier.
+func TestGoldenRCResponse(t *testing.T) {
+	req := goldenRequest()
+	req.Fidelity = specio.FidelityRC
+	code, body := goldenServe(t, req)
+	if code != 200 {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), `"fidelity": "rc"`) {
+		t.Fatalf("rc response missing fidelity marker:\n%s", body)
+	}
+	if !strings.Contains(string(body), `"bound_k":`) {
+		t.Fatalf("rc response missing certified bound:\n%s", body)
+	}
+	goldenCompare(t, "response_rc.golden.json", normalizeResponse(t, body))
+}
+
 // TestGoldenErrorResponse pins the 400 shape for an out-of-grid power
 // block.
 func TestGoldenErrorResponse(t *testing.T) {

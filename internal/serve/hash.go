@@ -46,13 +46,19 @@ func hashEval(ev *specio.Eval, includeSources bool) (string, error) {
 		return "", fmt.Errorf("serve: hashing problem: %w", err)
 	}
 	// Solver options and mode, fixed-width so fields cannot alias.
-	var opts [8 * 5]byte
+	var opts [8 * 6]byte
 	binary.LittleEndian.PutUint64(opts[0:], uint64(ev.Precond))
 	binary.LittleEndian.PutUint64(opts[8:], floatBits(ev.Tol))
 	binary.LittleEndian.PutUint64(opts[16:], uint64(ev.MaxIter))
 	if tr := ev.Req.Transient; tr != nil {
 		binary.LittleEndian.PutUint64(opts[24:], floatBits(tr.DtS))
 		binary.LittleEndian.PutUint64(opts[32:], uint64(tr.Steps))
+	}
+	// Fidelity tag: the rc tier answers the same physical problem with
+	// different numbers, so its entries must live under distinct
+	// addresses — full and rc keys can never alias.
+	if ev.RC() {
+		binary.LittleEndian.PutUint64(opts[40:], 1)
 	}
 	h.Write(opts[:])
 	return hex.EncodeToString(h.Sum(nil)), nil

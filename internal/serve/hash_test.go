@@ -107,6 +107,7 @@ func TestKeySensitivity(t *testing.T) {
 		"sink":           func(r *specio.EvalRequest) { r.Stack.Sink = "coldplate" },
 		"memory_tiers":   func(r *specio.EvalRequest) { r.Stack.MemoryPerTier = true },
 		"transient":      func(r *specio.EvalRequest) { r.Transient = &specio.TransientJSON{DtS: 1e-4, Steps: 5} },
+		"fidelity":       func(r *specio.EvalRequest) { r.Fidelity = specio.FidelityRC },
 	}
 	seen := map[string]string{base: "base"}
 	for name, mutate := range mutations {

@@ -54,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thermalscaffold/internal/rom"
 	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/specio"
 	"thermalscaffold/internal/telemetry"
@@ -80,6 +81,11 @@ type Config struct {
 	// FamilySize bounds the warm-start family index
 	// (0 → 64, negative disables it).
 	FamilySize int
+	// ROMCacheSize bounds the reduced-model cache of the rc fidelity
+	// tier, keyed by warm-start family — one model serves every power
+	// map of a geometry (0 → 32, negative disables: each rc request
+	// reduces from scratch).
+	ROMCacheSize int
 	// DisableWarmStart turns off near-miss warm starting, making every
 	// solve start from zero regardless of arrival order.
 	DisableWarmStart bool
@@ -111,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FamilySize == 0 {
 		c.FamilySize = 64
+	}
+	if c.ROMCacheSize == 0 {
+		c.ROMCacheSize = 32
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -154,6 +163,7 @@ type Server struct {
 	cache   *lru
 	family  *lru
 	keys    *lru // normalized request JSON → keyPair; hits skip assembly+hashing
+	roms    *lru // family key → *rom.Model; one reduced model per geometry
 	flights flightGroup
 	sem     chan struct{}
 	// engine is the server-lifetime solver pool: every solve this
@@ -173,6 +183,7 @@ type Server struct {
 	running atomic.Int64
 
 	hits, misses, coalesced, rejected, failures atomic.Int64
+	rcEvals                                     atomic.Int64
 
 	lat *telemetry.LatencyWindow
 	mux *http.ServeMux
@@ -187,6 +198,7 @@ func New(cfg Config) *Server {
 		cache:      newLRU(cfg.CacheSize),
 		family:     newLRU(cfg.FamilySize),
 		keys:       newLRU(cfg.CacheSize),
+		roms:       newLRU(cfg.ROMCacheSize),
 		engine:     solver.NewEngine(cfg.SolverWorkers),
 		sem:        make(chan struct{}, cfg.Parallel),
 		baseCtx:    ctx,
@@ -282,6 +294,7 @@ func (s *Server) snapshot() MetricsSnapshot {
 			telemetry.CounterCacheMisses: s.misses.Load(),
 			telemetry.CounterCoalesced:   s.coalesced.Load(),
 			telemetry.CounterRejected:    s.rejected.Load(),
+			telemetry.CounterRCEvals:     s.rcEvals.Load(),
 			"solve_failures":             s.failures.Load(),
 		},
 		LatencyMS: map[string]any{
@@ -362,6 +375,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, specio.EvalResponse{Error: err.Error()})
 		return
+	}
+	// ?fidelity=rc|full selects the ladder tier without editing the
+	// body; an explicit query overrides the body field, and bogus
+	// values fall to Normalize's validation below.
+	if f := r.URL.Query().Get("fidelity"); f != "" {
+		req.Fidelity = f
 	}
 	norm, err := req.Normalize()
 	if err != nil {
@@ -504,6 +523,9 @@ func (s *Server) admitAndSolve(ev *specio.Eval, key, famKey string) (*solved, er
 
 // solve runs the evaluation under its deadline and caches the result.
 func (s *Server) solve(ev *specio.Eval, key, famKey string) (*solved, error) {
+	if ev.RC() {
+		return s.solveRC(ev, key, famKey)
+	}
 	timeout := ev.Timeout
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -570,4 +592,67 @@ func (s *Server) solve(ev *specio.Eval, key, famKey string) (*solved, error) {
 		s.family.Add(famKey, sv)
 	}
 	return sv, nil
+}
+
+// solveRC answers a request from the reduced-order tier: fetch (or
+// build) the family's reduced model, evaluate the request's source
+// field against it, and cache the certified answer under its
+// fidelity-tagged key. The response carries the certified peak bound
+// in BoundK; Iterations is 0 (the reduced solve is direct) and
+// Residual reports the relative defect of the reconstructed field.
+func (s *Server) solveRC(ev *specio.Eval, key, famKey string) (*solved, error) {
+	solveStart := time.Now()
+	m, err := s.romModel(ev, famKey)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Eval(ev.Problem.Q)
+	if err != nil {
+		return nil, err
+	}
+	s.rcEvals.Add(1)
+	s.cfg.Telemetry.Add(telemetry.CounterRCEvals, 1)
+	field := res.T()
+	peak, mean := ev.FieldStats(field)
+	sv := &solved{
+		key: key,
+		T:   field,
+		resp: specio.EvalResponse{
+			Key:      key,
+			Mode:     ev.Mode(),
+			PeakT:    telemetry.Float(peak),
+			MeanT:    telemetry.Float(mean),
+			Tiers:    ev.TierProfile(field),
+			Residual: telemetry.Float(res.RelResidual),
+			Fidelity: specio.FidelityRC,
+			BoundK:   telemetry.Float(res.Bound),
+			WallNS:   time.Since(solveStart).Nanoseconds(),
+		},
+	}
+	s.cache.Add(key, sv)
+	// Deliberately not added to the warm-start family: mixing
+	// piecewise-constant rc fields into the full tier's seed pool
+	// would let the rc tier perturb full-fidelity iteration paths.
+	return sv, nil
+}
+
+// romModel returns the family's cached reduced model, building it on
+// miss. The model depends only on geometry/materials/boundaries —
+// exactly what the family key fixes — so one model serves every power
+// map of the family. Aggregation is per physical tier in z (handle
+// wafer in its own band) at the default in-plane block resolution.
+func (s *Server) romModel(ev *specio.Eval, famKey string) (*rom.Model, error) {
+	if v, ok := s.roms.Get(famKey); ok {
+		return v.(*rom.Model), nil
+	}
+	bands := make([]int, len(ev.Layout.TierOfLayer))
+	for k, t := range ev.Layout.TierOfLayer {
+		bands[k] = t + 1
+	}
+	m, err := rom.Reduce(ev.Problem, rom.Options{ZBandOf: bands})
+	if err != nil {
+		return nil, err
+	}
+	s.roms.Add(famKey, m)
+	return m, nil
 }

@@ -1,0 +1,133 @@
+package solver
+
+// Assembled is the read-only operator façade the reduced-order tier
+// builds on; these tests pin its contract against the solver itself:
+// Apply must be the same A the iteration uses, RHS must reproduce the
+// assembly's b bitwise, and the exposed views must match the mesh.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAssembledOperatorContract(t *testing.T) {
+	rng := &eqRNG{s: 0xA55E}
+	p := randomProblem(t, rng, 7, 6, 5)
+	a, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Grid
+	n := g.NumCells()
+	if a.NumCells() != n {
+		t.Fatalf("NumCells = %d, want %d", a.NumCells(), n)
+	}
+	nx, ny, nz := a.Dims()
+	if nx != g.NX() || ny != g.NY() || nz != g.NZ() {
+		t.Fatalf("Dims = %d×%d×%d, want %d×%d×%d", nx, ny, nz, g.NX(), g.NY(), g.NZ())
+	}
+	if a.Grid() != g {
+		t.Fatal("Grid() does not return the problem's mesh")
+	}
+
+	// Zero sources: RHS must be exactly the boundary rhs; a non-nil
+	// dst must be written in place and returned.
+	zero := make([]float64, n)
+	b0, err := a.RHS(zero, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := a.BoundaryRHS()
+	for c := range b0 {
+		if b0[c] != bb[c] {
+			t.Fatalf("cell %d: zero-source RHS %g != boundary RHS %g", c, b0[c], bb[c])
+		}
+	}
+	dst := make([]float64, n)
+	got, err := a.RHS(p.Q, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("RHS did not reuse caller dst")
+	}
+	if _, err := a.RHS(p.Q[:3], nil); err == nil {
+		t.Fatal("short source field must error")
+	}
+	if _, err := a.RHS(p.Q, dst[:3]); err == nil {
+		t.Fatal("short dst must error")
+	}
+
+	// Apply must be the solver's own A: the residual of a tightly
+	// converged solve has to be small relative to b.
+	res, err := SolveSteady(p, Options{Tol: 1e-10, MaxIter: 200000, Precond: Multigrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := make([]float64, n)
+	a.Apply(res.T, ax)
+	var rn, bn float64
+	for c := range ax {
+		d := got[c] - ax[c]
+		rn += d * d
+		bn += got[c] * got[c]
+	}
+	if rel := math.Sqrt(rn) / math.Sqrt(bn); rel > 1e-8 {
+		t.Fatalf("‖b − A·T‖/‖b‖ = %.3g for a 1e-10 solve", rel)
+	}
+
+	// A is symmetric: xᵀ(A·z) == zᵀ(A·x) to rounding.
+	x, z := make([]float64, n), make([]float64, n)
+	for c := 0; c < n; c++ {
+		x[c] = rng.float() - 0.5
+		z[c] = rng.float() - 0.5
+	}
+	az := make([]float64, n)
+	a.Apply(x, ax)
+	a.Apply(z, az)
+	var xaz, zax, scale float64
+	for c := 0; c < n; c++ {
+		xaz += x[c] * az[c]
+		zax += z[c] * ax[c]
+		scale += math.Abs(x[c] * az[c])
+	}
+	if math.Abs(xaz-zax) > 1e-10*scale {
+		t.Fatalf("operator not symmetric: %.17g vs %.17g", xaz, zax)
+	}
+
+	// Geometry views: face conductances are non-negative and vanish on
+	// the last column/row/plane; boundary conductance is zero strictly
+	// inside; volumes are the mesh cell volumes.
+	gxp, gyp, gzp := a.FaceConductances()
+	bd := a.BoundaryConductance()
+	vol := a.CellVolumes()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				c := g.Index(i, j, k)
+				if gxp[c] < 0 || gyp[c] < 0 || gzp[c] < 0 {
+					t.Fatalf("cell %d: negative face conductance", c)
+				}
+				if (i == nx-1 && gxp[c] != 0) || (j == ny-1 && gyp[c] != 0) || (k == nz-1 && gzp[c] != 0) {
+					t.Fatalf("cell %d: nonzero face conductance past the last plane", c)
+				}
+				interior := i > 0 && i < nx-1 && j > 0 && j < ny-1 && k > 0 && k < nz-1
+				if interior && bd[c] != 0 {
+					t.Fatalf("interior cell %d has boundary conductance %g", c, bd[c])
+				}
+				if want := g.DX(i) * g.DY(j) * g.DZ(k); vol[c] != want {
+					t.Fatalf("cell %d volume %g, want %g", c, vol[c], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAssembleRejectsInvalidProblem(t *testing.T) {
+	rng := &eqRNG{s: 9}
+	p := randomProblem(t, rng, 4, 4, 3)
+	p.KX[0] = -1
+	if _, err := Assemble(p); err == nil {
+		t.Fatal("negative conductivity must fail validation")
+	}
+}

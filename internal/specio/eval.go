@@ -56,12 +56,23 @@ type TransientJSON struct {
 	Steps int     `json:"steps"`
 }
 
+// Fidelity tiers of the evaluation ladder. FidelityFull is the exact
+// FVM solve; FidelityRC is the certified reduced-order (aggregated
+// RC network) tier — ~100× cheaper, answers carry a certified error
+// bound instead of an iteration residual.
+const (
+	FidelityFull = "full"
+	FidelityRC   = "rc"
+)
+
 // EvalRequest is the thermserve request schema.
 type EvalRequest struct {
 	Stack       StackJSON      `json:"stack"`
 	PowerBlocks []PowerBlock   `json:"power_blocks,omitempty"`
 	Solver      SolverJSON     `json:"solver"`
 	Transient   *TransientJSON `json:"transient,omitempty"`
+	// Fidelity selects the ladder tier: "full" (default) or "rc".
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // TierTemps is one tier's slice of the temperature profile.
@@ -93,6 +104,13 @@ type EvalResponse struct {
 	WarmStart bool   `json:"warm_start"`
 	WallNS    int64  `json:"wall_ns"`
 	Error     string `json:"error,omitempty"`
+	// Fidelity marks reduced-order answers ("rc"); full-fidelity
+	// responses omit it. BoundK is the rc tier's certified error bound
+	// on PeakT (K): |peak_full − peak_rc| ≤ BoundK, guaranteed, not
+	// estimated. For rc answers Residual carries the relative defect
+	// ‖b−A·T‖/‖b‖ and Iterations is 0 (the reduced solve is direct).
+	Fidelity string          `json:"fidelity,omitempty"`
+	BoundK   telemetry.Float `json:"bound_k,omitempty"`
 }
 
 // MarshalEval renders a request as indented JSON.
@@ -182,6 +200,16 @@ func (r EvalRequest) Normalize() (EvalRequest, error) {
 		}
 		out.Transient = &tr
 	}
+	switch out.Fidelity {
+	case "":
+		out.Fidelity = FidelityFull
+	case FidelityFull, FidelityRC:
+	default:
+		return EvalRequest{}, fmt.Errorf("specio: unknown fidelity %q (want %q or %q)", out.Fidelity, FidelityFull, FidelityRC)
+	}
+	if out.Fidelity == FidelityRC && out.Transient != nil {
+		return EvalRequest{}, fmt.Errorf("specio: fidelity %q is steady-state only", FidelityRC)
+	}
 	if out.Stack.BEOL == "" {
 		out.Stack.BEOL = "conventional"
 	}
@@ -245,6 +273,9 @@ type Eval struct {
 
 // Steady reports whether the request is a steady-state solve.
 func (e *Eval) Steady() bool { return e.Req.Transient == nil }
+
+// RC reports whether the request selects the reduced-order tier.
+func (e *Eval) RC() bool { return e.Req.Fidelity == FidelityRC }
 
 // Mode returns the response mode string.
 func (e *Eval) Mode() string {

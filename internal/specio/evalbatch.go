@@ -77,6 +77,13 @@ func (r EvalBatchRequest) Expand() ([]EvalRequest, error) {
 	if r.Base.Transient != nil {
 		return nil, fmt.Errorf("specio: batch requests are steady-only")
 	}
+	if r.Base.Fidelity == FidelityRC {
+		// The batch path exists to amortize one assembled operator over
+		// K iterative solves; the rc tier already answers each item in
+		// microseconds, so batching it buys nothing — keep the two
+		// admission paths orthogonal.
+		return nil, fmt.Errorf("specio: batch requests are full-fidelity only")
+	}
 	out := make([]EvalRequest, len(r.Items))
 	for i, it := range r.Items {
 		d := r.Base

@@ -39,6 +39,16 @@ const (
 	// CounterWarmStarts counts solves seeded with an InitialGuess —
 	// the cache-warm-start hits of the placement and sweep loops.
 	CounterWarmStarts = "warm_start_hits"
+	// CounterRCEvals counts reduced-order (RC tier) evaluations —
+	// the cheap screening solves of the fidelity ladder.
+	CounterRCEvals = "rc_evals"
+	// CounterFullVerifies counts full-fidelity solves run to verify an
+	// RC-screened candidate before committing it.
+	CounterFullVerifies = "full_verifies"
+	// CounterBoundViolations counts RC answers whose certified error
+	// bound failed to contain the verified full answer — always zero
+	// unless the certification contract is broken.
+	CounterBoundViolations = "bound_violations"
 )
 
 // Float is a float64 that marshals non-finite values as JSON null —
