@@ -89,7 +89,7 @@ bench-serve:
 # service throughput). It checks the benchmarks still build and run —
 # timing numbers on shared CI runners are not compared.
 bench-smoke:
-	$(GO) test -run xxx -bench 'SteadyPrecond/precond=multigrid/n=16|SteadyBatch|SmallNReduce' -benchtime=1x ./internal/solver/ ./internal/parallel/
+	$(GO) test -run xxx -bench 'SteadyPrecond/precond=multigrid/n=16|SteadyBatch|SmallNReduce|SteadyMG96Workers/precision=f32/workers=1|MGCyclePrecision' -benchtime=1x ./internal/solver/ ./internal/parallel/
 	$(GO) test -run xxx -bench 'PlacementLoop' -benchtime=1x ./internal/pillar/
 	$(GO) test -run xxx -bench 'Serve100Mixed' -benchtime=1x ./internal/serve/
 	$(GO) test -run xxx -bench 'ROMEval/n=16' -benchtime=1x ./internal/rom/

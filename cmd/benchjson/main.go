@@ -34,6 +34,10 @@ type result struct {
 	Runs       int     `json:"runs"`
 	Iterations int     `json:"iterations"`
 	Workers    int     `json:"workers"`
+	// Precision is parsed from a "precision=T" sub-benchmark component
+	// ("f64" when absent — the default solver tier), so per-tier rows
+	// of the same benchmark stay distinguishable in BENCH_solver.json.
+	Precision string `json:"precision,omitempty"`
 	// Metrics carries custom b.ReportMetric values (unit → value, from
 	// the minimum-time run), e.g. the rc tier's certified bound_K and
 	// its measured speedup over the full solve.
@@ -103,6 +107,7 @@ func aggregate(samples []sample) []result {
 			Runs:       len(group),
 			Iterations: best.iterations,
 			Workers:    parseWorkers(name),
+			Precision:  parsePrecision(name),
 			Metrics:    best.metrics,
 		})
 	}
@@ -148,6 +153,21 @@ func parseLine(line string) (sample, bool) {
 // benchmark name, stopping at the sub-benchmark or GOMAXPROCS
 // separator; benchmarks without one ran the solver default (1 worker
 // on a sequential `go test`).
+// parsePrecision pulls the tier out of a "precision=T" component of
+// the benchmark name; the empty string means the default (f64) tier
+// and is omitted from the JSON.
+func parsePrecision(name string) string {
+	i := strings.Index(name, "precision=")
+	if i < 0 {
+		return ""
+	}
+	rest := name[i+len("precision="):]
+	if j := strings.IndexAny(rest, "/-"); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}
+
 func parseWorkers(name string) int {
 	i := strings.Index(name, "workers=")
 	if i < 0 {

@@ -90,3 +90,26 @@ func TestParseWorkers(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePrecision(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"BenchmarkSteadyMG96Workers/precision=f32/workers=4", "f32"},
+		{"BenchmarkSteadyMG96Workers/precision=f64/workers=1-8", "f64"},
+		{"BenchmarkMGCyclePrecision/precision=f32-8", "f32"},
+		{"BenchmarkSteadyZLine64Workers/workers=4", ""},
+	}
+	for _, c := range cases {
+		if got := parsePrecision(c.name); got != c.want {
+			t.Errorf("parsePrecision(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+	// Precision lands in the aggregated record (and workers parsing is
+	// unaffected by the extra component).
+	out := aggregate([]sample{{name: "BenchmarkSteadyMG96Workers/precision=f32/workers=4", nsPerOp: 10, iterations: 1}})
+	if len(out) != 1 || out[0].Precision != "f32" || out[0].Workers != 4 {
+		t.Errorf("aggregate record wrong: %+v", out)
+	}
+}

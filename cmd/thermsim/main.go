@@ -61,6 +61,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	showMap := fs.Bool("map", false, "render the top-tier temperature field as an ASCII heatmap")
 	workers := fs.Int("workers", 0, "solver worker goroutines (0 = one per CPU core, 1 = serial)")
 	precond := fs.String("precond", "zline", "PCG preconditioner: zline or multigrid (jacobi parses but stack solves upgrade it to zline)")
+	precision := fs.String("precision", "f64", "preconditioner arithmetic tier: f64 (exact historical results) or f32 (halves preconditioner memory traffic; same solution to tolerance)")
 	fidelity := fs.String("fidelity", specio.FidelityFull, "evaluation tier: full (exact FVM solve) or rc (certified reduced-order estimate)")
 	reportPath := fs.String("report", "", "write a JSON run report (solve traces, counters, timings) to this path; \"-\" = stdout")
 	debugAddr := fs.String("debug-addr", "", "serve pprof and expvar endpoints on this address (e.g. localhost:6060)")
@@ -69,6 +70,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	pc, err := solver.ParsePreconditioner(*precond)
+	if err != nil {
+		fmt.Fprintf(stderr, "thermsim: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+	prec, err := solver.ParsePrecision(*precision)
 	if err != nil {
 		fmt.Fprintf(stderr, "thermsim: %v\n", err)
 		fs.Usage()
@@ -137,7 +144,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	stopPhase := tel.Phase("solve")
 	res, err := spec.Solve(solver.Options{
 		Tol: 1e-7, MaxIter: 100000, Workers: *workers, Precond: pc,
-		Ctx: ctx, Telemetry: tel,
+		Precision: prec, Ctx: ctx, Telemetry: tel,
 	})
 	stopPhase()
 	if err != nil {

@@ -231,6 +231,7 @@ func GatedTransient(tiers, n int) (*GatedTransientResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tr.Close()
 	tau := sched.ThermalTimeConstant(spec)
 	period := power.MatmulTrace().Period()
 	if period > tau {

@@ -1,0 +1,40 @@
+package parallel
+
+// Arena is a set of per-worker float64 scratch buffers with lazy,
+// first-touch allocation: worker w's buffer is allocated by worker w
+// itself on its first Get, inside the parallel region, so the OS backs
+// the pages from memory local to the thread that will keep reusing
+// them (first-touch NUMA placement). Buffers only ever grow; repeated
+// solves at a fixed problem size allocate exactly once per worker.
+//
+// Concurrency contract: distinct workers may call Get concurrently
+// with distinct worker indices; a single worker index must not be used
+// from two goroutines at once. That is exactly the discipline the
+// Pool's worker argument already enforces, so Get(worker, n) inside a
+// Run/ForGrain callback is race-free with no synchronization.
+type Arena struct {
+	bufs [][]float64
+}
+
+// NewArena creates an arena for the given worker count. No memory is
+// allocated until workers first Get.
+func NewArena(workers int) *Arena {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Arena{bufs: make([][]float64, workers)}
+}
+
+// Workers returns the number of per-worker slots.
+func (a *Arena) Workers() int { return len(a.bufs) }
+
+// Get returns worker's scratch of length n, zeroed only when newly
+// grown — callers must not assume the contents of a reused buffer.
+func (a *Arena) Get(worker, n int) []float64 {
+	b := a.bufs[worker]
+	if cap(b) < n {
+		b = make([]float64, n)
+		a.bufs[worker] = b
+	}
+	return b[:n]
+}

@@ -47,16 +47,30 @@ func NumChunks(n int) int {
 // reductions are bit-identical to the dispatched path.
 const serialCutoffChunks = 4
 
-// region is one parallel-for dispatched to the pool: workers
-// repeatedly claim the next unclaimed chunk until none remain.
+// region is one parallel-for dispatched to the pool. Dynamic regions
+// have workers repeatedly claim the next unclaimed chunk off an
+// atomic counter; static (affine) regions give each worker a fixed
+// contiguous chunk block computed from its worker id alone.
 type region struct {
 	fn   func(worker, chunk int)
 	next atomic.Int64
 	num  int64
-	wg   sync.WaitGroup // helpers still inside this region
+	// owners > 0 marks a static region: worker w executes exactly the
+	// chunks of ownedRange(num, owners, w), so the chunk→worker map is
+	// a pure function of (numChunks, owners) — identical on every
+	// call. owners == 0 selects dynamic claiming.
+	owners int
+	wg     sync.WaitGroup // helpers still inside this region
 }
 
 func (r *region) run(worker int) {
+	if r.owners > 0 {
+		s, e := ownedRange(int(r.num), r.owners, worker)
+		for c := s; c < e; c++ {
+			r.fn(worker, c)
+		}
+		return
+	}
 	for {
 		c := r.next.Add(1) - 1
 		if c >= r.num {
@@ -64,6 +78,31 @@ func (r *region) run(worker int) {
 		}
 		r.fn(worker, int(c))
 	}
+}
+
+// Partition returns part idx of n items split into parts contiguous
+// blocks — the same static tiling affine pools use for chunk
+// ownership. Exposed for callers that band work themselves (e.g. the
+// solver's tiled multigrid sweeps) and need the partition to be a
+// pure function of (n, parts, idx).
+func Partition(n, parts, idx int) (start, end int) {
+	return ownedRange(n, parts, idx)
+}
+
+// ownedRange returns worker w's fixed contiguous chunk block when n
+// chunks are split among k owners: blocks differ in length by at most
+// one and depend only on (n, k, w) — never on scheduling.
+func ownedRange(n, k, w int) (start, end int) {
+	if w >= k {
+		return 0, 0
+	}
+	per, extra := n/k, n%k
+	start = w*per + min(w, extra)
+	end = start + per
+	if w < extra {
+		end++
+	}
+	return start, end
 }
 
 // Pool is a reusable fixed-size worker pool: W−1 persistent helper
@@ -77,28 +116,59 @@ func (r *region) run(worker int) {
 // and the nested call could deadlock waiting for them.
 type Pool struct {
 	workers int
-	regions chan *region
-	close   sync.Once
+	affine  bool
+	// chans[i] feeds helper goroutine id i+1. One channel per helper
+	// (rather than one shared queue) pins the helper-id↔goroutine
+	// binding: affine regions depend on worker w's block running on
+	// the same goroutine every call, which a shared queue cannot
+	// guarantee — one helper could drain two handoffs of the same
+	// region while another never wakes.
+	chans []chan *region
+	close sync.Once
 }
 
 // NewPool creates a pool with the given worker count; workers ≤ 0
-// defaults to runtime.GOMAXPROCS(0).
+// defaults to runtime.GOMAXPROCS(0). Chunk→worker assignment is
+// dynamic (work stealing): best when per-chunk cost varies.
 func NewPool(workers int) *Pool {
+	return newPool(workers, false)
+}
+
+// NewAffinePool creates a pool with static chunk ownership: every Run
+// gives worker w the same fixed contiguous chunk block for a given
+// chunk count, instead of racing an atomic claim counter. Repeated
+// sweeps over the same arrays (iterative solvers) then touch the same
+// memory from the same goroutine every iteration — the OS keeps those
+// pages on the worker's NUMA node (first-touch) and its private cache
+// lines stay valid across calls, where dynamic claiming reshuffles
+// ownership every sweep. Results are identical either way (chunks
+// compute the same values regardless of which worker runs them);
+// only placement changes. Prefer this for uniform-cost kernels.
+func NewAffinePool(workers int) *Pool {
+	return newPool(workers, true)
+}
+
+func newPool(workers int, affine bool) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: workers}
+	poolsCreated.Add(1)
+	p := &Pool{workers: workers, affine: affine}
 	if workers > 1 {
-		// Buffered so region dispatch never blocks on a helper
+		// Buffered so region dispatch rarely blocks on a helper
 		// being ready to receive: the caller queues the handoffs
-		// and immediately starts claiming chunks itself.
-		p.regions = make(chan *region, workers-1)
+		// and immediately starts executing chunks itself.
+		p.chans = make([]chan *region, workers-1)
 		for id := 1; id < workers; id++ {
+			p.chans[id-1] = make(chan *region, 4)
 			go p.helper(id)
 		}
 	}
 	return p
 }
+
+// Affine reports whether the pool uses static chunk ownership.
+func (p *Pool) Affine() bool { return p.affine }
 
 // Workers returns the pool's worker count (≥ 1).
 func (p *Pool) Workers() int { return p.workers }
@@ -111,14 +181,14 @@ func (p *Pool) Serial() bool { return p.workers <= 1 }
 // not be used afterwards.
 func (p *Pool) Close() {
 	p.close.Do(func() {
-		if p.regions != nil {
-			close(p.regions)
+		for _, ch := range p.chans {
+			close(ch)
 		}
 	})
 }
 
 func (p *Pool) helper(id int) {
-	for r := range p.regions {
+	for r := range p.chans[id-1] {
 		r.run(id)
 		r.wg.Done()
 	}
@@ -140,16 +210,32 @@ func (p *Pool) Run(numChunks int, fn func(worker, chunk int)) {
 	}
 	r := &region{fn: fn, num: int64(numChunks)}
 	helpers := p.workers - 1
-	if helpers > numChunks-1 {
+	if p.affine {
+		// Static ownership: every helper's fixed block must run even
+		// when some blocks are empty, so all W−1 helpers are
+		// dispatched (no capping at numChunks−1 — the chunk→worker
+		// map may not depend on which helpers happened to wake).
+		r.owners = p.workers
+	} else if helpers > numChunks-1 {
 		helpers = numChunks - 1
 	}
 	r.wg.Add(helpers)
 	for h := 0; h < helpers; h++ {
-		p.regions <- r
+		p.chans[h] <- r
 	}
 	r.run(0)
 	r.wg.Wait()
 }
+
+// poolsCreated counts Pool constructions process-wide. Regression
+// guards use it to assert that hot paths (e.g. transient stepping)
+// reuse a pinned pool instead of constructing one per call.
+var poolsCreated atomic.Int64
+
+// PoolsCreated returns the number of pools constructed so far in this
+// process. Intended for tests: snapshot before, run the path under
+// guard, assert the delta.
+func PoolsCreated() int64 { return poolsCreated.Load() }
 
 // For runs fn over [0, n) split into fixed Grain-sized chunks:
 // fn(start, end) with end−start ≤ Grain. Writes to disjoint index

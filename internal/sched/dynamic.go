@@ -88,6 +88,7 @@ func SimulateRotation(spec *stack.Spec, tasks []Task, period, dt float64, cycles
 	if err != nil {
 		return nil, err
 	}
+	defer tr.Close()
 
 	out := &DynamicResult{}
 	stepsPerPeriod := int(math.Round(period / dt))

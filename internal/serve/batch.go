@@ -199,7 +199,8 @@ func (s *Server) solveBatch(items []batchItem, missIdx []int) ([]*solved, error)
 	defer cancel()
 	opts := solver.Options{
 		Tol: ev0.Tol, MaxIter: ev0.MaxIter, Precond: ev0.Precond,
-		Engine: s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
+		Precision: ev0.Precision,
+		Engine:    s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
 	}
 	qs := make([][]float64, len(missIdx))
 	for bi, i := range missIdx {

@@ -54,12 +54,17 @@ func hashEval(ev *specio.Eval, includeSources bool) (string, error) {
 		binary.LittleEndian.PutUint64(opts[24:], floatBits(tr.DtS))
 		binary.LittleEndian.PutUint64(opts[32:], uint64(tr.Steps))
 	}
-	// Fidelity tag: the rc tier answers the same physical problem with
-	// different numbers, so its entries must live under distinct
-	// addresses — full and rc keys can never alias.
+	// Flags word. Bit 0: the rc fidelity tier answers the same physical
+	// problem with different numbers, so its entries must live under
+	// distinct addresses — full and rc keys can never alias. Byte 1:
+	// the preconditioner precision tier (F64 = 0, so pre-existing
+	// requests keep their historical addresses).
+	var flags uint64
 	if ev.RC() {
-		binary.LittleEndian.PutUint64(opts[40:], 1)
+		flags |= 1
 	}
+	flags |= uint64(ev.Precision) << 8
+	binary.LittleEndian.PutUint64(opts[40:], flags)
 	h.Write(opts[:])
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

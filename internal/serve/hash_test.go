@@ -70,6 +70,16 @@ func TestKeyPermutationInvariance(t *testing.T) {
 		t.Fatal("writing the solver defaults explicitly changed the key")
 	}
 
+	// The f64 precision tier is the default; naming it (either way)
+	// must keep the pre-precision-field addresses.
+	for _, name := range []string{"f64", "float64"} {
+		prec := hashBase()
+		prec.Solver.Precision = name
+		if k, _ := keyOf(t, prec); k != base {
+			t.Fatalf("explicit precision %q changed the key", name)
+		}
+	}
+
 	// jacobi upgrades to zline during normalization (matching
 	// stack.Solve), so the two name the same solve.
 	jacobi := hashBase()
@@ -95,6 +105,7 @@ func TestKeySensitivity(t *testing.T) {
 		"tol":            func(r *specio.EvalRequest) { r.Solver.Tol = 1e-9 },
 		"max_iter":       func(r *specio.EvalRequest) { r.Solver.MaxIter = 77 },
 		"precond":        func(r *specio.EvalRequest) { r.Solver.Precond = "multigrid" },
+		"precision":      func(r *specio.EvalRequest) { r.Solver.Precision = "f32" },
 		"die_w":          func(r *specio.EvalRequest) { r.Stack.DieWUm = 250 },
 		"die_h":          func(r *specio.EvalRequest) { r.Stack.DieHUm = 250 },
 		"tiers":          func(r *specio.EvalRequest) { r.Stack.Tiers = 3 },

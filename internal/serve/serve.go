@@ -537,7 +537,8 @@ func (s *Server) solve(ev *specio.Eval, key, famKey string) (*solved, error) {
 	defer cancel()
 	opts := solver.Options{
 		Tol: ev.Tol, MaxIter: ev.MaxIter, Precond: ev.Precond,
-		Engine: s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
+		Precision: ev.Precision,
+		Engine:    s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
 	}
 	warm := false
 	if !s.cfg.DisableWarmStart && ev.Steady() {
@@ -565,6 +566,7 @@ func (s *Server) solve(ev *specio.Eval, key, famKey string) (*solved, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer tr.Close()
 		field, err = tr.Run(ev.Req.Transient.Steps, ev.Req.Transient.DtS)
 		if err != nil {
 			return nil, err

@@ -31,7 +31,10 @@ type Engine struct {
 // NewEngine creates an engine with the given worker count; workers
 // ≤ 0 defaults to one worker per CPU core (runtime.GOMAXPROCS).
 func NewEngine(workers int) *Engine {
-	p := parallel.NewPool(workers)
+	// Affine ownership: see newKern — same locality argument, and an
+	// engine's whole point is reuse across thousands of same-shaped
+	// solves, exactly where stable chunk→worker pinning pays most.
+	p := parallel.NewAffinePool(workers)
 	return &Engine{pool: p, workers: p.Workers()}
 }
 

@@ -137,6 +137,7 @@ func BenchmarkTransientStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer tr.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := tr.Step(1e-4); err != nil {
@@ -178,6 +179,60 @@ func BenchmarkSteadyZLine64Workers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSteadyMG96Workers is the tiled-multigrid acceptance
+// measurement: the full steady MGCG solve on the 96×96×26-cell
+// 12-tier stack, per preconditioner precision tier, across worker
+// counts. workers=1 f64 is the seed-parity baseline (bitwise pinned
+// to the pre-tiling implementation by the equivalence suite); the
+// workers=8/workers=1 ratio is the scaling figure recorded in
+// BENCH_solver.json — on the 1-vCPU CI box it can only measure pool
+// overhead, the multi-core ratio requires real cores.
+func BenchmarkSteadyMG96Workers(b *testing.B) {
+	p := benchStack(b, 96)
+	for _, prec := range []Precision{F64, F32} {
+		for _, w := range benchWorkerCounts {
+			b.Run(fmt.Sprintf("precision=%s/workers=%d", prec, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					opts := Options{Tol: 1e-7, Precond: Multigrid, Precision: prec, Workers: w}
+					if _, err := SolveSteady(p, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMGCyclePrecision isolates one V-cycle per tier on the
+// n=96 stack — the pure bandwidth comparison behind the f32 tier
+// (same sweeps, half the bytes), without PCG iteration-count effects.
+func BenchmarkMGCyclePrecision(b *testing.B) {
+	p := benchStack(b, 96)
+	op := assemble(p)
+	n := len(op.b)
+	kr := newKern(Options{Workers: 1}, n)
+	defer kr.close()
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%13) - 6
+	}
+	b.Run("precision=f64", func(b *testing.B) {
+		mg := newMultigridTier[float64](op, kr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mg.apply(r, z)
+		}
+	})
+	b.Run("precision=f32", func(b *testing.B) {
+		mg := newMultigridTier[float32](op, kr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mg.apply(r, z)
+		}
+	})
 }
 
 // BenchmarkSteadySOR64Workers times the red-black parallel SOR path
@@ -270,6 +325,7 @@ func BenchmarkTransientStepWorkers(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer tr.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := tr.Step(1e-4); err != nil {

@@ -243,6 +243,7 @@ func TestEquivalenceTransient(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer tr.Close()
 		out, err := tr.Run(5, 2e-4)
 		if err != nil {
 			t.Fatal(err)

@@ -23,7 +23,7 @@ import (
 // on an n×n×n cube with all-Dirichlet(300) faces (T* is 300 on every
 // boundary) and constant k, where q = 3k(π/L)²·(T*−300), and returns
 // the max-norm error at cell centers.
-func mmsSteadyError(t *testing.T, n int) float64 {
+func mmsSteadyError(t *testing.T, n int, opts Options) float64 {
 	t.Helper()
 	const (
 		L = 1e-3
@@ -51,7 +51,7 @@ func mmsSteadyError(t *testing.T, n int) float64 {
 	for f := Face(0); f < numFaces; f++ {
 		p.Bounds[f] = DirichletBC(300)
 	}
-	r, err := SolveSteady(p, Options{Tol: 1e-11, MaxIter: 100000, Precond: ZLine})
+	r, err := SolveSteady(p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,9 +73,10 @@ func mmsSteadyError(t *testing.T, n int) float64 {
 // SolveSteady on the manufactured solution: halving h must cut the
 // max-norm error ~4×.
 func TestMMSSteadySecondOrder(t *testing.T) {
-	e8 := mmsSteadyError(t, 8)
-	e16 := mmsSteadyError(t, 16)
-	e32 := mmsSteadyError(t, 32)
+	opts := Options{Tol: 1e-11, MaxIter: 100000, Precond: ZLine}
+	e8 := mmsSteadyError(t, 8, opts)
+	e16 := mmsSteadyError(t, 16, opts)
+	e32 := mmsSteadyError(t, 32, opts)
 	p1 := math.Log2(e8 / e16)
 	p2 := math.Log2(e16 / e32)
 	t.Logf("MMS steady errors: e8=%.3g e16=%.3g e32=%.3g, orders %.2f, %.2f", e8, e16, e32, p1, p2)

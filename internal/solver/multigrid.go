@@ -40,11 +40,57 @@ package solver
 // half-sweeps are A-orthogonal projections, so no damping parameter
 // is needed for positive definiteness.
 //
+// # Temporal tiling
+//
+// The production cycle fuses the kernels of each V-cycle leg so the
+// fine grid is streamed once per leg instead of once per kernel —
+// the sweeps are memory-bound, so bytes moved, not flops, set the
+// cost. Both fusions follow from the red-black structure and are
+// exact (bitwise) rewrites of the textbook sequence:
+//
+// Down-leg (pre-smooth → residual → restrict): after the black
+// half-sweep relaxes a black column exactly, the residual vanishes on
+// it, so restriction sums red-cell residuals only — and a red cell's
+// residual is final as soon as its black neighbors are smoothed. The
+// black half-sweep therefore walks y-bands of coarse rows and emits
+// each coarse row's restricted residual as soon as the fine row above
+// it is smoothed (a trailing emit), while the data is still in cache.
+// Band-boundary fine rows are smoothed in a small preliminary pass so
+// bands never read a neighbor band's in-flight rows; black columns
+// are mutually independent, so any smoothing order is bitwise
+// identical, and each rc cell keeps the exact nested j,i accumulation
+// order of the unfused restriction.
+//
+// Up-leg (prolong → post-smooth): the post-smooth relaxes black
+// columns first (reverse color order), overwriting every black cell
+// without reading it — so prolonged black values are dead — and the
+// following red half-sweep reads only black values. Prolonged red
+// values are thus read exactly once, as lateral operands of the black
+// gather, and the prolongation pass is folded away entirely: the
+// black gather reads x[nb] + xc[aggregate(nb)] on the fly, the same
+// single addition the materialized pass performed.
+//
+// The unfused reference cycle is kept behind the untiled flag and the
+// equivalence suite pins tiled == untiled bitwise at every worker
+// count and in both precision tiers.
+//
+// # Precision tiers
+//
+// The hierarchy is generic over the arithmetic type F (float32 or
+// float64). Construction — coarsening, Thomas factorization — always
+// runs in float64; the per-level coefficient, factor, and scratch
+// arrays are then stored in F (the float64 tier aliases the operator
+// arrays, zero-copy). The float32 tier halves the bytes every sweep
+// moves. It exists for preconditioning only: the outer PCG vectors
+// and every dot-product reduction stay float64, so the f32 V-cycle
+// only changes how fast the preconditioner approximates A⁻¹, not what
+// the solve converges to (the MMS suite pins solution accuracy).
+//
 // Determinism: smoothing, restriction, and prolongation all run
 // through internal/parallel with fixed-grain chunking and no
 // floating-point reductions, so one V-cycle is bitwise identical at
-// every worker count (serial included); the solve-level contract is
-// then identical to the other preconditioners'.
+// every worker count (serial included) in both tiers; the solve-level
+// contract is then identical to the other preconditioners'.
 
 import (
 	"thermalscaffold/internal/mesh"
@@ -58,9 +104,34 @@ import (
 // still a valid SPD preconditioner, just a slower one.
 const mgMaxLevels = 40
 
-// mgLevel is one grid level of the multigrid hierarchy.
-type mgLevel struct {
-	op *operator
+// mgFloat constrains a multigrid precision tier's arithmetic type.
+type mgFloat interface {
+	float32 | float64
+}
+
+// toTier converts a float64 array to tier F. For F = float64 the
+// original slice is returned unchanged (zero-copy — this is what
+// keeps the f64 tier bit-for-bit on the operator's own arrays); for
+// float32 each element is rounded once, here, never on the hot path.
+func toTier[F mgFloat](src []float64) []F {
+	if dst, ok := any(src).([]F); ok {
+		return dst
+	}
+	dst := make([]F, len(src))
+	for i, v := range src {
+		dst[i] = F(v)
+	}
+	return dst
+}
+
+// mgLevel is one grid level of the multigrid hierarchy, with every
+// hot-path array stored in the tier's precision.
+type mgLevel[F mgFloat] struct {
+	nx, ny, nz int
+	sy, sz     int // index strides
+	// Stencil of this level's operator (see operator): positive face
+	// conductances plus the full diagonal.
+	gxp, gyp, gzp, diag []F
 	// Coarsening maps to the next-coarser level (nil on the coarsest):
 	// xoff/yoff are the mesh.CoarsenOffsets aggregate boundaries,
 	// xmap/ymap map each fine axis index to its aggregate.
@@ -72,14 +143,14 @@ type mgLevel struct {
 	// is fixed for the lifetime of the hierarchy, so factoring once
 	// per level halves the per-sweep column-solve cost (no divisions
 	// on the hot path).
-	cpf, minv []float64
+	cpf, minv []F
 	// dp is the full-grid forward-elimination scratch of the
 	// layer-wise smoother. Making it grid-sized (instead of one
 	// column's worth) is what lets the smoother sweep layer by layer
 	// in linear memory order rather than column by column at stride
 	// sz — the column walk touched one cache line per z-layer per
 	// column and defeated the hardware prefetchers.
-	dp []float64
+	dp []F
 	// colGrain is the parallel column-range grain for this level,
 	// rounded up to whole rows so each worker strip runs linearly
 	// through every layer.
@@ -87,32 +158,36 @@ type mgLevel struct {
 	// Scratch: b is the restricted right-hand side and x the solution
 	// estimate (levels below the finest; the finest uses the caller's
 	// r/z).
-	b, x []float64
+	b, x []F
 }
 
-// multigrid is the assembled hierarchy.
-type multigrid struct {
-	levels []*mgLevel
+// multigrid is the assembled hierarchy for one precision tier.
+type multigrid[F mgFloat] struct {
+	levels []*mgLevel[F]
 	kr     *kern
+	// rbuf/zbuf convert the caller's float64 r/z at the fine-level
+	// boundary; nil when F is float64 (apply runs in place).
+	rbuf, zbuf []F
+	// untiled selects the unfused reference cycle — the test seam the
+	// equivalence suite uses to pin the tiled sweeps bitwise.
+	untiled bool
 }
 
-// newMultigrid builds the semi-coarsened hierarchy for op. The
-// construction is a few O(n) passes — cheap next to a single PCG
-// iteration — and runs serially for simplicity and determinism.
-func newMultigrid(op *operator, kr *kern) *multigrid {
-	mg := &multigrid{kr: kr}
+// newMultigrid builds the float64-tier hierarchy for op — the tier
+// whose results are bitwise-pinned to the historical implementation.
+func newMultigrid(op *operator, kr *kern) *multigrid[float64] {
+	return newMultigridTier[float64](op, kr)
+}
+
+// newMultigridTier builds the semi-coarsened hierarchy for op in
+// precision tier F. The construction is a few O(n) float64 passes —
+// cheap next to a single PCG iteration — and runs serially for
+// simplicity and determinism; only the finished per-level arrays are
+// stored in F.
+func newMultigridTier[F mgFloat](op *operator, kr *kern) *multigrid[F] {
+	mg := &multigrid[F]{kr: kr}
 	for cur := op; ; {
-		lvl := &mgLevel{op: cur}
-		lvl.cpf, lvl.minv = columnFactors(cur)
-		lvl.dp = make([]float64, len(cur.diag))
-		cg := parallel.Grain / cur.nz
-		if cg < 1 {
-			cg = 1
-		}
-		if cur.nx > 1 {
-			cg = (cg + cur.nx - 1) / cur.nx * cur.nx
-		}
-		lvl.colGrain = cg
+		lvl := newMGLevel[F](cur)
 		mg.levels = append(mg.levels, lvl)
 		if (cur.nx == 1 && cur.ny == 1) || len(mg.levels) >= mgMaxLevels {
 			break
@@ -124,10 +199,56 @@ func newMultigrid(op *operator, kr *kern) *multigrid {
 		cur = coarsenOperator(cur, lvl.xoff, lvl.yoff)
 	}
 	for _, lvl := range mg.levels[1:] {
-		lvl.b = make([]float64, len(lvl.op.diag))
-		lvl.x = make([]float64, len(lvl.op.diag))
+		lvl.b = make([]F, len(lvl.diag))
+		lvl.x = make([]F, len(lvl.diag))
+	}
+	if _, native := any(op.diag).([]F); !native {
+		n := len(op.diag)
+		mg.rbuf = make([]F, n)
+		mg.zbuf = make([]F, n)
 	}
 	return mg
+}
+
+// newZLineTier builds a single-level "hierarchy" for op: its apply is
+// just the coarsest-level lineSolve — the exact per-column Thomas
+// solve against the full diagonal that the ZLine preconditioner
+// performs — with the column factors prefactored in tier F. This is
+// how the f32 ZLine tier reuses the multigrid machinery (conversion
+// buffers, layer-ordered sweeps, pool fan-out) without a second
+// tridiagonal kernel.
+func newZLineTier[F mgFloat](op *operator, kr *kern) *multigrid[F] {
+	mg := &multigrid[F]{kr: kr, levels: []*mgLevel[F]{newMGLevel[F](op)}}
+	if _, native := any(op.diag).([]F); !native {
+		n := len(op.diag)
+		mg.rbuf = make([]F, n)
+		mg.zbuf = make([]F, n)
+	}
+	return mg
+}
+
+// newMGLevel captures one operator as a tier-F level: stencil and
+// Thomas factors converted once, scratch allocated, column grain
+// fixed.
+func newMGLevel[F mgFloat](cur *operator) *mgLevel[F] {
+	lvl := &mgLevel[F]{
+		nx: cur.nx, ny: cur.ny, nz: cur.nz,
+		sy: cur.sy, sz: cur.sz,
+		gxp: toTier[F](cur.gxp), gyp: toTier[F](cur.gyp),
+		gzp: toTier[F](cur.gzp), diag: toTier[F](cur.diag),
+	}
+	cpf, minv := columnFactors(cur)
+	lvl.cpf, lvl.minv = toTier[F](cpf), toTier[F](minv)
+	lvl.dp = make([]F, len(cur.diag))
+	cg := parallel.Grain / cur.nz
+	if cg < 1 {
+		cg = 1
+	}
+	if cur.nx > 1 {
+		cg = (cg + cur.nx - 1) / cur.nx * cur.nx
+	}
+	lvl.colGrain = cg
+	return lvl
 }
 
 // columnFactors runs the Thomas forward elimination of every column
@@ -273,15 +394,45 @@ func coarsenOperator(op *operator, xoff, yoff []int) *operator {
 	return co
 }
 
-// apply is the preconditioner action z ← B·r (one V-cycle).
-func (mg *multigrid) apply(r, z []float64) {
-	mg.cycle(0, r, z)
+// apply is the preconditioner action z ← B·r (one V-cycle). For the
+// float64 tier it runs in place on the caller's vectors; other tiers
+// convert at the fine-level boundary (elementwise, chunked — so the
+// conversion is as deterministic as the cycle itself).
+func (mg *multigrid[F]) apply(r, z []float64) {
+	if rf, ok := any(r).([]F); ok {
+		mg.cycle(0, rf, any(z).([]F))
+		return
+	}
+	rb, zb := mg.rbuf, mg.zbuf
+	pool := mg.kr.pool
+	if pool.Serial() {
+		for i, v := range r {
+			rb[i] = F(v)
+		}
+		mg.cycle(0, rb, zb)
+		for i, v := range zb {
+			z[i] = float64(v)
+		}
+		return
+	}
+	pool.For(len(r), func(s, e int) {
+		for i := s; i < e; i++ {
+			rb[i] = F(r[i])
+		}
+	})
+	mg.cycle(0, rb, zb)
+	pool.For(len(z), func(s, e int) {
+		for i := s; i < e; i++ {
+			z[i] = float64(zb[i])
+		}
+	})
 }
 
-// cycle runs one V(1,1) cycle solving lvl.op·x ≈ b with x entered as
+// cycle runs one V(1,1) cycle solving lvl·x ≈ b with x entered as
 // scratch (fully overwritten by the pre-smooth, so no zeroing pass is
-// needed).
-func (mg *multigrid) cycle(l int, b, x []float64) {
+// needed). The production path is the temporally tiled cycle (see the
+// package comment); mg.untiled selects the unfused reference.
+func (mg *multigrid[F]) cycle(l int, b, x []F) {
 	lvl := mg.levels[l]
 	if l == len(mg.levels)-1 {
 		// Coarsest level: a single z column — solve exactly with one
@@ -290,31 +441,42 @@ func (mg *multigrid) cycle(l int, b, x []float64) {
 		mg.lineSolve(lvl, b, x)
 		return
 	}
-	// Pre-smooth from x = 0: one red-black line-GS sweep. The first
-	// color solves against b directly (its lateral neighbors are
-	// logically zero), so x needs no zeroing pass.
-	mg.rbLineSmooth(lvl, b, x, false, true)
-	// Coarse-grid correction, with the residual fused into the
-	// restriction.
 	next := mg.levels[l+1]
-	mg.restrictResidual(lvl, next, x, b, next.b)
+	if mg.untiled {
+		// Reference (unfused) sequence: every kernel is a separate
+		// full-grid pass.
+		mg.rbLineSmooth(lvl, b, x, false, true)
+		mg.restrictResidual(lvl, next, x, b, next.b)
+		mg.cycle(l+1, next.b, next.x)
+		mg.prolong(lvl, next, next.x, x)
+		mg.rbLineSmooth(lvl, b, x, true, false)
+		return
+	}
+	// Tiled down-leg: red half-sweep from zero, then the fused black
+	// half-sweep + residual restriction over y-bands.
+	mg.solveColumns(lvl, b, x, 0, false)
+	mg.smoothRestrict(lvl, next, b, x, next.b)
 	mg.cycle(l+1, next.b, next.x)
-	mg.prolong(lvl, next, next.x, x)
-	// Post-smooth with the colors reversed — each half-sweep is an
-	// exact block solve and therefore A-self-adjoint, so black∘red is
-	// the A-adjoint of red∘black and the V-cycle stays symmetric.
-	mg.rbLineSmooth(lvl, b, x, true, false)
+	// Tiled up-leg: the prolongation is folded into the black
+	// post-smooth's gather; the red half-sweep then reads only final
+	// black values. Colors reversed relative to the pre-smooth — each
+	// half-sweep is an exact block solve and therefore A-self-adjoint,
+	// so black∘red is the A-adjoint of red∘black and the V-cycle stays
+	// symmetric.
+	mg.smoothCorrect(lvl, next, b, x, next.x)
+	mg.solveColumns(lvl, b, x, 0, true)
 }
 
 // rbLineSmooth runs one red-black line Gauss-Seidel sweep on
-// lvl.op·x ≈ b. Each half-sweep relaxes every column of one color
-// exactly while reading lateral values only from the opposite color
-// (fixed during the half-sweep), so column ranges chunk across the
-// pool race-free and the result is bitwise identical at any worker
-// count. reverse flips the color order (the post-smooth adjoint);
-// fromZero treats x as logically zero, letting the first color skip
-// the lateral gather and the caller skip zeroing stale scratch.
-func (mg *multigrid) rbLineSmooth(lvl *mgLevel, b, x []float64, reverse, fromZero bool) {
+// lvl·x ≈ b (the unfused reference smoother). Each half-sweep relaxes
+// every column of one color exactly while reading lateral values only
+// from the opposite color (fixed during the half-sweep), so column
+// ranges chunk across the pool race-free and the result is bitwise
+// identical at any worker count. reverse flips the color order (the
+// post-smooth adjoint); fromZero treats x as logically zero, letting
+// the first color skip the lateral gather and the caller skip zeroing
+// stale scratch.
+func (mg *multigrid[F]) rbLineSmooth(lvl *mgLevel[F], b, x []F, reverse, fromZero bool) {
 	order := [2]int{0, 1}
 	if reverse {
 		order = [2]int{1, 0}
@@ -329,8 +491,8 @@ func (mg *multigrid) rbLineSmooth(lvl *mgLevel, b, x []float64, reverse, fromZer
 // color < 0) exactly, fanning contiguous column ranges out across the
 // pool. Columns are independent tridiagonal solves writing disjoint
 // cells, so any partition produces bit-identical results.
-func (mg *multigrid) solveColumns(lvl *mgLevel, b, x []float64, color int, gather bool) {
-	sz := lvl.op.sz
+func (mg *multigrid[F]) solveColumns(lvl *mgLevel[F], b, x []F, color int, gather bool) {
+	sz := lvl.sz
 	if mg.kr.pool.Serial() {
 		lvl.smoothRange(b, x, color, gather, 0, sz)
 		return
@@ -371,11 +533,10 @@ func rowSpan(nx, lo, hi, rs, j, color int) (i, ie, step int) {
 // per-cell arithmetic is exactly the per-column Thomas recurrence, so
 // results are bitwise identical to the column-at-a-time order
 // (columns never couple within a color).
-func (lvl *mgLevel) smoothRange(b, x []float64, color int, gather bool, lo, hi int) {
-	op := lvl.op
-	nx, sy, sz, nz := op.nx, op.sy, op.sz, op.nz
-	gxp, gyp, gzp := op.gxp, op.gyp, op.gzp
-	cpf, minv, dp := lvl.cpf, lvl.minv, lvl.dp
+func (lvl *mgLevel[F]) smoothRange(b, x []F, color int, gather bool, lo, hi int) {
+	nx, sy, sz, nz := lvl.nx, lvl.sy, lvl.sz, lvl.nz
+	gxp, gyp, gzp := lvl.gxp, lvl.gyp, lvl.gzp
+	minv, dp := lvl.minv, lvl.dp
 	row0 := lo - lo%nx
 	// Forward elimination: dp[c] = (rhs[c] + gzp[c−sz]·dp[c−sz])·minv[c]
 	// with rhs gathered in place (b plus lateral coupling to the
@@ -422,8 +583,16 @@ func (lvl *mgLevel) smoothRange(b, x []float64, color int, gather bool, lo, hi i
 			}
 		}
 	}
-	// Back substitution: top layer is dp directly, then
-	// x[c] = dp[c] − cpf[c]·x[c+sz] layer by layer downward.
+	lvl.backSubstitute(x, color, lo, hi)
+}
+
+// backSubstitute finishes the column solves of smoothRange (and its
+// fused variants): top layer is dp directly, then
+// x[c] = dp[c] − cpf[c]·x[c+sz] layer by layer downward.
+func (lvl *mgLevel[F]) backSubstitute(x []F, color, lo, hi int) {
+	nx, sz, nz := lvl.nx, lvl.sz, lvl.nz
+	cpf, dp := lvl.cpf, lvl.dp
+	row0 := lo - lo%nx
 	top := (nz - 1) * sz
 	for rs := row0; rs < hi; rs += nx {
 		j := rs / nx
@@ -450,57 +619,266 @@ func (lvl *mgLevel) smoothRange(b, x []float64, color int, gather bool, lo, hi i
 // coarsest (1×1-column) level this is the exact solve of the whole
 // level. Columns write disjoint entries, so the result is bitwise
 // identical at any worker count.
-func (mg *multigrid) lineSolve(lvl *mgLevel, r, z []float64) {
+func (mg *multigrid[F]) lineSolve(lvl *mgLevel[F], r, z []F) {
 	mg.solveColumns(lvl, r, z, -1, false)
 }
 
-// restrictResidual forms the coarse right-hand side rc = R·(b − A·x)
-// in one fused pass. The pre-smooth's last half-sweep solved every
-// color-1 column exactly with color-0 values fixed, so the residual
-// vanishes on color-1 cells and only color-0 cells contribute — the
-// kernel evaluates the 7-point residual on half the cells and never
-// materializes the residual vector. Each coarse cell owns a disjoint
-// fine aggregate visited in fixed nested order, so chunking over
-// coarse cells is race-free and worker-count independent.
-func (mg *multigrid) restrictResidual(fine, coarse *mgLevel, x, b, rc []float64) {
-	fop := fine.op
-	cop := coarse.op
-	sy, sz := fop.sy, fop.sz
+// smoothRestrict is the fused down-leg tail: the black half-sweep of
+// the pre-smooth plus the restriction of the resulting residual, in
+// one pass over y-bands of coarse rows. Fine rows are smoothed in
+// band order and each coarse row's rc values are emitted as soon as
+// the fine row above it is final (a trailing emit), so the restrict
+// reads x while the smoother's writes are still cache-hot.
+//
+// Band-boundary fine rows (the last row before and first row of each
+// band start) are smoothed in a small preliminary pool pass, so phase
+// two never reads a row another band is still writing: each band
+// writes only its interior rows and reads beyond its edges only
+// phase-one rows. Black columns are mutually independent (they read
+// b and red values fixed by the preceding half-sweep), so this
+// smoothing order is bitwise identical to any other; rc cells keep
+// the unfused kernel's exact per-cell accumulation order, so the
+// whole fusion is a bitwise rewrite at every worker count.
+func (mg *multigrid[F]) smoothRestrict(fine, coarse *mgLevel[F], b, x, rc []F) {
+	nyc := coarse.ny
+	yoff := fine.yoff
+	pool := mg.kr.pool
+	bands := pool.Workers()
+	if bands > nyc {
+		bands = nyc
+	}
+	if bands <= 1 {
+		mg.bandRestrict(fine, coarse, b, x, rc, 0, nyc, 0, fine.ny)
+		return
+	}
+	// Phase one: smooth the band-boundary fine rows. Spans merge when
+	// single-row bands make neighboring boundaries overlap, so no row
+	// is written twice.
+	nx := fine.nx
+	type span struct{ lo, hi int } // fine row range [lo, hi)
+	spans := make([]span, 0, bands-1)
+	for w := 1; w < bands; w++ {
+		J0, _ := parallel.Partition(nyc, bands, w)
+		lo, hi := yoff[J0]-1, yoff[J0]+1
+		if len(spans) > 0 && lo <= spans[len(spans)-1].hi {
+			spans[len(spans)-1].hi = hi
+		} else {
+			spans = append(spans, span{lo, hi})
+		}
+	}
+	pool.Run(len(spans), func(_, si int) {
+		sp := spans[si]
+		fine.smoothRange(b, x, 1, true, sp.lo*nx, sp.hi*nx)
+	})
+	// Phase two: per band, smooth the interior rows coarse row by
+	// coarse row with the trailing restrict emit.
+	pool.Run(bands, func(_, w int) {
+		J0, J1 := parallel.Partition(nyc, bands, w)
+		rowLo, rowHi := yoff[J0], yoff[J1]
+		if w > 0 {
+			rowLo++ // boundary rows already smoothed in phase one
+		}
+		if w < bands-1 {
+			rowHi--
+		}
+		mg.bandRestrict(fine, coarse, b, x, rc, J0, J1, rowLo, rowHi)
+	})
+}
+
+// bandRestrict smooths the black columns of fine rows [rowLo, rowHi)
+// coarse row by coarse row, emitting coarse row J−1's restriction
+// right after coarse row J's rows are smoothed (J−1's red cells then
+// have all their black neighbors final, through fine row yoff[J]).
+// The band's last coarse row is emitted after the loop — its top
+// neighbor row is either a phase-one boundary row or past the grid.
+func (mg *multigrid[F]) bandRestrict(fine, coarse *mgLevel[F], b, x, rc []F, J0, J1, rowLo, rowHi int) {
+	nx := fine.nx
+	yoff := fine.yoff
+	for J := J0; J < J1; J++ {
+		lo, hi := yoff[J], yoff[J+1]
+		if lo < rowLo {
+			lo = rowLo
+		}
+		if hi > rowHi {
+			hi = rowHi
+		}
+		if lo < hi {
+			fine.smoothRange(b, x, 1, true, lo*nx, hi*nx)
+		}
+		if J > J0 {
+			emitRestrict(fine, coarse, b, x, rc, J-1)
+		}
+	}
+	emitRestrict(fine, coarse, b, x, rc, J1-1)
+}
+
+// emitRestrict writes coarse row J of rc = R·(b − A·x). The
+// pre-smooth's black half-sweep solved every black column exactly
+// with red values fixed, so the residual vanishes on black cells and
+// only red cells contribute — the kernel evaluates the 7-point
+// residual on half the cells and never materializes the residual
+// vector. Per coarse cell the fine aggregate is visited in the same
+// nested j,i order as the unfused restrictResidual, so each rc value
+// is bit-identical regardless of which rows/bands produced it.
+func emitRestrict[F mgFloat](fine, coarse *mgLevel[F], b, x, rc []F, J int) {
+	nx, ny, sy, sz := fine.nx, fine.ny, fine.sy, fine.sz
+	nxc, nyc := coarse.nx, coarse.ny
 	xoff, yoff := fine.xoff, fine.yoff
-	body := func(s, e int) {
-		I := s % cop.nx
-		J := (s % cop.sz) / cop.nx
-		k := s / cop.sz
-		for C := s; C < e; C++ {
-			var sum float64
+	gxp, gyp, gzp, diag := fine.gxp, fine.gyp, fine.gzp, fine.diag
+	for k := 0; k < fine.nz; k++ {
+		cb := (k*nyc + J) * nxc
+		for I := 0; I < nxc; I++ {
+			var sum F
 			for j := yoff[J]; j < yoff[J+1]; j++ {
 				for i := xoff[I]; i < xoff[I+1]; i++ {
 					if (i+j)&1 != 0 {
 						continue // exactly-relaxed color: zero residual
 					}
-					c := (k*fop.ny+j)*fop.nx + i
-					r := b[c] - fop.diag[c]*x[c]
-					if g := fop.gxp[c]; g != 0 {
+					c := (k*ny+j)*nx + i
+					r := b[c] - diag[c]*x[c]
+					if g := gxp[c]; g != 0 {
 						r += g * x[c+1]
 					}
 					if c >= 1 {
-						if g := fop.gxp[c-1]; g != 0 {
+						if g := gxp[c-1]; g != 0 {
 							r += g * x[c-1]
 						}
 					}
-					if g := fop.gyp[c]; g != 0 {
+					if g := gyp[c]; g != 0 {
 						r += g * x[c+sy]
 					}
 					if c >= sy {
-						if g := fop.gyp[c-sy]; g != 0 {
+						if g := gyp[c-sy]; g != 0 {
 							r += g * x[c-sy]
 						}
 					}
-					if g := fop.gzp[c]; g != 0 {
+					if g := gzp[c]; g != 0 {
 						r += g * x[c+sz]
 					}
 					if c >= sz {
-						if g := fop.gzp[c-sz]; g != 0 {
+						if g := gzp[c-sz]; g != 0 {
+							r += g * x[c-sz]
+						}
+					}
+					sum += r
+				}
+			}
+			rc[cb+I] = sum
+		}
+	}
+}
+
+// smoothCorrect is the fused up-leg head: the black half-sweep of the
+// post-smooth with the coarse correction folded into its gather. The
+// black half-sweep overwrites every black cell without reading it, so
+// prolonged black values are dead; prolonged red values are read
+// exactly once, here, as lateral operands — computed on the fly as
+// x[nb] + xc[aggregate(nb)], the identical single addition the
+// materialized prolongation performed. The following red half-sweep
+// (in cycle) reads only black values, so no prolonged value is ever
+// needed again and the prolongation pass disappears entirely.
+func (mg *multigrid[F]) smoothCorrect(fine, coarse *mgLevel[F], b, x, xc []F) {
+	sz := fine.sz
+	if mg.kr.pool.Serial() {
+		fine.correctRange(b, x, xc, coarse.nx, coarse.ny, 0, sz)
+		return
+	}
+	mg.kr.pool.ForGrain(sz, fine.colGrain, func(_, s, e int) {
+		fine.correctRange(b, x, xc, coarse.nx, coarse.ny, s, e)
+	})
+}
+
+// correctRange is smoothRange for the black color with the coarse
+// correction xc added to every lateral (red) operand on the fly.
+func (lvl *mgLevel[F]) correctRange(b, x, xc []F, nxc, nyc int, lo, hi int) {
+	nx, sy, sz, nz := lvl.nx, lvl.sy, lvl.sz, lvl.nz
+	gxp, gyp, gzp := lvl.gxp, lvl.gyp, lvl.gzp
+	minv, dp := lvl.minv, lvl.dp
+	xmap, ymap := lvl.xmap, lvl.ymap
+	row0 := lo - lo%nx
+	for k := 0; k < nz; k++ {
+		base := k * sz
+		kc := k * nyc * nxc
+		for rs := row0; rs < hi; rs += nx {
+			j := rs / nx
+			i, ie, step := rowSpan(nx, lo, hi, rs, j, 1)
+			c0 := kc + ymap[j]*nxc // coarse base of this fine row
+			for ; i < ie; i += step {
+				c := base + rs + i
+				s := b[c]
+				if g := gxp[c]; g != 0 {
+					s += g * (x[c+1] + xc[c0+xmap[i+1]])
+				}
+				if c >= 1 {
+					if g := gxp[c-1]; g != 0 {
+						s += g * (x[c-1] + xc[c0+xmap[i-1]])
+					}
+				}
+				if g := gyp[c]; g != 0 {
+					s += g * (x[c+sy] + xc[kc+ymap[j+1]*nxc+xmap[i]])
+				}
+				if c >= sy {
+					if g := gyp[c-sy]; g != 0 {
+						s += g * (x[c-sy] + xc[kc+ymap[j-1]*nxc+xmap[i]])
+					}
+				}
+				if c >= sz {
+					s += gzp[c-sz] * dp[c-sz]
+				}
+				dp[c] = s * minv[c]
+			}
+		}
+	}
+	lvl.backSubstitute(x, 1, lo, hi)
+}
+
+// restrictResidual forms the coarse right-hand side rc = R·(b − A·x)
+// in one separate pass — the unfused reference for smoothRestrict.
+// The pre-smooth's last half-sweep solved every color-1 column
+// exactly with color-0 values fixed, so the residual vanishes on
+// color-1 cells and only color-0 cells contribute. Each coarse cell
+// owns a disjoint fine aggregate visited in fixed nested order, so
+// chunking over coarse cells is race-free and worker-count
+// independent.
+func (mg *multigrid[F]) restrictResidual(fine, coarse *mgLevel[F], x, b, rc []F) {
+	nx, ny, sy, sz := fine.nx, fine.ny, fine.sy, fine.sz
+	gxp, gyp, gzp, diag := fine.gxp, fine.gyp, fine.gzp, fine.diag
+	xoff, yoff := fine.xoff, fine.yoff
+	cnx, csz := coarse.nx, coarse.sz
+	body := func(s, e int) {
+		I := s % cnx
+		J := (s % csz) / cnx
+		k := s / csz
+		for C := s; C < e; C++ {
+			var sum F
+			for j := yoff[J]; j < yoff[J+1]; j++ {
+				for i := xoff[I]; i < xoff[I+1]; i++ {
+					if (i+j)&1 != 0 {
+						continue // exactly-relaxed color: zero residual
+					}
+					c := (k*ny+j)*nx + i
+					r := b[c] - diag[c]*x[c]
+					if g := gxp[c]; g != 0 {
+						r += g * x[c+1]
+					}
+					if c >= 1 {
+						if g := gxp[c-1]; g != 0 {
+							r += g * x[c-1]
+						}
+					}
+					if g := gyp[c]; g != 0 {
+						r += g * x[c+sy]
+					}
+					if c >= sy {
+						if g := gyp[c-sy]; g != 0 {
+							r += g * x[c-sy]
+						}
+					}
+					if g := gzp[c]; g != 0 {
+						r += g * x[c+sz]
+					}
+					if c >= sz {
+						if g := gzp[c-sz]; g != 0 {
 							r += g * x[c-sz]
 						}
 					}
@@ -509,10 +887,10 @@ func (mg *multigrid) restrictResidual(fine, coarse *mgLevel, x, b, rc []float64)
 			}
 			rc[C] = sum
 			I++
-			if I == cop.nx {
+			if I == cnx {
 				I = 0
 				J++
-				if J == cop.ny {
+				if J == coarse.ny {
 					J = 0
 					k++
 				}
@@ -527,23 +905,24 @@ func (mg *multigrid) restrictResidual(fine, coarse *mgLevel, x, b, rc []float64)
 }
 
 // prolong adds the piecewise-constant interpolation of the coarse
-// correction: x[c] += xc[aggregate(c)]. Chunked over fine cells;
-// elementwise, so bitwise identical at any worker count.
-func (mg *multigrid) prolong(fine, coarse *mgLevel, xc, x []float64) {
-	fop := fine.op
-	cop := coarse.op
+// correction: x[c] += xc[aggregate(c)] — the unfused reference for
+// smoothCorrect. Chunked over fine cells; elementwise, so bitwise
+// identical at any worker count.
+func (mg *multigrid[F]) prolong(fine, coarse *mgLevel[F], xc, x []F) {
+	fnx, fny, fsz := fine.nx, fine.ny, fine.sz
+	cnx, cny := coarse.nx, coarse.ny
 	xmap, ymap := fine.xmap, fine.ymap
 	body := func(s, e int) {
-		i := s % fop.nx
-		j := (s % fop.sz) / fop.nx
-		k := s / fop.sz
+		i := s % fnx
+		j := (s % fsz) / fnx
+		k := s / fsz
 		for c := s; c < e; c++ {
-			x[c] += xc[(k*cop.ny+ymap[j])*cop.nx+xmap[i]]
+			x[c] += xc[(k*cny+ymap[j])*cnx+xmap[i]]
 			i++
-			if i == fop.nx {
+			if i == fnx {
 				i = 0
 				j++
-				if j == fop.ny {
+				if j == fny {
 					j = 0
 					k++
 				}

@@ -1,0 +1,90 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"thermalscaffold/internal/mesh"
+)
+
+// tiledVsUntiled applies one V-cycle through the production (tiled)
+// and reference (unfused) paths of the same tier-F hierarchy and
+// demands bitwise identical output — the pin that makes the temporal
+// tiling a pure performance rewrite. Checked at several worker counts
+// because the tiled down-leg bands its work by worker count, which
+// must not leak into the values; apply runs twice so the second call
+// also exercises dirty level scratch.
+func tiledVsUntiled[F mgFloat](t *testing.T, p *Problem, workers []int) {
+	t.Helper()
+	op := assemble(p)
+	n := len(op.b)
+	rng := &eqRNG{s: 0x717ed}
+	r := mgRandVec(rng, n)
+
+	var ref []float64
+	for _, w := range workers {
+		kr := newKern(Options{Workers: w}, n)
+		tiled := newMultigridTier[F](op, kr)
+		plain := newMultigridTier[F](op, kr)
+		plain.untiled = true
+		zt := make([]float64, n)
+		zu := make([]float64, n)
+		for pass := 0; pass < 2; pass++ {
+			tiled.apply(r, zt)
+			plain.apply(r, zu)
+			if !bitIdentical(zt, zu) {
+				t.Errorf("workers=%d pass %d: tiled V-cycle differs bitwise from untiled reference", w, pass)
+			}
+		}
+		kr.close()
+		if ref == nil {
+			ref = zt
+		} else if !bitIdentical(ref, zt) {
+			t.Errorf("workers=%d: tiled V-cycle differs bitwise from workers=%d", w, workers[0])
+		}
+	}
+}
+
+// TestMultigridTiledMatchesUntiled pins the fused sweeps against the
+// textbook kernel sequence on the stiff anisotropic stack, in both
+// precision tiers.
+func TestMultigridTiledMatchesUntiled(t *testing.T) {
+	p := anisotropicStackProblem(t)
+	workers := []int{1, 2, 3, 8}
+	t.Run("f64", func(t *testing.T) { tiledVsUntiled[float64](t, p, workers) })
+	t.Run("f32", func(t *testing.T) { tiledVsUntiled[float32](t, p, workers) })
+}
+
+// TestMultigridTiledDegenerateShapes runs the tiled-vs-untiled pin on
+// the shapes that stress the banded down-leg: single-row and
+// single-column plans (nyc == 1 — no banding possible), a plan with
+// fewer coarse rows than workers (every band one row wide, merged
+// boundary spans), and a single-column stack (the hierarchy is just
+// the coarsest exact solve).
+func TestMultigridTiledDegenerateShapes(t *testing.T) {
+	shapes := []struct{ nx, ny, nz int }{
+		{1, 9, 6},
+		{9, 1, 6},
+		{1, 1, 12},
+		{6, 4, 5},  // nyc=2 < workers: single-row bands
+		{16, 3, 4}, // nyc=2 with odd ny
+		{2, 2, 3},
+	}
+	for _, s := range shapes {
+		t.Run(fmt.Sprintf("%dx%dx%d", s.nx, s.ny, s.nz), func(t *testing.T) {
+			g, err := mesh.Uniform(1e-4, 1e-4, 1e-5, s.nx, s.ny, s.nz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := NewProblem(g)
+			for c := 0; c < g.NumCells(); c++ {
+				p.SetAniso(c, 4+0.5*float64(c%3), 40)
+				p.Q[c] = 1e7 * float64(c%5)
+			}
+			p.Bounds[ZMin] = ConvectiveBC(1e4, 300)
+			workers := []int{1, 2, 8}
+			t.Run("f64", func(t *testing.T) { tiledVsUntiled[float64](t, p, workers) })
+			t.Run("f32", func(t *testing.T) { tiledVsUntiled[float32](t, p, workers) })
+		})
+	}
+}

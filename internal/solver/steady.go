@@ -64,6 +64,54 @@ func ParsePreconditioner(s string) (Preconditioner, error) {
 	return 0, fmt.Errorf("solver: unknown preconditioner %q (want jacobi, zline, or multigrid)", s)
 }
 
+// Precision selects the arithmetic tier of the PCG preconditioner.
+// Only the preconditioner is tiered: the operator, the outer PCG
+// vectors, and every dot-product reduction always run in float64, so
+// the tier changes how fast M⁻¹ approximates A⁻¹ — never what the
+// solve converges to (Options.Tol is still enforced on the float64
+// residual).
+type Precision int
+
+const (
+	// F64 (the zero value) runs the preconditioner in float64 — the
+	// historical arithmetic, bit-for-bit.
+	F64 Precision = iota
+	// F32 stores the preconditioner's stencil, factors, and iterates
+	// in float32 and sweeps in float32 arithmetic. The multigrid and
+	// z-line smoothers are memory-bound, so halving the bytes per
+	// sweep roughly halves preconditioner cost per iteration; the
+	// rougher M⁻¹ typically costs a few extra PCG iterations.
+	// Determinism is unchanged — the f32 sweeps contain no
+	// floating-point reductions, so results are bit-identical
+	// run-to-run and across worker counts, exactly like F64; only the
+	// F64 tier's values are pinned to the historical ones.
+	F32
+)
+
+// String returns the flag-friendly name of the precision tier.
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
+}
+
+// ParsePrecision maps a CLI flag value ("f64"/"float64", "f32"/
+// "float32") to the Precision constant. The empty string selects F64,
+// matching the zero-value default.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64", "float64":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	}
+	return 0, fmt.Errorf("solver: unknown precision %q (want f64 or f32)", s)
+}
+
 // Options controls the iterative solvers.
 type Options struct {
 	// MaxIter bounds the iteration count (default 20000).
@@ -75,6 +123,9 @@ type Options struct {
 	InitialGuess []float64
 	// Precond selects the preconditioner (default Jacobi).
 	Precond Preconditioner
+	// Precision selects the preconditioner's arithmetic tier (default
+	// F64, the historical bit-for-bit arithmetic). See Precision.
+	Precision Precision
 	// Workers is the number of goroutines running the parallel solver
 	// kernels: chunked SpMV, deterministic PCG reductions, per-column
 	// ZLine preconditioner fan-out, and red-black SOR sweeps. 0 (the
@@ -569,7 +620,7 @@ func pcg(op *operator, b []float64, opts Options, kr *kern, pcs precondCache) (*
 			Best: best, BestResidual: bres, Err: cause,
 		}
 	}
-	pc, err := pcs.get(op, opts.Precond, kr)
+	pc, err := pcs.get(op, opts.Precond, opts.Precision, kr)
 	if err != nil {
 		return nil, &ConvergenceError{
 			Method: "pcg", Precond: opts.Precond, Reason: ReasonBreakdown, Err: err,
@@ -660,29 +711,38 @@ type precondOp struct {
 	applyDot func(r, z []float64) float64
 }
 
-// precondCache memoizes built preconditioners by kind. One cache
-// lives per solveOperator call (covering the fallback ladder) or per
-// batch (covering K solves against the same operator): preconditioner
-// construction is a pure function of the operator matrix, so reuse is
-// bitwise-neutral, and for Multigrid it saves rebuilding the whole
-// hierarchy per item.
-type precondCache map[Preconditioner]precondOp
+// precondKey identifies one built preconditioner: the scheme plus its
+// arithmetic tier (the f32 and f64 builds of the same scheme hold
+// different arrays).
+type precondKey struct {
+	pc   Preconditioner
+	prec Precision
+}
 
-func (pcs precondCache) get(op *operator, kind Preconditioner, kr *kern) (precondOp, error) {
-	if pc, ok := pcs[kind]; ok {
+// precondCache memoizes built preconditioners by (scheme, precision).
+// One cache lives per solveOperator call (covering the fallback
+// ladder) or per batch/transient integrator (covering many solves
+// against the same operator): preconditioner construction is a pure
+// function of the operator matrix, so reuse is bitwise-neutral, and
+// for Multigrid it saves rebuilding the whole hierarchy per item.
+type precondCache map[precondKey]precondOp
+
+func (pcs precondCache) get(op *operator, kind Preconditioner, prec Precision, kr *kern) (precondOp, error) {
+	key := precondKey{pc: kind, prec: prec}
+	if pc, ok := pcs[key]; ok {
 		return pc, nil
 	}
-	pc, err := makePreconditioner(op, kind, kr)
+	pc, err := makePreconditioner(op, kind, prec, kr)
 	if err != nil {
 		return precondOp{}, err
 	}
-	pcs[kind] = pc
+	pcs[key] = pc
 	return pc, nil
 }
 
-// makePreconditioner builds z ← M⁻¹·r for the selected scheme,
-// running on kr's worker pool.
-func makePreconditioner(op *operator, kind Preconditioner, kr *kern) (precondOp, error) {
+// makePreconditioner builds z ← M⁻¹·r for the selected scheme and
+// precision tier, running on kr's worker pool.
+func makePreconditioner(op *operator, kind Preconditioner, prec Precision, kr *kern) (precondOp, error) {
 	n := len(op.diag)
 	if !op.diagChecked {
 		for c := 0; c < n; c++ {
@@ -691,6 +751,70 @@ func makePreconditioner(op *operator, kind Preconditioner, kr *kern) (precondOp,
 			}
 		}
 		op.diagChecked = true
+	}
+	switch prec {
+	case F64:
+	case F32:
+		// The f32 tier reuses the generic multigrid machinery for the
+		// line-based schemes: ZLine is exactly a single-level hierarchy
+		// (the coarsest-level lineSolve is the same exact per-column
+		// Thomas solve against the full diagonal), and Multigrid is the
+		// full hierarchy in float32. Jacobi stores its reciprocal
+		// diagonal in float32 and multiplies in float32; like the f64
+		// tier, the fused rᵀz reduction stays float64 in chunk order.
+		switch kind {
+		case Jacobi:
+			invDiag := make([]float32, n)
+			for c := range invDiag {
+				invDiag[c] = float32(1 / op.diag[c])
+			}
+			if kr.pool.Serial() {
+				return precondOp{
+					apply: func(r, z []float64) {
+						for c := range z {
+							z[c] = float64(float32(r[c]) * invDiag[c])
+						}
+					},
+					applyDot: func(r, z []float64) float64 {
+						sum := 0.0
+						for c := range z {
+							zc := float64(float32(r[c]) * invDiag[c])
+							z[c] = zc
+							sum += r[c] * zc
+						}
+						return sum
+					},
+				}, nil
+			}
+			return precondOp{
+				apply: func(r, z []float64) {
+					kr.pool.For(n, func(s, e int) {
+						for c := s; c < e; c++ {
+							z[c] = float64(float32(r[c]) * invDiag[c])
+						}
+					})
+				},
+				applyDot: func(r, z []float64) float64 {
+					return kr.pool.ReduceSum(n, kr.partials, func(s, e int) float64 {
+						sum := 0.0
+						for c := s; c < e; c++ {
+							zc := float64(float32(r[c]) * invDiag[c])
+							z[c] = zc
+							sum += r[c] * zc
+						}
+						return sum
+					})
+				},
+			}, nil
+		case ZLine:
+			return precondOp{apply: newZLineTier[float32](op, kr).apply}, nil
+		case Multigrid:
+			return precondOp{apply: newMultigridTier[float32](op, kr).apply}, nil
+		default:
+			return precondOp{}, fmt.Errorf("solver: unknown preconditioner %d", kind)
+		}
+	default:
+		return precondOp{}, fmt.Errorf("solver: unknown precision %d", prec)
 	}
 	switch kind {
 	case Jacobi:

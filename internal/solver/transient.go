@@ -3,6 +3,7 @@ package solver
 import (
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // Transient integrates ρc ∂T/∂t = ∇·(K∇T) + q with backward Euler.
@@ -12,6 +13,24 @@ import (
 // PCG solve of every step runs on Options.Workers goroutines with
 // the same determinism contract as SolveSteady (Workers is resolved
 // once, at NewTransient time).
+//
+// Hot-path reuse: the integrator pins one worker pool, one augmented
+// operator (matrix buffers, SoA stencil), and one preconditioner for
+// its whole lifetime instead of rebuilding them per step — stepping
+// allocates no pools and, at a fixed Δt, no preconditioners. This is
+// what fixed the historical 1→4 worker per-step regression: the old
+// path paid W−1 goroutine launches plus a full preconditioner
+// construction on every Step, which dwarfed the parallel speedup of
+// the solve itself. The augmented matrix depends only on (A, C, Δt),
+// so its stencil and preconditioner stay valid until Δt changes;
+// SetSources touches only the right-hand side. All reuse is bitwise
+// neutral — every recomputed value is produced by the identical
+// arithmetic — pinned by TestEquivalenceTransient.
+//
+// Call Close when done to release the pinned pool's goroutines
+// (a finalizer covers leaked integrators, but deterministic release
+// is cheaper than waiting for the collector). Close is idempotent;
+// integrators holding a caller-owned Options.Engine release nothing.
 type Transient struct {
 	p    *Problem
 	op   *operator
@@ -19,6 +38,11 @@ type Transient struct {
 	T    []float64 // current temperature field, K
 	time float64
 	opts Options
+
+	kr     *kern     // pinned worker pool + reduction scratch
+	aug    *operator // reused (C/Δt + A) system; valid for dt = lastDt
+	pcs    precondCache
+	lastDt float64 // dt the aug diagonal/stencil/preconditioner were built for
 }
 
 // NewTransient prepares a transient integrator starting from the
@@ -48,14 +72,40 @@ func NewTransient(p *Problem, t0 []float64, opts Options) (*Transient, error) {
 			}
 		}
 	}
+	op := assemble(p)
 	tr := &Transient{
 		p:    p,
-		op:   assemble(p),
+		op:   op,
 		cap:  heatCap,
 		T:    append([]float64(nil), t0...),
 		opts: opts.withDefaults(),
+		pcs:  precondCache{},
+	}
+	tr.kr = newKern(tr.opts, n)
+	// The augmented operator shares the steady couplings (they never
+	// change) and owns only the Δt-dependent diagonal and the rhs.
+	tr.aug = &operator{
+		g: op.g, nx: op.nx, ny: op.ny, nz: op.nz,
+		sy: op.sy, sz: op.sz,
+		gxp: op.gxp, gyp: op.gyp, gzp: op.gzp,
+		diag: make([]float64, n),
+		b:    make([]float64, n),
+	}
+	if tr.kr.owned {
+		// Backstop for integrators dropped without Close: release the
+		// pinned pool's helper goroutines when the collector finds the
+		// integrator unreachable.
+		runtime.SetFinalizer(tr, func(t *Transient) { t.kr.close() })
 	}
 	return tr, nil
+}
+
+// Close releases the integrator's pinned worker pool. Idempotent; the
+// integrator must not be used afterwards. When Options.Engine supplied
+// the pool, Close releases nothing (the engine's owner closes it).
+func (tr *Transient) Close() {
+	tr.kr.close()
+	runtime.SetFinalizer(tr, nil)
 }
 
 // Time returns the elapsed simulated time (s).
@@ -66,13 +116,16 @@ func (tr *Transient) Field() []float64 { return tr.T }
 
 // SetSources replaces the volumetric source field (W/m³) — used by
 // scheduling studies that gate heat sources over time. The slice is
-// copied into the problem and the operator RHS is rebuilt.
+// copied into the problem and the operator rhs is rebuilt in place
+// (bitwise identical to a fresh assembly, per the setSources
+// contract); the matrix, stencil, and preconditioner are untouched —
+// sources never enter them.
 func (tr *Transient) SetSources(q []float64) error {
 	if len(q) != len(tr.p.Q) {
 		return fmt.Errorf("solver: source field has %d entries, want %d", len(q), len(tr.p.Q))
 	}
 	copy(tr.p.Q, q)
-	tr.op = assemble(tr.p)
+	tr.op.setSources(tr.p.Q)
 	return nil
 }
 
@@ -82,22 +135,29 @@ func (tr *Transient) Step(dt float64) error {
 		return errors.New("solver: non-positive time step")
 	}
 	n := len(tr.T)
-	// Augmented system: (A + C/dt) T = b + (C/dt) T_old.
-	aug := &operator{
-		g: tr.op.g, nx: tr.op.nx, ny: tr.op.ny, nz: tr.op.nz,
-		sy: tr.op.sy, sz: tr.op.sz,
-		gxp: tr.op.gxp, gyp: tr.op.gyp, gzp: tr.op.gzp,
-		diag: make([]float64, n),
-		b:    make([]float64, n),
+	aug := tr.aug
+	if dt != tr.lastDt {
+		// New Δt → new matrix: refresh the diagonal and drop the baked
+		// stencil, the positivity check, and every cached
+		// preconditioner (all three are functions of the matrix).
+		for c := 0; c < n; c++ {
+			aug.diag[c] = tr.op.diag[c] + tr.cap[c]/dt
+		}
+		aug.st = nil
+		aug.diagChecked = false
+		clear(tr.pcs)
+		tr.lastDt = dt
 	}
+	// The rhs changes every step (it carries the previous field).
+	// cap[c]/dt here is the identical expression that built the
+	// diagonal, so splitting the loops keeps each value bit-equal to
+	// the historical single fused loop.
 	for c := 0; c < n; c++ {
-		cd := tr.cap[c] / dt
-		aug.diag[c] = tr.op.diag[c] + cd
-		aug.b[c] = tr.op.b[c] + cd*tr.T[c]
+		aug.b[c] = tr.op.b[c] + tr.cap[c]/dt*tr.T[c]
 	}
 	opts := tr.opts
 	opts.InitialGuess = tr.T
-	out, _, err := solveOperator(aug, aug.b, opts, "transient")
+	out, _, err := solveOperatorWith(aug, aug.b, opts, "transient", tr.kr, tr.pcs)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,138 @@
+package solver
+
+import (
+	"testing"
+
+	"thermalscaffold/internal/parallel"
+)
+
+// TestTransientWorkerNoRegression guards the structural cause of the
+// historical 1→4 worker transient slowdown: every Step used to build
+// (and tear down) a fresh worker pool and a fresh preconditioner, so
+// adding workers added per-step setup cost faster than it removed
+// solve cost. The guard is deliberately structural, not a timing
+// comparison — wall-clock ratios are unmeasurable on single-core CI
+// runners, while pool-construction counts are exact everywhere:
+// after NewTransient, stepping at a fixed Δt must create zero pools
+// and must not rebuild the augmented stencil.
+func TestTransientWorkerNoRegression(t *testing.T) {
+	p := uniformProblem(t, 12, 10, 8, 4.0)
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 350)
+	for c := range p.Q {
+		p.Q[c] = 1e9
+	}
+	init := make([]float64, p.Grid.NumCells())
+	for i := range init {
+		init[i] = 350
+	}
+	for _, workers := range []int{1, 4} {
+		tr, err := NewTransient(p, init, Options{Tol: 1e-9, Workers: workers, Precond: ZLine})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		pools := parallel.PoolsCreated()
+		for s := 0; s < 4; s++ {
+			if err := tr.Step(1e-4); err != nil {
+				t.Fatalf("workers=%d step %d: %v", workers, s, err)
+			}
+		}
+		if d := parallel.PoolsCreated() - pools; d != 0 {
+			t.Errorf("workers=%d: stepping created %d worker pools, want 0 (pinned pool must be reused)", workers, d)
+		}
+		// Fixed Δt ⇒ fixed augmented matrix ⇒ the baked stencil and the
+		// cached preconditioner survive across steps.
+		if tr.aug.st == nil {
+			t.Fatalf("workers=%d: augmented stencil not built", workers)
+		}
+		st0 := &tr.aug.st[0]
+		if len(tr.pcs) == 0 {
+			t.Errorf("workers=%d: preconditioner cache empty after stepping", workers)
+		}
+		if err := tr.Step(1e-4); err != nil {
+			t.Fatal(err)
+		}
+		if &tr.aug.st[0] != st0 {
+			t.Errorf("workers=%d: same-Δt step rebuilt the augmented stencil", workers)
+		}
+		// A Δt change is a new matrix: stencil and preconditioners must
+		// be invalidated, exactly once.
+		if err := tr.Step(2e-4); err != nil {
+			t.Fatal(err)
+		}
+		if &tr.aug.st[0] == st0 {
+			t.Errorf("workers=%d: Δt change did not rebuild the augmented stencil", workers)
+		}
+		tr.Close()
+		tr.Close() // idempotent
+	}
+}
+
+// TestTransientSetSourcesKeepsMatrix: re-sourcing rewrites only the
+// rhs — the operator matrix, its stencil, and the cached
+// preconditioner survive, and the stepped field is bitwise identical
+// to a freshly built integrator carrying the same sources from the
+// start.
+func TestTransientSetSourcesKeepsMatrix(t *testing.T) {
+	p := uniformProblem(t, 10, 9, 6, 4.0)
+	p.Bounds[ZMin] = ConvectiveBC(1e5, 350)
+	for c := range p.Q {
+		p.Q[c] = 1e9
+	}
+	n := p.Grid.NumCells()
+	init := make([]float64, n)
+	for i := range init {
+		init[i] = 350
+	}
+	q2 := make([]float64, n)
+	for i := range q2 {
+		q2[i] = 5e8 * float64(i%7) / 7
+	}
+	const dt = 2e-4
+
+	// Reference: a fresh integrator whose problem already carries q2.
+	p2 := uniformProblem(t, 10, 9, 6, 4.0)
+	p2.Bounds[ZMin] = ConvectiveBC(1e5, 350)
+	copy(p2.Q, q2)
+	ref, err := NewTransient(p2, init, Options{Tol: 1e-12, Workers: 1, Precond: ZLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, err := ref.Run(3, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := NewTransient(p, init, Options{Tol: 1e-12, Workers: 1, Precond: ZLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Prime the matrix caches with a step at the same Δt, then
+	// re-source and restart the field.
+	if err := tr.Step(dt); err != nil {
+		t.Fatal(err)
+	}
+	st0 := &tr.aug.st[0]
+	if err := tr.SetSources(q2); err != nil {
+		t.Fatal(err)
+	}
+	if &tr.aug.st[0] != st0 {
+		t.Error("SetSources invalidated the augmented stencil (matrix does not depend on sources)")
+	}
+	copy(tr.T, init)
+	got, err := tr.Run(3, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range want {
+		if got[c] != want[c] {
+			t.Fatalf("cell %d: re-sourced field %v differs bitwise from fresh integrator %v", c, got[c], want[c])
+		}
+	}
+
+	// Length mismatch still rejected.
+	if err := tr.SetSources(q2[:n-1]); err == nil {
+		t.Error("short source field accepted")
+	}
+}

@@ -43,10 +43,15 @@ type PowerBlock struct {
 // the solve wall-clock; it shapes scheduling, not the solution, so it
 // is excluded from the cache key.
 type SolverJSON struct {
-	Precond   string  `json:"precond,omitempty"`
-	Tol       float64 `json:"tol,omitempty"`
-	MaxIter   int     `json:"max_iter,omitempty"`
-	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Precond string  `json:"precond,omitempty"`
+	Tol     float64 `json:"tol,omitempty"`
+	MaxIter int     `json:"max_iter,omitempty"`
+	// Precision selects the preconditioner arithmetic tier: "f32", or
+	// "f64" (the default — also accepted as "float64"/"float32"). The
+	// canonical form of the default is the empty string, so requests
+	// predating the field keep their content addresses.
+	Precision string `json:"precision,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // TransientJSON selects a transient evaluation: Steps backward-Euler
@@ -175,6 +180,17 @@ func (r EvalRequest) Normalize() (EvalRequest, error) {
 		}
 		s.Precond = pc.String()
 	}
+	prec, err := solver.ParsePrecision(s.Precision)
+	if err != nil {
+		return EvalRequest{}, fmt.Errorf("specio: %w", err)
+	}
+	// Canonical F64 is the empty string: requests written before the
+	// precision field existed must keep hashing to the same address.
+	if prec == solver.F64 {
+		s.Precision = ""
+	} else {
+		s.Precision = prec.String()
+	}
 	if s.Tol == 0 {
 		s.Tol = evalDefaultTol
 	}
@@ -264,8 +280,12 @@ type Eval struct {
 	Problem *solver.Problem
 	Layout  *stack.Layout
 	Precond solver.Preconditioner
-	Tol     float64
-	MaxIter int
+	// Precision is the preconditioner arithmetic tier; part of the
+	// cache key (the f32 tier converges to the same tolerance but via
+	// different iterates, so the two tiers are distinct answers).
+	Precision solver.Precision
+	Tol       float64
+	MaxIter   int
 	// Timeout is the client-requested deadline (0 = server default).
 	// Deliberately not part of the cache key.
 	Timeout time.Duration
@@ -315,15 +335,20 @@ func BuildEval(r EvalRequest) (*Eval, error) {
 	if err != nil {
 		return nil, fmt.Errorf("specio: %w", err)
 	}
+	prec, err := solver.ParsePrecision(norm.Solver.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("specio: %w", err)
+	}
 	return &Eval{
-		Req:     norm,
-		Spec:    spec,
-		Problem: p,
-		Layout:  lay,
-		Precond: pc,
-		Tol:     norm.Solver.Tol,
-		MaxIter: norm.Solver.MaxIter,
-		Timeout: time.Duration(norm.Solver.TimeoutMS) * time.Millisecond,
+		Req:       norm,
+		Spec:      spec,
+		Problem:   p,
+		Layout:    lay,
+		Precond:   pc,
+		Precision: prec,
+		Tol:       norm.Solver.Tol,
+		MaxIter:   norm.Solver.MaxIter,
+		Timeout:   time.Duration(norm.Solver.TimeoutMS) * time.Millisecond,
 	}, nil
 }
 

@@ -45,6 +45,23 @@ func TestNormalizeDefaults(t *testing.T) {
 	if norm.Solver.Precond != "zline" {
 		t.Fatalf("jacobi not upgraded to zline: %q", norm.Solver.Precond)
 	}
+
+	// Precision canonicalizes: the default tier collapses to the empty
+	// string (pre-precision requests keep their content address), the
+	// f32 tier to its short name.
+	for in, want := range map[string]string{
+		"": "", "f64": "", "float64": "", "f32": "f32", "float32": "f32",
+	} {
+		r := evalBase()
+		r.Solver.Precision = in
+		norm, err := r.Normalize()
+		if err != nil {
+			t.Fatalf("precision %q: %v", in, err)
+		}
+		if norm.Solver.Precision != want {
+			t.Errorf("precision %q normalized to %q, want %q", in, norm.Solver.Precision, want)
+		}
+	}
 }
 
 func TestNormalizeRasterizesBlocks(t *testing.T) {
@@ -97,6 +114,7 @@ func TestNormalizeRejects(t *testing.T) {
 		"negative max_iter": func(r *EvalRequest) { r.Solver.MaxIter = -3 },
 		"negative timeout":  func(r *EvalRequest) { r.Solver.TimeoutMS = -1 },
 		"bad precond":       func(r *EvalRequest) { r.Solver.Precond = "cholesky" },
+		"bad precision":     func(r *EvalRequest) { r.Solver.Precision = "f16" },
 		"zero dt":           func(r *EvalRequest) { r.Transient = &TransientJSON{DtS: 0, Steps: 1} },
 		"negative dt":       func(r *EvalRequest) { r.Transient = &TransientJSON{DtS: -1e-5, Steps: 1} },
 		"zero steps":        func(r *EvalRequest) { r.Transient = &TransientJSON{DtS: 1e-5, Steps: 0} },
