@@ -15,6 +15,9 @@
 //	POST /v1/eval      — evaluate a request (see internal/specio.EvalRequest)
 //	POST /v1/evalbatch — evaluate K power scenarios against one stack in a
 //	                     single coalesced solve (specio.EvalBatchRequest)
+//	POST /v1/evaltrace — integrate a power schedule, streaming peak-T
+//	                     checkpoints as SSE as segments complete
+//	                     (specio.TraceRequest; resumable via resume_from)
 //	GET  /healthz      — liveness (503 while draining)
 //	GET  /metrics      — cache/coalescing counters, queue depth, p50/p99 latency
 //
@@ -24,6 +27,8 @@
 //	curl -s -X POST --data @req.json http://localhost:8080/v1/eval
 //	thermserve -example-batch > batch.json
 //	curl -s -X POST --data @batch.json http://localhost:8080/v1/evalbatch
+//	thermserve -example-trace > trace.json
+//	curl -sN -X POST --data @trace.json http://localhost:8080/v1/evaltrace
 //
 // Ctrl-C drains gracefully: new requests get 503 + Retry-After while
 // in-flight solves finish; a second deadline (-drain) force-cancels
@@ -61,6 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	example := fs.Bool("example", false, "print an example eval request and exit")
 	exampleBatch := fs.Bool("example-batch", false, "print an example /v1/evalbatch request and exit")
+	exampleTrace := fs.Bool("example-trace", false, "print an example /v1/evaltrace request and exit")
 	parallel := fs.Int("parallel", 0, "max concurrently running solves (0 = one per CPU core)")
 	workers := fs.Int("workers", 1, "solver goroutines per solve (the service parallelizes across requests)")
 	queue := fs.Int("queue", 64, "solve queue depth beyond running; past it requests get 503 + Retry-After")
@@ -83,6 +89,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *exampleBatch {
 		raw, err := specio.MarshalEvalBatch(specio.ExampleEvalBatch())
+		if err != nil {
+			fmt.Fprintf(stderr, "thermserve: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(raw))
+		return 0
+	}
+	if *exampleTrace {
+		raw, err := specio.MarshalTrace(specio.ExampleTrace())
 		if err != nil {
 			fmt.Fprintf(stderr, "thermserve: %v\n", err)
 			return 1

@@ -8,7 +8,15 @@
 //	thermsim -spec stack.json -precond multigrid
 //	thermsim -spec stack.json -report run.json
 //	thermsim -spec stack.json -debug-addr localhost:6060
+//	thermsim -spec stack.json -dtm    # closed-loop DTM burst experiment
 //	thermsim -example          # print an example spec and exit
+//
+// -dtm replaces the steady solve with a closed-loop dynamic
+// thermal management experiment (internal/sched.SimulateDTM): a
+// burst/idle demand trace is integrated twice — open loop, then with
+// the DTM controller throttling power whenever the predicted peak
+// crosses -dtm-limit — and the peaks, violation time, and throttle
+// events are printed side by side.
 //
 // Spec format (JSON): see internal/specio. "beol" is "conventional",
 // "scaffolded", or the "paper-*" variants using the published Fig. 7a
@@ -37,6 +45,7 @@ import (
 
 	"thermalscaffold/internal/report"
 	"thermalscaffold/internal/rom"
+	"thermalscaffold/internal/sched"
 	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/specio"
 	"thermalscaffold/internal/stack"
@@ -63,6 +72,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	precond := fs.String("precond", "zline", "PCG preconditioner: zline or multigrid (jacobi parses but stack solves upgrade it to zline)")
 	precision := fs.String("precision", "f64", "preconditioner arithmetic tier: f64 (exact historical results) or f32 (halves preconditioner memory traffic; same solution to tolerance)")
 	fidelity := fs.String("fidelity", specio.FidelityFull, "evaluation tier: full (exact FVM solve) or rc (certified reduced-order estimate)")
+	dtm := fs.Bool("dtm", false, "run the closed-loop DTM burst experiment on the spec instead of a steady solve")
+	dtmLimit := fs.Float64("dtm-limit", 125, "DTM thermal limit (°C)")
 	reportPath := fs.String("report", "", "write a JSON run report (solve traces, counters, timings) to this path; \"-\" = stdout")
 	debugAddr := fs.String("debug-addr", "", "serve pprof and expvar endpoints on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -134,6 +145,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "thermsim: %v\n", err)
 		return 1
 	}
+	if *dtm {
+		code := runDTM(ctx, spec, *dtmLimit, *workers, pc, prec, tel, stdout, stderr)
+		if !writeReport(tel, *reportPath, args, stderr) {
+			return 1
+		}
+		return code
+	}
 	if *fidelity == specio.FidelityRC {
 		code := runRC(spec, tel, stdout, stderr)
 		if !writeReport(tel, *reportPath, args, stderr) {
@@ -178,6 +196,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runDTM integrates a burst/idle demand trace through the spec twice
+// — open loop and with the DTM controller — and prints the comparison.
+// The demand trace is fixed (0.6× idle, 2× burst, repeated) with
+// dt ≈ τ/6 so each phase spans a few thermal time constants.
+func runDTM(ctx context.Context, spec *stack.Spec, limitC float64, workers int, pc solver.Preconditioner, prec solver.Precision, tel *telemetry.Collector, stdout, stderr io.Writer) int {
+	demand := []sched.DemandPhase{
+		{Name: "idle", Scale: 0.6, Steps: 25},
+		{Name: "burst", Scale: 2.0, Steps: 40},
+		{Name: "idle", Scale: 0.6, Steps: 25},
+		{Name: "burst", Scale: 2.0, Steps: 40},
+	}
+	dt := sched.ThermalTimeConstant(spec) / 6
+	opts := solver.Options{
+		Tol: 1e-6, MaxIter: 80000, Workers: workers, Precond: pc,
+		Precision: prec, Ctx: ctx, Telemetry: tel,
+	}
+	cfg := sched.DTMConfig{LimitC: limitC}
+	stopPhase := tel.Phase("dtm")
+	open, err := sched.SimulateDTM(spec, demand, dt, sched.DTMConfig{LimitC: limitC, Disabled: true}, opts)
+	if err == nil {
+		var closed *sched.DTMResult
+		closed, err = sched.SimulateDTM(spec, demand, dt, cfg, opts)
+		if err == nil {
+			stopPhase()
+			fmt.Fprintf(stdout, "closed-loop DTM, limit %.0f °C, dt %.2g s, %d steps\n",
+				limitC, dt, len(open.Peaks))
+			fmt.Fprintf(stdout, "  open loop: peak %s  violation %.1f µs (%d steps)\n",
+				units.FormatTemp(open.PeakC+273.15), open.ViolationTimeS*1e6, open.ViolationSteps)
+			fmt.Fprintf(stdout, "  DTM:       peak %s  violation %.1f µs (%d steps), %d throttle events, %d throttled steps\n",
+				units.FormatTemp(closed.PeakC+273.15), closed.ViolationTimeS*1e6, closed.ViolationSteps,
+				closed.ThrottleEvents, closed.ThrottledSteps)
+			if closed.PeakC <= limitC {
+				fmt.Fprintf(stdout, "  limit held: peak margin %.2f °C\n", limitC-closed.PeakC)
+			} else {
+				fmt.Fprintf(stdout, "  LIMIT EXCEEDED by %.2f °C — throttle depth insufficient for this stack\n", closed.PeakC-limitC)
+			}
+			return 0
+		}
+	}
+	stopPhase()
+	fmt.Fprintf(stderr, "thermsim: dtm: %v\n", err)
+	return 1
 }
 
 // runRC answers from the certified reduced-order tier: reduce the

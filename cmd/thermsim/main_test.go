@@ -225,3 +225,27 @@ func TestReportToStdout(t *testing.T) {
 		t.Fatalf("summary missing from stdout: %q", stdout)
 	}
 }
+
+// TestDTMRun: -dtm prints the open-loop/DTM comparison and the
+// limit-held verdict for the example spec (which stays under 125 °C).
+func TestDTMRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeExampleSpec(t, dir)
+	code, stdout, stderr := runCLI(t, context.Background(), "-spec", spec, "-dtm", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"closed-loop DTM", "open loop:", "DTM:", "limit held"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	// A tightened limit forces throttling on the same spec.
+	code, stdout, stderr = runCLI(t, context.Background(), "-spec", spec, "-dtm", "-dtm-limit", "118", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("tight limit: exit %d, stderr %q", code, stderr)
+	}
+	if strings.Contains(stdout, " 0 throttle events") {
+		t.Fatalf("tight limit never throttled:\n%s", stdout)
+	}
+}

@@ -1,0 +1,136 @@
+package sched
+
+// Closed-loop DTM regression suite. The headline test is the limit
+// guarantee: a synthetic burst trace that violates 125 °C open-loop
+// must stay under the limit with the controller engaged, with the
+// throttle-event count pinned (the loop is deterministic at a fixed
+// worker count).
+
+import (
+	"math"
+	"testing"
+
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/telemetry"
+)
+
+// dtmDemand is the synthetic hot trace: two 2× bursts separated by
+// idle. On the 4-tier conventional Gemmini stack the bursts reach
+// ~142 °C open-loop; throttled to 1× they settle at ~122 °C.
+func dtmDemand() []DemandPhase {
+	return []DemandPhase{
+		{Name: "idle", Scale: 0.6, Steps: 25},
+		{Name: "burst", Scale: 2.0, Steps: 40},
+		{Name: "idle", Scale: 0.6, Steps: 25},
+		{Name: "burst", Scale: 2.0, Steps: 40},
+	}
+}
+
+const dtmDt = 5e-6 // ≈ τ/6 for the 4-tier stack: phases reach quasi-steady
+
+func TestDTMClosedLoopHoldsLimit(t *testing.T) {
+	spec := testSpec(4)
+	tel := telemetry.New()
+	opts := solver.Options{Tol: 1e-6, Workers: 1, Telemetry: tel}
+
+	open, err := SimulateDTM(spec, dtmDemand(), dtmDt, DTMConfig{Disabled: true}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.PeakC <= 125 {
+		t.Fatalf("open-loop peak %.1f °C does not violate the limit — trace not hot enough", open.PeakC)
+	}
+	if open.ViolationSteps == 0 || open.ViolationTimeS <= 0 {
+		t.Fatalf("open-loop run recorded no violation time: %+v", open)
+	}
+	if open.ThrottleEvents != 0 || open.ThrottledSteps != 0 {
+		t.Fatalf("disabled controller throttled: %+v", open)
+	}
+
+	closed, err := SimulateDTM(spec, dtmDemand(), dtmDt, DTMConfig{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.PeakC > 125 {
+		t.Fatalf("closed-loop peak %.2f °C exceeds the 125 °C limit", closed.PeakC)
+	}
+	if closed.ViolationSteps != 0 || closed.ViolationTimeS != 0 {
+		t.Fatalf("closed loop recorded violations: %+v", closed)
+	}
+	// One engagement per burst, deterministic at Workers=1.
+	if closed.ThrottleEvents != 2 {
+		t.Fatalf("throttle events = %d, want 2 (one per burst)", closed.ThrottleEvents)
+	}
+	if closed.ThrottledSteps == 0 {
+		t.Fatal("controller engaged but no steps ran throttled")
+	}
+	total := 0
+	for _, ph := range dtmDemand() {
+		total += ph.Steps
+	}
+	if len(closed.Peaks) != total || len(closed.Times) != total || len(closed.Throttled) != total {
+		t.Fatalf("trace lengths %d/%d/%d, want %d", len(closed.Peaks), len(closed.Times), len(closed.Throttled), total)
+	}
+	// Telemetry mirrors the result counters (open contributed no events).
+	if got := tel.Counter(telemetry.CounterThrottleEvents); got != int64(closed.ThrottleEvents) {
+		t.Errorf("telemetry throttle_events = %d, want %d", got, closed.ThrottleEvents)
+	}
+	if got := tel.Counter(telemetry.CounterViolationSteps); got != int64(open.ViolationSteps) {
+		t.Errorf("telemetry violation_steps = %d, want %d (open-loop run's)", got, open.ViolationSteps)
+	}
+}
+
+// TestDTMDeterministic: two identical runs agree bitwise — the
+// controller reads only solver output.
+func TestDTMDeterministic(t *testing.T) {
+	spec := testSpec(4)
+	opts := solver.Options{Tol: 1e-6, Workers: 1}
+	a, err := SimulateDTM(spec, dtmDemand(), dtmDt, DTMConfig{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateDTM(spec, dtmDemand(), dtmDt, DTMConfig{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.PeakC) != math.Float64bits(b.PeakC) || a.ThrottleEvents != b.ThrottleEvents {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Peaks {
+		if math.Float64bits(a.Peaks[i]) != math.Float64bits(b.Peaks[i]) {
+			t.Fatalf("peak trace differs at step %d", i)
+		}
+	}
+}
+
+func TestDTMValidation(t *testing.T) {
+	spec := testSpec(2)
+	ok := []DemandPhase{{Scale: 1, Steps: 1}}
+	opts := solver.Options{Tol: 1e-6, Workers: 1}
+	cases := []struct {
+		name   string
+		spec   bool // nil spec
+		demand []DemandPhase
+		dt     float64
+		cfg    DTMConfig
+	}{
+		{name: "nil-spec", spec: true, demand: ok, dt: dtmDt},
+		{name: "empty-demand", demand: nil, dt: dtmDt},
+		{name: "bad-scale", demand: []DemandPhase{{Scale: -1, Steps: 1}}, dt: dtmDt},
+		{name: "bad-steps", demand: []DemandPhase{{Scale: 1, Steps: 0}}, dt: dtmDt},
+		{name: "bad-dt", demand: ok, dt: 0},
+		{name: "bad-limit", demand: ok, dt: dtmDt, cfg: DTMConfig{LimitC: -5}},
+		{name: "bad-throttle", demand: ok, dt: dtmDt, cfg: DTMConfig{ThrottleScale: 1.5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := spec
+			if tc.spec {
+				s = nil
+			}
+			if _, err := SimulateDTM(s, tc.demand, tc.dt, tc.cfg, opts); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}

@@ -184,6 +184,7 @@ type Server struct {
 
 	hits, misses, coalesced, rejected, failures atomic.Int64
 	rcEvals                                     atomic.Int64
+	traceStreams, traceCheckpoints              atomic.Int64
 
 	lat *telemetry.LatencyWindow
 	mux *http.ServeMux
@@ -208,6 +209,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
+	s.mux.HandleFunc("POST /v1/evaltrace", s.handleEvalTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -290,12 +292,14 @@ func (s *Server) snapshot() MetricsSnapshot {
 		Running:      s.running.Load(),
 		CacheEntries: s.cache.Len(),
 		Counters: map[string]int64{
-			telemetry.CounterCacheHits:   s.hits.Load(),
-			telemetry.CounterCacheMisses: s.misses.Load(),
-			telemetry.CounterCoalesced:   s.coalesced.Load(),
-			telemetry.CounterRejected:    s.rejected.Load(),
-			telemetry.CounterRCEvals:     s.rcEvals.Load(),
-			"solve_failures":             s.failures.Load(),
+			telemetry.CounterCacheHits:        s.hits.Load(),
+			telemetry.CounterCacheMisses:      s.misses.Load(),
+			telemetry.CounterCoalesced:        s.coalesced.Load(),
+			telemetry.CounterRejected:         s.rejected.Load(),
+			telemetry.CounterRCEvals:          s.rcEvals.Load(),
+			telemetry.CounterTraceStreams:     s.traceStreams.Load(),
+			telemetry.CounterTraceCheckpoints: s.traceCheckpoints.Load(),
+			"solve_failures":                  s.failures.Load(),
 		},
 		LatencyMS: map[string]any{
 			"count": s.lat.Count(),

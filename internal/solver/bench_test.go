@@ -335,3 +335,44 @@ func BenchmarkTransientStepWorkers(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTransientTrace times the trace-driven transient runner on
+// the 16×16×38 stack across a workers × segments grid: one op/pool/
+// preconditioner assembly amortized over the whole schedule, four
+// steps per segment, with a hot/cool override alternation so every
+// segment pays the SetSources rebuild. This is the transient
+// worker-scaling row of BENCH_solver.json — the pinned pool means
+// workers>1 no longer pays per-step spin-up (the historical
+// BenchmarkTransientStepWorkers regression).
+func BenchmarkTransientTrace(b *testing.B) {
+	p := benchStack(b, 16)
+	init := make([]float64, p.Grid.NumCells())
+	for i := range init {
+		init[i] = 373.15
+	}
+	hot := make([]float64, len(p.Q))
+	for c := range hot {
+		hot[c] = p.Q[c] * 2
+	}
+	for _, w := range []int{1, 2, 4} {
+		for _, nseg := range []int{4, 16} {
+			segs := make([]TraceSegment, nseg)
+			for i := range segs {
+				segs[i] = TraceSegment{Dt: 1e-4, Steps: 4}
+				if i%2 == 1 {
+					segs[i].Q = hot
+				} else if i > 0 {
+					segs[i].Q = p.Q
+				}
+			}
+			b.Run(fmt.Sprintf("workers=%d/segments=%d", w, nseg), func(b *testing.B) {
+				opts := Options{Tol: 1e-7, Precond: ZLine, Workers: w}
+				for i := 0; i < b.N; i++ {
+					if _, err := SolveTrace(p, init, segs, opts, TraceOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package solver
+
+// Trace runner suite: the checkpoint/resume bitwise contract
+// (TestTraceResumeBitwiseIdentical runs under `make equivalence` at
+// -race -count=2), schedule validation, nil-Q carry-over semantics,
+// and checkpoint-callback abort.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// traceProblem is a small chip stack fast enough to integrate many
+// times per test; hot enough that segments visibly move the field.
+func traceProblem(t testing.TB) *Problem {
+	return benchStack(t, 6)
+}
+
+// traceSchedule builds a 4-segment schedule exercising every segment
+// shape: an initial override, a Δt change, a nil-Q carry-over, and a
+// return to a cooler map.
+func traceSchedule(p *Problem) []TraceSegment {
+	n := len(p.Q)
+	hot := make([]float64, n)
+	cool := make([]float64, n)
+	for c := range hot {
+		hot[c] = p.Q[c] * 2.5
+		cool[c] = p.Q[c] * 0.25
+	}
+	return []TraceSegment{
+		{Dt: 1e-4, Steps: 3, Q: hot},
+		{Dt: 5e-5, Steps: 2, Q: nil}, // Δt change, sources carried over
+		{Dt: 1e-4, Steps: 2, Q: cool},
+		{Dt: 1e-4, Steps: 3, Q: nil},
+	}
+}
+
+func ambientField(p *Problem) []float64 {
+	t0 := make([]float64, p.Grid.NumCells())
+	for i := range t0 {
+		t0[i] = 373.15
+	}
+	return t0
+}
+
+func bitsEqual(a, b []float64) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestTraceResumeBitwiseIdentical pins the checkpoint determinism
+// contract: a trace interrupted at ANY checkpoint and resumed from it
+// produces bitwise-identical fields — every later checkpoint and the
+// final state — at Workers 1/4/8 and Precision f64/f32.
+func TestTraceResumeBitwiseIdentical(t *testing.T) {
+	p := traceProblem(t)
+	segs := traceSchedule(p)
+	t0 := ambientField(p)
+	for _, w := range []int{1, 4, 8} {
+		for _, prec := range []Precision{F64, F32} {
+			t.Run(fmt.Sprintf("workers=%d/precision=%s", w, prec), func(t *testing.T) {
+				opts := Options{Tol: 1e-7, Precond: ZLine, Precision: prec, Workers: w}
+				var full []*TraceCheckpoint
+				ref, err := SolveTrace(p, t0, segs, opts, TraceOptions{
+					OnCheckpoint: func(cp *TraceCheckpoint) error {
+						full = append(full, cp)
+						return nil
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(full) != len(segs) {
+					t.Fatalf("got %d checkpoints, want %d", len(full), len(segs))
+				}
+				if i, ok := bitsEqual(full[len(full)-1].T, ref.T); !ok {
+					t.Fatalf("final checkpoint differs from final field at cell %d", i)
+				}
+				for k, cp := range full {
+					var resumed []*TraceCheckpoint
+					res, err := SolveTrace(p, nil, segs, opts, TraceOptions{
+						Resume: cp,
+						OnCheckpoint: func(c *TraceCheckpoint) error {
+							resumed = append(resumed, c)
+							return nil
+						},
+					})
+					if err != nil {
+						t.Fatalf("resume from checkpoint %d: %v", k+1, err)
+					}
+					if i, ok := bitsEqual(res.T, ref.T); !ok {
+						t.Errorf("resume from checkpoint %d: final field differs at cell %d", k+1, i)
+					}
+					if res.Time != ref.Time {
+						t.Errorf("resume from checkpoint %d: time %g, want %g", k+1, res.Time, ref.Time)
+					}
+					wantLater := full[k+1:]
+					if len(resumed) != len(wantLater) {
+						t.Fatalf("resume from checkpoint %d: %d checkpoints, want %d", k+1, len(resumed), len(wantLater))
+					}
+					for j := range resumed {
+						if resumed[j].Segment != wantLater[j].Segment {
+							t.Errorf("resumed checkpoint %d has segment %d, want %d", j, resumed[j].Segment, wantLater[j].Segment)
+						}
+						if i, ok := bitsEqual(resumed[j].T, wantLater[j].T); !ok {
+							t.Errorf("resume from checkpoint %d: checkpoint %d differs at cell %d", k+1, wantLater[j].Segment, i)
+						}
+						if math.Float64bits(resumed[j].PeakT) != math.Float64bits(wantLater[j].PeakT) {
+							t.Errorf("resume from checkpoint %d: peak %v, want %v", k+1, resumed[j].PeakT, wantLater[j].PeakT)
+						}
+						if math.Float64bits(resumed[j].Time) != math.Float64bits(wantLater[j].Time) {
+							t.Errorf("resume from checkpoint %d: time %v, want %v", k+1, resumed[j].Time, wantLater[j].Time)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTraceResumePastEnd: a checkpoint at the schedule's end is the
+// answer — no integration, field returned verbatim.
+func TestTraceResumePastEnd(t *testing.T) {
+	p := traceProblem(t)
+	segs := traceSchedule(p)
+	t0 := ambientField(p)
+	opts := Options{Tol: 1e-7, Precond: ZLine, Workers: 1}
+	var last *TraceCheckpoint
+	ref, err := SolveTrace(p, t0, segs, opts, TraceOptions{
+		OnCheckpoint: func(cp *TraceCheckpoint) error { last = cp; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveTrace(p, nil, segs, opts, TraceOptions{Resume: last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("resume past end integrated %d steps", res.Steps)
+	}
+	if i, ok := bitsEqual(res.T, ref.T); !ok {
+		t.Fatalf("resume past end differs at cell %d", i)
+	}
+}
+
+// TestTraceMatchesTransient: a single-segment trace with the
+// problem's own sources is exactly Transient.Run.
+func TestTraceMatchesTransient(t *testing.T) {
+	p := traceProblem(t)
+	t0 := ambientField(p)
+	opts := Options{Tol: 1e-7, Precond: ZLine, Workers: 1}
+	tr, err := NewTransient(p, t0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	want, err := tr.Run(5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveTrace(p, t0, []TraceSegment{{Dt: 1e-4, Steps: 5}}, opts, TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := bitsEqual(res.T, want); !ok {
+		t.Fatalf("trace differs from plain transient at cell %d", i)
+	}
+	if res.Steps != 5 {
+		t.Fatalf("trace integrated %d steps, want 5", res.Steps)
+	}
+}
+
+// TestTraceValidation covers hostile schedules and resume states.
+func TestTraceValidation(t *testing.T) {
+	p := traceProblem(t)
+	t0 := ambientField(p)
+	opts := Options{Tol: 1e-7, Precond: ZLine, Workers: 1}
+	n := p.Grid.NumCells()
+	badQ := make([]float64, n)
+	badQ[3] = math.NaN()
+	cases := []struct {
+		name  string
+		segs  []TraceSegment
+		topts TraceOptions
+		want  string
+	}{
+		{"empty", nil, TraceOptions{}, "no segments"},
+		{"zero-dt", []TraceSegment{{Dt: 0, Steps: 1}}, TraceOptions{}, "bad dt"},
+		{"negative-dt", []TraceSegment{{Dt: -1e-4, Steps: 1}}, TraceOptions{}, "bad dt"},
+		{"inf-dt", []TraceSegment{{Dt: math.Inf(1), Steps: 1}}, TraceOptions{}, "bad dt"},
+		{"zero-steps", []TraceSegment{{Dt: 1e-4, Steps: 0}}, TraceOptions{}, "bad step count"},
+		{"short-q", []TraceSegment{{Dt: 1e-4, Steps: 1, Q: badQ[:5]}}, TraceOptions{}, "source entries"},
+		{"nan-q", []TraceSegment{{Dt: 1e-4, Steps: 1, Q: badQ}}, TraceOptions{}, "invalid source"},
+		{"resume-negative", []TraceSegment{{Dt: 1e-4, Steps: 1}},
+			TraceOptions{Resume: &TraceCheckpoint{Segment: -1, T: t0}}, "outside schedule"},
+		{"resume-beyond", []TraceSegment{{Dt: 1e-4, Steps: 1}},
+			TraceOptions{Resume: &TraceCheckpoint{Segment: 2, T: t0}}, "outside schedule"},
+		{"resume-short-field", []TraceSegment{{Dt: 1e-4, Steps: 1}},
+			TraceOptions{Resume: &TraceCheckpoint{Segment: 0, T: t0[:4]}}, "field has"},
+		{"resume-bad-time", []TraceSegment{{Dt: 1e-4, Steps: 1}},
+			TraceOptions{Resume: &TraceCheckpoint{Segment: 0, T: t0, Time: math.NaN()}}, "bad time"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := SolveTrace(p, t0, tc.segs, opts, tc.topts)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTraceCheckpointAbort: a checkpoint callback error stops the
+// trace and surfaces wrapped.
+func TestTraceCheckpointAbort(t *testing.T) {
+	p := traceProblem(t)
+	segs := traceSchedule(p)
+	sentinel := errors.New("client went away")
+	calls := 0
+	_, err := SolveTrace(p, ambientField(p), segs, Options{Tol: 1e-7, Precond: ZLine, Workers: 1},
+		TraceOptions{OnCheckpoint: func(cp *TraceCheckpoint) error {
+			calls++
+			if cp.Segment == 2 {
+				return sentinel
+			}
+			return nil
+		}})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want wrapped sentinel", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times, want 2 (abort stops the trace)", calls)
+	}
+}
+
+// TestTraceCancelled: a cancelled context stops the trace promptly
+// with an error unwrapping to the cause.
+func TestTraceCancelled(t *testing.T) {
+	p := traceProblem(t)
+	segs := traceSchedule(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveTrace(p, ambientField(p), segs,
+		Options{Tol: 1e-7, Precond: ZLine, Workers: 1, Ctx: ctx}, TraceOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -49,6 +49,19 @@ const (
 	// bound failed to contain the verified full answer — always zero
 	// unless the certification contract is broken.
 	CounterBoundViolations = "bound_violations"
+	// CounterTraceStreams counts /v1/evaltrace streams started.
+	CounterTraceStreams = "trace_streams"
+	// CounterTraceCheckpoints counts checkpoint events emitted across
+	// all trace streams.
+	CounterTraceCheckpoints = "trace_checkpoints"
+	// CounterThrottleEvents counts DTM throttle engagements — segments
+	// where the controller cut block power because the predicted peak
+	// crossed the trip threshold.
+	CounterThrottleEvents = "throttle_events"
+	// CounterViolationSteps counts integration steps whose peak
+	// temperature exceeded the thermal limit — the DTM loop's
+	// constraint-violation time in step units.
+	CounterViolationSteps = "violation_steps"
 )
 
 // Float is a float64 that marshals non-finite values as JSON null —
