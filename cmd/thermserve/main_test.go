@@ -49,6 +49,45 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunClusterFlags pins the -peers/-shard contract: both or
+// neither, well-formed id=url pairs, and self present in the list.
+func TestRunClusterFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"peers without shard", []string{"-peers", "a=http://x,b=http://y"}, "requires -shard"},
+		{"shard without peers", []string{"-shard", "a"}, "requires -peers"},
+		{"malformed pair", []string{"-peers", "nonsense", "-shard", "a"}, "want id=url"},
+		{"empty list", []string{"-peers", ",,", "-shard", "a"}, "no peers"},
+		{"self missing", []string{"-peers", "a=http://x,b=http://y", "-shard", "c"}, "not among"},
+		{"single node ring", []string{"-peers", "a=http://x", "-shard", "a"}, "at least 2 nodes"},
+		{"bad peer URL", []string{"-peers", "a=http://x,b=:;:", "-shard", "a"}, "bad URL"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(context.Background(), tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Fatalf("stderr %q missing %q", errb.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := parsePeers(" a=http://x , b=http://y ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0].ID != "a" || nodes[0].URL != "http://x" || nodes[1].ID != "b" {
+		t.Fatalf("parsed %+v", nodes)
+	}
+}
+
 func TestRunBadAddr(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(context.Background(), []string{"-addr", "999.999.999.999:1"}, &out, &errb); code != 1 {

@@ -1,0 +1,305 @@
+package cluster
+
+// Fault injection: peers killed or partitioned mid-lookup and
+// mid-fill via the injectable RoundTripper. The invariant under every
+// fault is graceful degradation — the request is answered by a local
+// solve with exactly the single-node bytes, the fallback counters
+// say what happened, no goroutine is stranded — and the ring re-heals
+// to its original ownership once health probes see the peer again.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thermalscaffold/internal/specio"
+)
+
+// solveOn posts a request to a node and returns its decoded response.
+func solveOn(t *testing.T, ring *testRing, node int, raw []byte) specio.EvalResponse {
+	t.Helper()
+	code, body := ring.post(t, node, "/v1/eval", raw)
+	if code != 200 {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	var resp specio.EvalResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// reqOwnedBy scans powers until it finds a request whose content
+// address is owned by want (and therefore not by the others) on the
+// given ring — so a test can force the peer path it means to break.
+func reqOwnedBy(t *testing.T, clu *Cluster, single *singleNode, want string) ([]byte, string) {
+	t.Helper()
+	for p := 1.0; p < 200; p++ {
+		raw, err := specio.MarshalEval(steadyReq(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, body := single.post(t, "/v1/eval", raw)
+		var resp specio.EvalResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if clu.Owner(resp.Key) == want {
+			return raw, resp.Key
+		}
+	}
+	t.Fatalf("no request owned by %s in 200 candidates", want)
+	return nil, ""
+}
+
+// TestFaultPartitionMidLookup kills the key's owner from the
+// requester's point of view: the lookup fails fast, the requester
+// solves locally, and the answer is byte-identical to single-node.
+func TestFaultPartitionMidLookup(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	opts := ringOpts{}
+	ring := startRing(t, 2, opts)
+	single := startSingle(t, opts)
+
+	// A key owned by node1, solved and filled there.
+	raw, key := reqOwnedBy(t, ring.nodes[0].clu, single, "node1")
+	cold := solveOn(t, ring, 1, raw)
+	if cold.Key != key || cold.Cached {
+		t.Fatalf("priming solve wrong: %+v", cold)
+	}
+	ring.sync()
+
+	// Partition node1 away from node0, then ask node0 for the key:
+	// the peer lookup dies mid-flight, the local solve answers.
+	ring.nodes[0].fault.block(ring.nodes[1].hostport(t))
+	got := solveOn(t, ring, 0, raw)
+	if got.Cached {
+		t.Fatal("partitioned lookup reported a cache hit")
+	}
+	_, want := single.post(t, "/v1/eval", raw)
+	var wantResp specio.EvalResponse
+	if err := json.Unmarshal(want, &wantResp); err != nil {
+		t.Fatal(err)
+	}
+	// Single-node reference has it cached by now; the numbers (not the
+	// routing flags) must match the degraded local solve bitwise.
+	wantResp.Cached = false
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(wantResp)
+	if string(zeroWall(gotJSON)) != string(zeroWall(wantJSON)) {
+		t.Fatalf("degraded solve drifted from single-node:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+	if f := ring.nodes[0].clu.Stats()["peer_fallbacks"]; f == 0 {
+		t.Fatal("fallback counter did not increment on a partitioned lookup")
+	}
+
+	// Heal; the peer path works again.
+	ring.nodes[0].fault.unblock(ring.nodes[1].hostport(t))
+	ring.sync()
+	ring.stop()
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestFaultPartitionMidFill breaks the fill path: the solve still
+// answers, Sync returns (best-effort fills do not wedge), and the
+// entry simply never lands on the unreachable owner.
+func TestFaultPartitionMidFill(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	opts := ringOpts{}
+	ring := startRing(t, 2, opts)
+	single := startSingle(t, opts)
+
+	raw, key := reqOwnedBy(t, ring.nodes[0].clu, single, "node1")
+
+	// node0 cannot reach node1 while it solves: the fill is lost.
+	ring.nodes[0].fault.block(ring.nodes[1].hostport(t))
+	got := solveOn(t, ring, 0, raw)
+	if got.Key != key || got.Cached {
+		t.Fatalf("solve under fill partition wrong: %+v", got)
+	}
+	ring.sync() // must return despite the dead owner
+
+	if fills := ring.nodes[0].clu.Stats()["peer_fills"]; fills == 0 {
+		t.Fatal("fill was never attempted into the partition")
+	}
+	// The owner never got the entry: a direct peer GET misses.
+	res, err := http.Get(ring.nodes[1].hs.URL + "/v1/peer/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("owner answered HTTP %d for a fill that was partitioned away", res.StatusCode)
+	}
+
+	// Heal and re-solve on node0 (its local cache has it): refill
+	// reaches the owner this time.
+	ring.nodes[0].fault.unblock(ring.nodes[1].hostport(t))
+	reSolved := solveOn(t, ring, 0, raw)
+	if !reSolved.Cached {
+		t.Fatal("local store lost the entry")
+	}
+	ring.stop()
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestFaultHedgedLookup delays the primary fetch past HedgeDelay: the
+// hedge fires, the answer still arrives, and the hedge counter says
+// so.
+func TestFaultHedgedLookup(t *testing.T) {
+	opts := ringOpts{hedgeDelay: 10 * time.Millisecond}
+	ring := startRing(t, 2, opts)
+	single := startSingle(t, opts)
+
+	raw, _ := reqOwnedBy(t, ring.nodes[0].clu, single, "node1")
+	solveOn(t, ring, 1, raw)
+	ring.sync()
+
+	// Every request from node0 to node1 now dawdles 80ms — both the
+	// primary and its hedge are slow, but the fetch (timeout 5s)
+	// still completes; the hedge counter records the escalation.
+	ring.nodes[0].fault.delay(ring.nodes[1].hostport(t), 80*time.Millisecond)
+	got := solveOn(t, ring, 0, raw)
+	if !got.Cached {
+		t.Fatal("slow peer was abandoned even though it answered inside the fetch timeout")
+	}
+	st := ring.nodes[0].clu.Stats()
+	if st["peer_hedges"] == 0 {
+		t.Fatalf("hedge never fired against a slow peer: %v", st)
+	}
+	if st["peer_hits"] == 0 {
+		t.Fatalf("hedged fetch did not count its hit: %v", st)
+	}
+}
+
+// TestRingReheal drives health probing through down/up transitions:
+// FailThreshold consecutive failures shrink the ring and remap the
+// dead member's keys onto survivors; one successful probe restores
+// the exact original ownership (a ring is a pure function of its
+// membership set).
+func TestRingReheal(t *testing.T) {
+	// Three bare health endpoints with toggleable liveness — ring
+	// membership is a cluster-client concern, no solver needed.
+	var down [3]atomic.Bool
+	var specs []NodeSpec
+	for i := 0; i < 3; i++ {
+		i := i
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if down[i].Load() {
+				http.Error(w, "down", http.StatusServiceUnavailable)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		}))
+		defer hs.Close()
+		specs = append(specs, NodeSpec{ID: fmt.Sprintf("node%d", i), URL: hs.URL})
+	}
+	clu, err := New(Config{Self: "node0", Nodes: specs, ProbeInterval: -1, FailThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+
+	keys := sampleKeys(512)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = clu.Owner(k)
+	}
+
+	// One failed probe: below threshold, membership unchanged.
+	down[2].Store(true)
+	clu.ProbeOnce(context.Background())
+	if got := len(clu.Alive()); got != 3 {
+		t.Fatalf("one probe failure already evicted a member: %d alive", got)
+	}
+	// Second consecutive failure: node2 demoted, its keys remap onto
+	// survivors, nothing moves laterally between node0 and node1.
+	clu.ProbeOnce(context.Background())
+	if got := len(clu.Alive()); got != 2 {
+		t.Fatalf("member not demoted after FailThreshold failures: %d alive", got)
+	}
+	moved := 0
+	for _, k := range keys {
+		owner := clu.Owner(k)
+		if owner == "node2" {
+			t.Fatalf("key %s still owned by the dead member", k)
+		}
+		if before[k] != "node2" && owner != before[k] {
+			t.Fatalf("key %s moved laterally %s→%s while its owner stayed up", k, before[k], owner)
+		}
+		if before[k] == "node2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("sample never hit the demoted member — widen the sample")
+	}
+
+	// Recovery: one good probe restores the member and the exact
+	// original ownership.
+	down[2].Store(false)
+	clu.ProbeOnce(context.Background())
+	if got := len(clu.Alive()); got != 3 {
+		t.Fatalf("member not restored after recovery: %d alive", got)
+	}
+	for _, k := range keys {
+		if got := clu.Owner(k); got != before[k] {
+			t.Fatalf("re-healed ring moved key %s: %s→%s", k, before[k], got)
+		}
+	}
+}
+
+// TestFaultPartitionedRingStillConforms is the end-to-end degradation
+// check: with a member partitioned away from everyone, every corpus
+// request through the surviving nodes still answers with single-node
+// bytes.
+func TestFaultPartitionedRingStillConforms(t *testing.T) {
+	opts := ringOpts{}
+	ring := startRing(t, 4, opts)
+	single := startSingle(t, opts)
+	corpus := conformanceCorpus(t)
+
+	// node3 is unreachable from every other node.
+	for i := 0; i < 3; i++ {
+		ring.nodes[i].fault.block(ring.nodes[3].hostport(t))
+	}
+	for k, raw := range corpus {
+		gotCode, got := ring.post(t, k%3, "/v1/eval", raw)
+		wantCode, want := single.post(t, "/v1/eval", raw)
+		if gotCode != wantCode {
+			t.Fatalf("req %d: HTTP %d vs %d: %s", k, gotCode, wantCode, got)
+		}
+		var g, w specio.EvalResponse
+		if err := json.Unmarshal(got, &g); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(want, &w); err != nil {
+			t.Fatal(err)
+		}
+		// Routing flags may differ under partition (a lookup that
+		// cannot reach node3 degrades to a fresh solve); numbers may
+		// not.
+		g.Cached, g.WallNS = w.Cached, w.WallNS
+		gj, _ := json.Marshal(g)
+		wj, _ := json.Marshal(w)
+		if string(gj) != string(wj) {
+			t.Fatalf("req %d drifted under partition:\n%s\nvs\n%s", k, gj, wj)
+		}
+	}
+	ring.sync()
+}
+
+// sampleKeys returns n distinct well-formed content addresses.
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return keys
+}

@@ -1,0 +1,107 @@
+package cluster
+
+// Fuzz targets (run briefly in CI by `make fuzz-short`, seed corpus
+// under testdata/fuzz/):
+//
+//   - FuzzPeerCacheKey: ring ownership and peer-key validation over
+//     hostile key strings — ownership must be total, deterministic,
+//     and confined to the membership.
+//   - FuzzRingMembership: random join/leave histories — every
+//     transition must preserve the minimal-movement invariant.
+
+import (
+	"strings"
+	"testing"
+
+	"thermalscaffold/internal/specio"
+)
+
+func FuzzPeerCacheKey(f *testing.F) {
+	f.Add("0000000000000000000000000000000000000000000000000000000000000000")
+	f.Add("9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08")
+	f.Add("")
+	f.Add("not-a-key")
+	f.Add("ABCDEF0000000000000000000000000000000000000000000000000000000000") // uppercase: invalid
+	f.Add(strings.Repeat("f", 63))
+	f.Add(strings.Repeat("f", 65))
+	f.Add("café\x00\xff☃")
+	members := []string{"node0", "node1", "node2"}
+	ring := NewRing(members, 64)
+	f.Fuzz(func(t *testing.T, key string) {
+		// Validation must be total and agree with the wire shape.
+		if specio.ValidPeerKey(key) {
+			if len(key) != 64 {
+				t.Fatalf("ValidPeerKey accepted %d-char key %q", len(key), key)
+			}
+			for _, c := range key {
+				if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+					t.Fatalf("ValidPeerKey accepted non-hex rune %q in %q", c, key)
+				}
+			}
+		}
+		// Ownership must be total (no panic on any string),
+		// deterministic, and land inside the membership.
+		owner := ring.Owner(key)
+		found := false
+		for _, m := range members {
+			if owner == m {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %q owned by %q, not a member", key, owner)
+		}
+		if again := NewRing(members, 64).Owner(key); again != owner {
+			t.Fatalf("key %q: owner %q vs %q across identical rings", key, owner, again)
+		}
+	})
+}
+
+func FuzzRingMembership(f *testing.F) {
+	f.Add([]byte{0x08, 0x09, 0x0a, 0x00, 0x01})
+	f.Add([]byte{0x08, 0x08, 0x08})
+	f.Add([]byte{0x0f, 0x07, 0x0f, 0x07})
+	f.Add([]byte("join-leave-join"))
+	keys := sampleKeys(64)
+	f.Fuzz(func(t *testing.T, history []byte) {
+		if len(history) > 64 {
+			history = history[:64] // bound ring rebuild cost per input
+		}
+		pool := ids(8)
+		alive := map[string]bool{}
+		prev := NewRing(nil, 16)
+		for _, b := range history {
+			id := pool[int(b&0x07)]
+			join := b&0x08 != 0
+			if alive[id] == join {
+				continue // no-op transition
+			}
+			alive[id] = join
+			var cur []string
+			for m, up := range alive {
+				if up {
+					cur = append(cur, m)
+				}
+			}
+			next := NewRing(cur, 16)
+			if next.Size() != len(cur) {
+				t.Fatalf("ring size %d for %d members", next.Size(), len(cur))
+			}
+			// Minimal movement across one join/leave: an owner change
+			// must involve the changed member on exactly one side.
+			for _, k := range keys {
+				ob, oa := prev.Owner(k), next.Owner(k)
+				if ob == oa {
+					continue
+				}
+				if join && oa != id {
+					t.Fatalf("join of %s moved key laterally %s→%s", id, ob, oa)
+				}
+				if !join && ob != id {
+					t.Fatalf("leave of %s moved key laterally %s→%s", id, ob, oa)
+				}
+			}
+			prev = next
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package cluster
+
+// Ring properties: key-distribution balance, minimal movement on
+// join/leave, and set-determinism of construction. These are the
+// load-bearing guarantees of consistent hashing — the fault and
+// conformance suites assume them.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node%d", i)
+	}
+	return out
+}
+
+// TestRingBalance: at 4 nodes × DefaultVnodes, every node's share of
+// a large key sample stays within ±15% of the fair share (the issue's
+// bound; DefaultVnodes typically lands within a few percent).
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 4, 20000
+	r := NewRing(ids(nodes), DefaultVnodes)
+	counts := map[string]int{}
+	for _, k := range sampleKeys(keys) {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(keys) / nodes
+	for _, id := range ids(nodes) {
+		got := float64(counts[id])
+		dev := (got - fair) / fair
+		if dev > 0.15 || dev < -0.15 {
+			t.Errorf("%s owns %.0f keys, %.1f%% off the fair share %.0f", id, got, 100*dev, fair)
+		}
+	}
+}
+
+// TestRingMinimalMovementJoin: adding a member moves keys only TO the
+// new member — never laterally between members present in both rings
+// — and moves roughly its fair share.
+func TestRingMinimalMovementJoin(t *testing.T) {
+	before := NewRing(ids(4), DefaultVnodes)
+	after := NewRing(ids(5), DefaultVnodes) // node4 joins
+	keys := sampleKeys(20000)
+	moved := 0
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		if oa != "node4" {
+			t.Fatalf("key %s moved laterally %s→%s on join", k, ob, oa)
+		}
+		moved++
+	}
+	// The joiner's fair share is 1/5; allow a wide band.
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.30 {
+		t.Errorf("join moved %.1f%% of keys, want ≈20%%", 100*frac)
+	}
+}
+
+// TestRingMinimalMovementLeave: removing a member moves keys only
+// FROM the removed member.
+func TestRingMinimalMovementLeave(t *testing.T) {
+	before := NewRing(ids(4), DefaultVnodes)
+	after := NewRing(ids(3), DefaultVnodes) // node3 leaves
+	for _, k := range sampleKeys(20000) {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		if ob != "node3" {
+			t.Fatalf("key %s moved laterally %s→%s on leave", k, ob, oa)
+		}
+		if oa == "node3" {
+			t.Fatalf("key %s assigned to the removed member", k)
+		}
+	}
+}
+
+// TestRingSetDeterminism: the ring is a pure function of its
+// membership SET — order and duplicates in the input don't matter.
+func TestRingSetDeterminism(t *testing.T) {
+	a := NewRing([]string{"node0", "node1", "node2"}, DefaultVnodes)
+	b := NewRing([]string{"node2", "node0", "node1", "node0"}, DefaultVnodes)
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Fatalf("sizes %d/%d, want 3/3 (duplicates must collapse)", a.Size(), b.Size())
+	}
+	for _, k := range sampleKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner %s vs %s for the same membership set", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingDegenerate: empty ring owns nothing; a singleton owns
+// everything.
+func TestRingDegenerate(t *testing.T) {
+	empty := NewRing(nil, DefaultVnodes)
+	if got := empty.Owner("anything"); got != "" {
+		t.Fatalf("empty ring owned a key: %q", got)
+	}
+	if empty.Size() != 0 {
+		t.Fatalf("empty ring has %d members", empty.Size())
+	}
+	solo := NewRing([]string{"only"}, DefaultVnodes)
+	for _, k := range sampleKeys(100) {
+		if got := solo.Owner(k); got != "only" {
+			t.Fatalf("singleton ring gave key %s to %q", k, got)
+		}
+	}
+	if got := solo.String(); got != "ring[only]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestRingVnodeDefault: vnodes ≤ 0 falls back to DefaultVnodes.
+func TestRingVnodeDefault(t *testing.T) {
+	r := NewRing(ids(2), 0)
+	if got := len(r.points); got != 2*DefaultVnodes {
+		t.Fatalf("%d points, want %d", got, 2*DefaultVnodes)
+	}
+}

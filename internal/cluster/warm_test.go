@@ -1,0 +1,160 @@
+package cluster
+
+// Gossip-replicated warm-start index: a fill on one node announces
+// its family key to every peer; a near-miss solve on another node
+// resolves the seed through the gossip pointer and still answers
+// with single-node bytes (the seed is the exact field the announcing
+// node solved, so the warm-started iteration count matches a
+// single-node warm start from the same seed). Plus the background
+// prober loop, which the fault suite bypasses via ProbeOnce.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thermalscaffold/internal/specio"
+)
+
+func TestClusterWarmStartGossip(t *testing.T) {
+	opts := ringOpts{warmStart: true}
+	ring := startRing(t, 2, opts)
+	single := startSingle(t, opts)
+
+	// Same stack, different power: same warm-start family, different
+	// content address.
+	seedRaw, err := specio.MarshalEval(steadyReq(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearRaw, err := specio.MarshalEval(steadyReq(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Solve the seed on node0; sync so the fill and the family gossip
+	// land everywhere.
+	code, _ := ring.post(t, 0, "/v1/eval", seedRaw)
+	if code != 200 {
+		t.Fatalf("seed solve: HTTP %d", code)
+	}
+	_, _ = single.post(t, "/v1/eval", seedRaw)
+	ring.sync()
+
+	// node1 has never seen the family locally — its warm start must
+	// come through the gossip index (announce → fetch from node0).
+	gotCode, got := ring.post(t, 1, "/v1/eval", nearRaw)
+	wantCode, want := single.post(t, "/v1/eval", nearRaw)
+	if gotCode != 200 || wantCode != 200 {
+		t.Fatalf("near-miss solve: HTTP %d/%d", gotCode, wantCode)
+	}
+	if g, w := string(zeroWall(got)), string(zeroWall(want)); g != w {
+		t.Fatalf("gossip-seeded warm start drifted from single-node:\n%s\nvs\n%s", g, w)
+	}
+	var resp specio.EvalResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("near-miss request was served as a full hit, not a warm-started solve")
+	}
+	st := ring.nodes[1].clu.Stats()
+	if st["peer_hits"] == 0 {
+		t.Fatalf("node1 never fetched the gossip seed: %v", st)
+	}
+	if g := ring.nodes[0].clu.Stats()["peer_gossip"]; g == 0 {
+		t.Fatal("node0 never gossiped its family key")
+	}
+}
+
+// TestAnnounceRejectsUnknownNode: gossip naming a node outside the
+// configured membership is dropped — a pointer that cannot be
+// resolved must not enter the index.
+func TestAnnounceRejectsUnknownNode(t *testing.T) {
+	ring := startRing(t, 2, ringOpts{})
+	clu := ring.nodes[0].clu
+	a := specio.PeerFamilyAnnounce{
+		FamilyKey: sampleKeys(1)[0], Key: sampleKeys(2)[1], Node: "intruder",
+	}
+	clu.Announce(a)
+	if _, ok := clu.family.get(a.FamilyKey); ok {
+		t.Fatal("announce from outside the membership entered the index")
+	}
+}
+
+// TestBackgroundProber: with ProbeInterval set the prober demotes a
+// dead member and re-heals on recovery without anyone calling
+// ProbeOnce.
+func TestBackgroundProber(t *testing.T) {
+	var down [2]atomic.Bool
+	var specs []NodeSpec
+	for i := 0; i < 2; i++ {
+		i := i
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if down[i].Load() {
+				http.Error(w, "down", http.StatusServiceUnavailable)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		}))
+		defer hs.Close()
+		specs = append(specs, NodeSpec{ID: fmt.Sprintf("node%d", i), URL: hs.URL})
+	}
+	clu, err := New(Config{
+		Self: "node0", Nodes: specs,
+		ProbeInterval: 10 * time.Millisecond, FailThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+
+	if clu.Self() != "node0" || clu.Ring().Size() != 2 {
+		t.Fatalf("initial ring wrong: self=%q size=%d", clu.Self(), clu.Ring().Size())
+	}
+	down[1].Store(true)
+	waitFor(t, func() bool { return len(clu.Alive()) == 1 })
+	down[1].Store(false)
+	waitFor(t, func() bool { return len(clu.Alive()) == 2 })
+}
+
+// TestNewValidation: the membership validation catches every
+// misconfiguration before a cluster exists.
+func TestNewValidation(t *testing.T) {
+	two := []NodeSpec{{ID: "a", URL: "http://x"}, {ID: "b", URL: "http://y"}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty self", Config{Nodes: two}},
+		{"one node", Config{Self: "a", Nodes: two[:1]}},
+		{"empty node ID", Config{Self: "a", Nodes: []NodeSpec{{ID: "a", URL: "http://x"}, {URL: "http://y"}}}},
+		{"duplicate ID", Config{Self: "a", Nodes: []NodeSpec{{ID: "a", URL: "http://x"}, {ID: "a", URL: "http://y"}}}},
+		{"bad URL", Config{Self: "a", Nodes: []NodeSpec{{ID: "a", URL: "http://x"}, {ID: "b", URL: "not a url"}}}},
+		{"self not a member", Config{Self: "z", Nodes: two}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.ProbeInterval = -1
+			if c, err := New(tc.cfg); err == nil {
+				c.Close()
+				t.Fatal("misconfiguration accepted")
+			}
+		})
+	}
+	ctx := context.Background()
+	good := Config{Self: "a", Nodes: two, ProbeInterval: -1}
+	c, err := New(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.FamilySeed(ctx, sampleKeys(1)[0]); ok {
+		t.Fatal("FamilySeed hit on an empty index")
+	}
+	c.Close()
+}

@@ -21,7 +21,6 @@ import (
 	"net/http"
 	"time"
 
-	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/specio"
 	"thermalscaffold/internal/telemetry"
 )
@@ -90,18 +89,29 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Per-item cache hits, then one coalesced batch solve for the
-	// remaining unique misses.
+	// Per-item cache hits (local first, then the key's ring owner in
+	// cluster mode), then one coalesced batch solve for the remaining
+	// unique misses.
 	var missIdx []int
 	for i := range items {
 		if items[i].dupOf >= 0 {
 			continue
 		}
-		if hit, ok := s.cache.getSolved(items[i].key); ok {
+		if hit, ok := s.caches.Lookup(items[i].key); ok {
 			items[i].sv, items[i].cached = hit, true
-			s.hits.Add(1)
+			s.ctr.hits.Add(1)
 			s.cfg.Telemetry.Add(telemetry.CounterCacheHits, 1)
 			continue
+		}
+		if s.peers != nil {
+			if e, tf, ok := s.peers.Fetch(s.baseCtx, items[i].key); ok {
+				psv := solvedFromPeer(e, tf)
+				s.caches.Store(psv)
+				items[i].sv, items[i].cached = psv, true
+				s.ctr.hits.Add(1)
+				s.cfg.Telemetry.Add(telemetry.CounterCacheHits, 1)
+				continue
+			}
 		}
 		if items[i].ev == nil {
 			// Memoized key but evicted result: assemble for the solve.
@@ -125,7 +135,7 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 			s.reject(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		default:
-			s.failures.Add(1)
+			s.ctr.failures.Add(1)
 			status := http.StatusInternalServerError
 			if errors.Is(serr, context.DeadlineExceeded) {
 				status = http.StatusGatewayTimeout
@@ -137,7 +147,7 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		for bi, i := range missIdx {
 			items[i].sv = solvedList[bi]
-			s.misses.Add(1)
+			s.ctr.misses.Add(1)
 			s.cfg.Telemetry.Add(telemetry.CounterCacheMisses, 1)
 		}
 	}
@@ -148,7 +158,7 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 		lead, coalesced := &items[i], false
 		if items[i].dupOf >= 0 {
 			lead, coalesced = &items[items[i].dupOf], true
-			s.coalesced.Add(1)
+			s.ctr.coalesced.Add(1)
 			s.cfg.Telemetry.Add(telemetry.CounterCoalesced, 1)
 		}
 		ir := lead.sv.resp
@@ -162,79 +172,23 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // admitAndSolveBatch takes one admission slot for the whole batch and
-// runs the coalesced solve; only called with at least one miss.
+// runs the coalesced solve through the solve layer; only called with
+// at least one miss.
 func (s *Server) admitAndSolveBatch(items []batchItem, missIdx []int) ([]*solved, error) {
-	if s.pending.Add(1) > int64(s.cfg.Parallel+s.cfg.QueueDepth) {
-		s.pending.Add(-1)
-		return nil, errBusy
-	}
-	defer s.pending.Add(-1)
-	select {
-	case s.sem <- struct{}{}:
-	case <-s.baseCtx.Done():
-		return nil, errDraining
-	}
-	defer func() { <-s.sem }()
-	s.running.Add(1)
-	defer s.running.Add(-1)
-	return s.solveBatch(items, missIdx)
-}
-
-// solveBatch runs the K-miss coalesced solve: one operator assembly,
-// one preconditioner hierarchy, K right-hand sides (the items differ
-// only in their power maps by construction of the batch schema). Each
-// result is bitwise identical to an independent cold solve of that
-// item, so cache entries written here are indistinguishable from ones
-// written by /v1/eval.
-func (s *Server) solveBatch(items []batchItem, missIdx []int) ([]*solved, error) {
-	ev0 := items[missIdx[0]].ev
-	timeout := ev0.Timeout
-	if timeout <= 0 {
-		timeout = s.cfg.DefaultTimeout
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
-	defer cancel()
-	opts := solver.Options{
-		Tol: ev0.Tol, MaxIter: ev0.MaxIter, Precond: ev0.Precond,
-		Precision: ev0.Precision,
-		Engine:    s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
-	}
-	qs := make([][]float64, len(missIdx))
-	for bi, i := range missIdx {
-		qs[bi] = items[i].ev.Problem.Q
-	}
-	solveStart := time.Now()
-	results, err := solver.SolveSteadyBatch(ev0.Problem, qs, opts)
+	release, err := s.gate.Admit(s.baseCtx.Done())
 	if err != nil {
 		return nil, err
 	}
-	wall := time.Since(solveStart).Nanoseconds()
-	out := make([]*solved, len(missIdx))
+	defer release()
+	evs := make([]*specio.Eval, len(missIdx))
+	keys := make([]string, len(missIdx))
+	famKeys := make([]string, len(missIdx))
 	for bi, i := range missIdx {
-		ev, res := items[i].ev, results[bi]
-		peak, mean := ev.FieldStats(res.T)
-		sv := &solved{
-			key: items[i].key,
-			T:   res.T,
-			resp: specio.EvalResponse{
-				Key:        items[i].key,
-				Mode:       "steady",
-				PeakT:      telemetry.Float(peak),
-				MeanT:      telemetry.Float(mean),
-				Tiers:      ev.TierProfile(res.T),
-				Iterations: res.Iterations,
-				Residual:   telemetry.Float(res.Residual),
-				WallNS:     wall,
-			},
-		}
-		s.cache.Add(items[i].key, sv)
-		s.family.Add(items[i].famKey, sv)
-		out[bi] = sv
+		evs[bi] = items[i].ev
+		keys[bi] = items[i].key
+		famKeys[bi] = items[i].famKey
 	}
-	return out, nil
+	return s.backend.SolveBatch(evs, keys, famKeys)
 }
 
 // itemErr prefixes an error with the failing item's index.

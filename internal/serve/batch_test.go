@@ -92,7 +92,7 @@ func TestServeBatchCacheAndDedup(t *testing.T) {
 	if code, r := postEval(t, s, testRequest(45)); code != http.StatusOK {
 		t.Fatalf("prime: HTTP %d (%s)", code, r.Error)
 	}
-	missesBefore := s.misses.Load()
+	missesBefore := s.ctr.misses.Load()
 
 	breq := specio.EvalBatchRequest{
 		Base: testRequest(30),
@@ -118,7 +118,7 @@ func TestServeBatchCacheAndDedup(t *testing.T) {
 	if err := sameNumbers(resp.Items[1], resp.Items[2]); err != nil {
 		t.Errorf("duplicate items differ: %v", err)
 	}
-	if got := s.misses.Load() - missesBefore; got != 1 {
+	if got := s.ctr.misses.Load() - missesBefore; got != 1 {
 		t.Errorf("batch recorded %d misses, want 1 (one unique uncached item)", got)
 	}
 

@@ -1,0 +1,436 @@
+package serve
+
+// The serving pipeline is three explicit layers behind small
+// interfaces (plus the optional cluster seam), composed by Server:
+//
+//	cache     — cacheLayer: every LRU index the service keeps, sized
+//	            in exactly one place from Config.
+//	admission — admission/gate: the Parallel+QueueDepth backpressure
+//	            bound; one slot per unit of work (solve, batch, or
+//	            stream).
+//	solve     — solveBackend/solverLayer: evaluations in, immutable
+//	            *solved entries out; owns the solver engine, the
+//	            per-request deadline, warm-start seeding, and the
+//	            store-and-fill of finished results.
+//	cluster   — PeerCache (implemented by internal/cluster): a remote
+//	            content-addressed cache consulted on local miss and
+//	            filled after local solves. Nil outside cluster mode.
+//
+// The layers keep the determinism contract trivially auditable: only
+// the solve layer produces numbers, the cache layer stores them
+// verbatim, and admission/cluster decide *where and when* a solve
+// runs, never what it returns.
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"thermalscaffold/internal/rom"
+	"thermalscaffold/internal/solver"
+	"thermalscaffold/internal/specio"
+	"thermalscaffold/internal/telemetry"
+)
+
+// ---------------------------------------------------------------- cache
+
+// cacheLayer is every index the service keeps. All sizing happens in
+// newCacheLayer — the one place Config reaches the LRUs, so a
+// CacheSize change cannot apply to the result cache but miss the key
+// memo (the two must agree: a memoized key whose result was evicted
+// still answers correctly, but a result the memo cannot address is
+// dead weight).
+type cacheLayer struct {
+	results *lru // content address → *solved
+	family  *lru // family address → *solved (steady full-fidelity only)
+	keys    *lru // normalized request JSON → keyPair
+	roms    *lru // family address → *rom.Model
+}
+
+func newCacheLayer(cfg Config) *cacheLayer {
+	return &cacheLayer{
+		results: newLRU(cfg.CacheSize),
+		keys:    newLRU(cfg.CacheSize),
+		family:  newLRU(cfg.FamilySize),
+		roms:    newLRU(cfg.ROMCacheSize),
+	}
+}
+
+// Lookup returns the locally cached entry for a content address.
+func (c *cacheLayer) Lookup(key string) (*solved, bool) {
+	return c.results.getSolved(key)
+}
+
+// Store indexes a finished solve locally: always under its content
+// address, and under its family address when the entry is
+// family-eligible (sv.famKey non-empty — steady, full fidelity).
+func (c *cacheLayer) Store(sv *solved) {
+	c.results.Add(sv.key, sv)
+	if sv.famKey != "" {
+		c.family.Add(sv.famKey, sv)
+	}
+}
+
+// ------------------------------------------------------------ admission
+
+// admission bounds concurrent work: at most Parallel units running
+// plus QueueDepth waiting; everything past that is shed immediately
+// with errBusy. One unit is one solve, one whole batch, or one whole
+// trace stream.
+type admission interface {
+	// Admit reserves a slot, blocking in the bounded queue until one
+	// frees or cancel is closed (then errDraining). The returned
+	// release function must be called exactly once.
+	Admit(cancel <-chan struct{}) (release func(), err error)
+	// Pending counts admitted units (queued + running); Running counts
+	// units holding a run slot.
+	Pending() int64
+	Running() int64
+}
+
+// gate is the channel-semaphore admission implementation.
+type gate struct {
+	parallel, queue  int
+	sem              chan struct{}
+	pending, running atomic.Int64
+}
+
+func newGate(parallel, queue int) *gate {
+	return &gate{parallel: parallel, queue: queue, sem: make(chan struct{}, parallel)}
+}
+
+func (g *gate) Admit(cancel <-chan struct{}) (func(), error) {
+	if g.pending.Add(1) > int64(g.parallel+g.queue) {
+		g.pending.Add(-1)
+		return nil, errBusy
+	}
+	select {
+	case g.sem <- struct{}{}:
+	case <-cancel:
+		g.pending.Add(-1)
+		return nil, errDraining
+	}
+	g.running.Add(1)
+	return func() {
+		g.running.Add(-1)
+		<-g.sem
+		g.pending.Add(-1)
+	}, nil
+}
+
+func (g *gate) Pending() int64 { return g.pending.Load() }
+func (g *gate) Running() int64 { return g.running.Load() }
+
+// -------------------------------------------------------------- cluster
+
+// PeerCache is the cluster seam, implemented by internal/cluster. All
+// methods are safe for concurrent use. Every lookup path degrades to
+// a local solve: ok=false — whether from self-ownership, a clean
+// miss, a slow peer, or a partition — is never an error.
+type PeerCache interface {
+	// Fetch retrieves key's entry from the owning peer, hedged and
+	// bounded by a short timeout. ok=false when this node owns the key,
+	// the owner misses, or the peer is slow/unreachable. The returned
+	// field is the entry's decoded (validated, finite) temperatures.
+	Fetch(ctx context.Context, key string) (e *specio.PeerCacheEntry, t []float64, ok bool)
+	// Fill offers a locally solved entry to its ring owner and gossips
+	// its family key to the peers. Best-effort and asynchronous: errors
+	// are counted, never surfaced.
+	Fill(e *specio.PeerCacheEntry)
+	// FamilySeed resolves a warm-start seed for a family address
+	// through the gossip index: ok=false when no peer has announced the
+	// family or the pointed-at entry cannot be fetched in time.
+	FamilySeed(ctx context.Context, famKey string) (e *specio.PeerCacheEntry, t []float64, ok bool)
+	// Announce records a family-key gossip message received from a
+	// peer.
+	Announce(a specio.PeerFamilyAnnounce)
+	// Stats snapshots the peer hit/miss/hedge/fill counters merged
+	// into /metrics.
+	Stats() map[string]int64
+}
+
+// ----------------------------------------------------------------- solve
+
+// solveBackend is the compute layer: evaluations in, immutable solved
+// entries out. Implementations own result storage (local store + peer
+// fill) so every caller observes identical caching behavior.
+type solveBackend interface {
+	// Solve runs one evaluation under its deadline, stores the result,
+	// and returns it.
+	Solve(ev *specio.Eval, key, famKey string) (*solved, error)
+	// SolveBatch runs K sibling evaluations (same operator, K power
+	// maps) as one coalesced multi-RHS solve; each result is bitwise
+	// identical to an independent cold Solve of that item.
+	SolveBatch(evs []*specio.Eval, keys, famKeys []string) ([]*solved, error)
+	// SolveTrace integrates a trace request under ctx, emitting
+	// checkpoints through topts. Traces are uncached by design.
+	SolveTrace(ctx context.Context, te *specio.TraceEval, topts solver.TraceOptions) (*solver.TraceResult, error)
+	// Close releases the solver engine after the last solve has
+	// finished.
+	Close()
+}
+
+// solverLayer is the production solveBackend.
+type solverLayer struct {
+	cfg     Config
+	engine  *solver.Engine
+	caches  *cacheLayer
+	peers   PeerCache
+	baseCtx context.Context
+	ctr     *counters
+}
+
+func newSolverLayer(cfg Config, caches *cacheLayer, peers PeerCache, baseCtx context.Context, ctr *counters) *solverLayer {
+	return &solverLayer{
+		cfg:     cfg,
+		engine:  solver.NewEngine(cfg.SolverWorkers),
+		caches:  caches,
+		peers:   peers,
+		baseCtx: baseCtx,
+		ctr:     ctr,
+	}
+}
+
+func (l *solverLayer) Close() { l.engine.Close() }
+
+// deadline clamps the request's timeout to the configured bounds and
+// derives the solve context from the server's base context.
+func (l *solverLayer) deadline(reqTimeout time.Duration) (context.Context, context.CancelFunc) {
+	timeout := reqTimeout
+	if timeout <= 0 {
+		timeout = l.cfg.DefaultTimeout
+	}
+	if timeout > l.cfg.MaxTimeout {
+		timeout = l.cfg.MaxTimeout
+	}
+	return context.WithTimeout(l.baseCtx, timeout)
+}
+
+// options builds the solver options shared by every solve path.
+func (l *solverLayer) options(ev *specio.Eval, ctx context.Context) solver.Options {
+	return solver.Options{
+		Tol: ev.Tol, MaxIter: ev.MaxIter, Precond: ev.Precond,
+		Precision: ev.Precision,
+		Engine:    l.engine, Ctx: ctx, Telemetry: l.cfg.Telemetry,
+	}
+}
+
+// store indexes a finished solve locally and offers it to the cluster
+// (fill + family gossip, best-effort, asynchronous).
+func (l *solverLayer) store(sv *solved) {
+	l.caches.Store(sv)
+	if l.peers != nil {
+		l.peers.Fill(peerEntry(sv))
+	}
+}
+
+// warmSeed returns the family's warm-start seed: the local family
+// index first, then the cluster's gossip index. A peer-fetched seed
+// is cached locally (results + family) so the next near-miss skips
+// the network.
+func (l *solverLayer) warmSeed(ev *specio.Eval, famKey string) []float64 {
+	if l.cfg.DisableWarmStart || !ev.Steady() {
+		return nil
+	}
+	n := ev.Problem.Grid.NumCells()
+	if prev, ok := l.caches.family.getSolved(famKey); ok && len(prev.T) == n {
+		return prev.T
+	}
+	if l.peers == nil {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(l.baseCtx)
+	defer cancel()
+	e, t, ok := l.peers.FamilySeed(ctx, famKey)
+	if !ok || len(t) != n {
+		return nil
+	}
+	sv := solvedFromPeer(e, t)
+	l.caches.Store(sv)
+	return sv.T
+}
+
+// Solve runs the evaluation under its deadline and stores the result.
+func (l *solverLayer) Solve(ev *specio.Eval, key, famKey string) (*solved, error) {
+	if ev.RC() {
+		return l.solveRC(ev, key, famKey)
+	}
+	ctx, cancel := l.deadline(ev.Timeout)
+	defer cancel()
+	opts := l.options(ev, ctx)
+	warm := false
+	if seed := l.warmSeed(ev, famKey); seed != nil {
+		// A family neighbor differs only in its power map — its field
+		// is a few iterations from this problem's solution.
+		opts.InitialGuess = seed
+		warm = true
+	}
+	solveStart := time.Now()
+	var (
+		field []float64
+		iters int
+		resid = math.NaN()
+	)
+	if ev.Steady() {
+		res, err := solver.SolveSteady(ev.Problem, opts)
+		if err != nil {
+			return nil, err
+		}
+		field, iters, resid = res.T, res.Iterations, res.Residual
+	} else {
+		tr, err := solver.NewTransient(ev.Problem, ev.InitialField(), opts)
+		if err != nil {
+			return nil, err
+		}
+		defer tr.Close()
+		field, err = tr.Run(ev.Req.Transient.Steps, ev.Req.Transient.DtS)
+		if err != nil {
+			return nil, err
+		}
+		iters = ev.Req.Transient.Steps
+	}
+	peak, mean := ev.FieldStats(field)
+	sv := &solved{
+		key: key,
+		T:   field,
+		resp: specio.EvalResponse{
+			Key:        key,
+			Mode:       ev.Mode(),
+			PeakT:      telemetry.Float(peak),
+			MeanT:      telemetry.Float(mean),
+			Tiers:      ev.TierProfile(field),
+			Iterations: iters,
+			Residual:   telemetry.Float(resid),
+			WarmStart:  warm,
+			WallNS:     time.Since(solveStart).Nanoseconds(),
+		},
+	}
+	if ev.Steady() {
+		sv.famKey = famKey
+	}
+	l.store(sv)
+	return sv, nil
+}
+
+// SolveBatch runs the K-miss coalesced solve: one operator assembly,
+// one preconditioner hierarchy, K right-hand sides (the items differ
+// only in their power maps by construction of the batch schema). Each
+// result is bitwise identical to an independent cold solve of that
+// item, so entries stored here are indistinguishable from ones stored
+// by Solve.
+func (l *solverLayer) SolveBatch(evs []*specio.Eval, keys, famKeys []string) ([]*solved, error) {
+	ev0 := evs[0]
+	ctx, cancel := l.deadline(ev0.Timeout)
+	defer cancel()
+	opts := l.options(ev0, ctx)
+	qs := make([][]float64, len(evs))
+	for i, ev := range evs {
+		qs[i] = ev.Problem.Q
+	}
+	solveStart := time.Now()
+	results, err := solver.SolveSteadyBatch(ev0.Problem, qs, opts)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(solveStart).Nanoseconds()
+	out := make([]*solved, len(evs))
+	for i, ev := range evs {
+		res := results[i]
+		peak, mean := ev.FieldStats(res.T)
+		sv := &solved{
+			key:    keys[i],
+			famKey: famKeys[i],
+			T:      res.T,
+			resp: specio.EvalResponse{
+				Key:        keys[i],
+				Mode:       "steady",
+				PeakT:      telemetry.Float(peak),
+				MeanT:      telemetry.Float(mean),
+				Tiers:      ev.TierProfile(res.T),
+				Iterations: res.Iterations,
+				Residual:   telemetry.Float(res.Residual),
+				WallNS:     wall,
+			},
+		}
+		l.store(sv)
+		out[i] = sv
+	}
+	return out, nil
+}
+
+// SolveTrace integrates a trace request; streams are uncached, so
+// nothing is stored.
+func (l *solverLayer) SolveTrace(ctx context.Context, te *specio.TraceEval, topts solver.TraceOptions) (*solver.TraceResult, error) {
+	opts := l.options(te.Base, ctx)
+	return solver.SolveTrace(te.Base.Problem, te.Base.InitialField(), te.Segments, opts, topts)
+}
+
+// solveRC answers a request from the reduced-order tier: fetch (or
+// build) the family's reduced model, evaluate the request's source
+// field against it, and store the certified answer under its
+// fidelity-tagged key. The response carries the certified peak bound
+// in BoundK; Iterations is 0 (the reduced solve is direct) and
+// Residual reports the relative defect of the reconstructed field.
+func (l *solverLayer) solveRC(ev *specio.Eval, key, famKey string) (*solved, error) {
+	solveStart := time.Now()
+	m, err := l.romModel(ev, famKey)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Eval(ev.Problem.Q)
+	if err != nil {
+		return nil, err
+	}
+	l.ctr.rcEvals.Add(1)
+	l.cfg.Telemetry.Add(telemetry.CounterRCEvals, 1)
+	field := res.T()
+	peak, mean := ev.FieldStats(field)
+	sv := &solved{
+		key: key,
+		T:   field,
+		resp: specio.EvalResponse{
+			Key:      key,
+			Mode:     ev.Mode(),
+			PeakT:    telemetry.Float(peak),
+			MeanT:    telemetry.Float(mean),
+			Tiers:    ev.TierProfile(field),
+			Residual: telemetry.Float(res.RelResidual),
+			Fidelity: specio.FidelityRC,
+			BoundK:   telemetry.Float(res.Bound),
+			WallNS:   time.Since(solveStart).Nanoseconds(),
+		},
+	}
+	// famKey stays empty: mixing piecewise-constant rc fields into the
+	// full tier's warm-start seed pool would let the rc tier perturb
+	// full-fidelity iteration paths.
+	l.store(sv)
+	return sv, nil
+}
+
+// romModel returns the family's cached reduced model, building it on
+// miss. The model depends only on geometry/materials/boundaries —
+// exactly what the family key fixes — so one model serves every power
+// map of the family. Aggregation is per physical tier in z (handle
+// wafer in its own band) at the default in-plane block resolution.
+func (l *solverLayer) romModel(ev *specio.Eval, famKey string) (*rom.Model, error) {
+	if v, ok := l.caches.roms.Get(famKey); ok {
+		return v.(*rom.Model), nil
+	}
+	bands := make([]int, len(ev.Layout.TierOfLayer))
+	for k, t := range ev.Layout.TierOfLayer {
+		bands[k] = t + 1
+	}
+	m, err := rom.Reduce(ev.Problem, rom.Options{ZBandOf: bands})
+	if err != nil {
+		return nil, err
+	}
+	l.caches.roms.Add(famKey, m)
+	return m, nil
+}
+
+// Compile-time layer contracts.
+var (
+	_ admission    = (*gate)(nil)
+	_ solveBackend = (*solverLayer)(nil)
+)

@@ -1,0 +1,51 @@
+package serve
+
+// Layer-seam tests. The cache-size plumbing test is a regression
+// guard for a real seam bug: the result cache and the key memo were
+// once sized by two separate newLRU calls in New, so a CacheSize
+// change could apply to one and miss the other. newCacheLayer is now
+// the single place Config reaches the LRUs; this pins that.
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCacheSizePlumbing: CacheSize must size the result cache and the
+// key memo coherently — same capacity, and disabling one disables
+// both.
+func TestCacheSizePlumbing(t *testing.T) {
+	s := New(Config{SolverWorkers: 1, CacheSize: 7})
+	defer s.Shutdown(context.Background())
+	if got, want := s.caches.results.max, 7; got != want {
+		t.Errorf("result cache sized %d, want %d", got, want)
+	}
+	if s.caches.results.max != s.caches.keys.max {
+		t.Errorf("result cache (%d) and key memo (%d) sized differently from one CacheSize",
+			s.caches.results.max, s.caches.keys.max)
+	}
+
+	off := New(Config{SolverWorkers: 1, CacheSize: -1})
+	defer off.Shutdown(context.Background())
+	if off.caches.results.enabled() || off.caches.keys.enabled() {
+		t.Errorf("CacheSize<0 must disable both: results=%v keys=%v",
+			off.caches.results.enabled(), off.caches.keys.enabled())
+	}
+
+	// Behavioral check: with caching disabled end to end, a repeated
+	// request must re-solve (no half-disabled memo serving stale
+	// keys), and with it enabled the repeat must hit.
+	req := testRequest(33)
+	if _, r1 := postEval(t, off, req); r1.Cached {
+		t.Fatal("first solve cached with caching disabled")
+	}
+	if _, r2 := postEval(t, off, req); r2.Cached {
+		t.Fatal("repeat served from a cache that should not exist")
+	}
+	if _, r1 := postEval(t, s, req); r1.Cached {
+		t.Fatal("first solve cached")
+	}
+	if _, r2 := postEval(t, s, req); !r2.Cached {
+		t.Fatal("repeat missed an enabled cache")
+	}
+}

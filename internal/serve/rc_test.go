@@ -210,11 +210,11 @@ func TestRCModelCacheReuse(t *testing.T) {
 	s := New(Config{SolverWorkers: 1})
 	defer s.Shutdown(context.Background())
 	_, a := postEval(t, s, rcRequest(20))
-	if got := s.roms.Len(); got != 1 {
+	if got := s.caches.roms.Len(); got != 1 {
 		t.Fatalf("rom cache has %d models after first eval, want 1", got)
 	}
 	_, b := postEval(t, s, rcRequest(40))
-	if got := s.roms.Len(); got != 1 {
+	if got := s.caches.roms.Len(); got != 1 {
 		t.Fatalf("rom cache has %d models after family repeat, want 1 (model reused)", got)
 	}
 	if a.Key == b.Key || a.PeakT == b.PeakT {
@@ -224,7 +224,7 @@ func TestRCModelCacheReuse(t *testing.T) {
 	req := rcRequest(20)
 	req.Stack.Tiers = 3
 	postEval(t, s, req)
-	if got := s.roms.Len(); got != 2 {
+	if got := s.caches.roms.Len(); got != 2 {
 		t.Fatalf("rom cache has %d models after geometry change, want 2", got)
 	}
 }

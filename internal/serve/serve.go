@@ -4,40 +4,48 @@
 // them on a bounded worker pool with per-request deadlines, request
 // coalescing, and a content-addressed solve cache.
 //
-// The serving pipeline, in order:
+// The serving pipeline is composed from three explicit layers (see
+// layers.go) plus an optional cluster seam, in order:
 //
 //  1. Decode + normalize the request (internal/specio) and assemble
 //     the solver problem; compute its canonical content address (Key)
 //     and warm-start family address (FamilyKey).
-//  2. Content-addressed cache: an exact repeat is answered from the
-//     LRU without touching the solver — bitwise identical to the
-//     solve that populated it, because the stored result is immutable
-//     and shared.
+//  2. Cache layer: an exact repeat is answered from the local LRU
+//     without touching the solver — bitwise identical to the solve
+//     that populated it, because the stored result is immutable and
+//     shared. In cluster mode a local miss consults the key's ring
+//     owner (PeerCache.Fetch, hedged, short timeout); a slow or dead
+//     peer degrades to a local solve, never an error.
 //  3. Coalescing: identical requests already in flight piggyback on
 //     the running solve (singleflight) and all observe the same
 //     result object.
-//  4. Admission: fresh work is bounded by Parallel running solves
-//     plus QueueDepth waiters; beyond that the request is shed with
-//     503 + Retry-After, never queued unboundedly.
-//  5. Solve: per-request deadline propagated into solver.Options.Ctx;
-//     near-miss requests (same family, different power map) seed the
-//     steady solve with the cached neighbor's field as warm start.
+//  4. Admission layer: fresh work is bounded by Parallel running
+//     solves plus QueueDepth waiters; beyond that the request is shed
+//     with 503 + Retry-After, never queued unboundedly.
+//  5. Solve layer: per-request deadline propagated into
+//     solver.Options.Ctx; near-miss requests (same family, different
+//     power map) seed the steady solve with a cached neighbor's field
+//     as warm start — from the local family index or, in cluster
+//     mode, from the gossip-replicated one. Finished solves are
+//     stored locally and offered to their ring owner.
 //
 // Observability: cache hits/misses, coalesced and rejected counts,
-// queue depth, and p50/p99 latency surface on /metrics (and
-// optionally expvar); /healthz flips to 503 during drain. Graceful
-// shutdown drains in-flight requests, rejecting new ones.
+// peer hit/miss/hedge counters (cluster mode), queue depth, and
+// p50/p99 latency surface on /metrics (and optionally expvar);
+// /healthz flips to 503 during drain. Graceful shutdown drains
+// in-flight requests, rejecting new ones.
 //
 // Determinism: everything above the solver is routing. For a fixed
 // SolverWorkers the solver is bit-reproducible, the cache stores the
-// solved field verbatim, and coalesced followers share the leader's
-// result object, so cached and coalesced responses are bitwise
-// identical to the solve that produced them (pinned by the
-// equivalence tests at Workers 1 and 8). Warm starting changes the
-// iteration path — converging to the same tolerance from a closer
-// start — so the solution a key gets can depend on arrival order;
-// deployments that need arrival-order independence set
-// DisableWarmStart (see DESIGN.md §9).
+// solved field verbatim (and ships it between nodes as exact IEEE-754
+// bits), and coalesced followers share the leader's result object, so
+// cached, coalesced, and peer-fetched responses are bitwise identical
+// to the solve that produced them (pinned by the equivalence tests at
+// Workers 1 and 8 and by the cluster conformance suite). Warm
+// starting changes the iteration path — converging to the same
+// tolerance from a closer start — so the solution a key gets can
+// depend on arrival order; deployments that need arrival-order
+// independence set DisableWarmStart (see DESIGN.md §9, §14).
 package serve
 
 import (
@@ -47,15 +55,12 @@ import (
 	"expvar"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"thermalscaffold/internal/rom"
-	"thermalscaffold/internal/solver"
 	"thermalscaffold/internal/specio"
 	"thermalscaffold/internal/telemetry"
 )
@@ -75,8 +80,10 @@ type Config struct {
 	// ones; past Parallel+QueueDepth requests are shed with 503
 	// (0 → 64, negative → 0: no queue, immediate shed).
 	QueueDepth int
-	// CacheSize bounds the content-addressed result cache
-	// (0 → 256, negative disables caching).
+	// CacheSize bounds the content-addressed result cache and the
+	// normalized-request key memo — the two indexes address the same
+	// entries, so one knob sizes both (0 → 256, negative disables
+	// caching).
 	CacheSize int
 	// FamilySize bounds the warm-start family index
 	// (0 → 64, negative disables it).
@@ -94,6 +101,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines (0 → 5m).
 	MaxTimeout time.Duration
+	// Peers, when non-nil, puts the server in cluster mode: local
+	// cache misses consult the key's ring owner, finished solves are
+	// offered back, and the peer endpoints (/v1/peer/...) are
+	// registered. See internal/cluster.
+	Peers PeerCache
 	// Telemetry, when non-nil, receives solve traces plus the service
 	// counters (cache hits/misses, coalesced, rejected).
 	Telemetry *telemetry.Collector
@@ -140,14 +152,16 @@ var (
 )
 
 // solved is one immutable cache entry: the solved field (retained for
-// warm starts) plus the response template. Replies copy the template
-// and stamp only the routing fields (Cached/Coalesced/WallNS), so
-// every reply derived from one solve carries bitwise-identical
-// numbers.
+// warm starts and peer transfer), the warm-start family address (empty
+// for entries excluded from the family pool), and the response
+// template. Replies copy the template and stamp only the routing
+// fields (Cached/Coalesced/WallNS), so every reply derived from one
+// solve carries bitwise-identical numbers.
 type solved struct {
-	key  string
-	T    []float64
-	resp specio.EvalResponse
+	key    string
+	famKey string
+	T      []float64
+	resp   specio.EvalResponse
 }
 
 // keyPair is one key-memo entry: the content and family addresses of
@@ -156,21 +170,23 @@ type keyPair struct {
 	key, family string
 }
 
+// counters is the service counter block, shared with the solve layer.
+type counters struct {
+	hits, misses, coalesced, rejected, failures atomic.Int64
+	rcEvals                                     atomic.Int64
+	traceStreams, traceCheckpoints              atomic.Int64
+}
+
 // Server is the evaluation service. Create with New; it implements
-// http.Handler.
+// http.Handler. It composes the cache, admission, and solve layers
+// (layers.go) with HTTP routing, coalescing, and drain.
 type Server struct {
 	cfg     Config
-	cache   *lru
-	family  *lru
-	keys    *lru // normalized request JSON → keyPair; hits skip assembly+hashing
-	roms    *lru // family key → *rom.Model; one reduced model per geometry
+	caches  *cacheLayer
+	gate    admission
+	backend solveBackend
+	peers   PeerCache
 	flights flightGroup
-	sem     chan struct{}
-	// engine is the server-lifetime solver pool: every solve this
-	// server runs shares it instead of building a pool per solve. The
-	// pool multiplexes concurrent solves and is bitwise neutral
-	// (solver.Engine), so responses are unchanged by the sharing.
-	engine *solver.Engine
 
 	mu       sync.Mutex // guards draining vs. inflight.Add
 	draining bool
@@ -179,12 +195,7 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
-	pending atomic.Int64 // admitted solves: queued + running
-	running atomic.Int64
-
-	hits, misses, coalesced, rejected, failures atomic.Int64
-	rcEvals                                     atomic.Int64
-	traceStreams, traceCheckpoints              atomic.Int64
+	ctr counters
 
 	lat *telemetry.LatencyWindow
 	mux *http.ServeMux
@@ -194,24 +205,28 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	caches := newCacheLayer(cfg)
 	s := &Server{
 		cfg:        cfg,
-		cache:      newLRU(cfg.CacheSize),
-		family:     newLRU(cfg.FamilySize),
-		keys:       newLRU(cfg.CacheSize),
-		roms:       newLRU(cfg.ROMCacheSize),
-		engine:     solver.NewEngine(cfg.SolverWorkers),
-		sem:        make(chan struct{}, cfg.Parallel),
+		caches:     caches,
+		gate:       newGate(cfg.Parallel, cfg.QueueDepth),
+		peers:      cfg.Peers,
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		lat:        telemetry.NewLatencyWindow(0),
 		mux:        http.NewServeMux(),
 	}
+	s.backend = newSolverLayer(cfg, caches, cfg.Peers, ctx, &s.ctr)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
 	s.mux.HandleFunc("POST /v1/evaltrace", s.handleEvalTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Peers != nil {
+		s.mux.HandleFunc("GET /v1/peer/cache/{key}", s.handlePeerGet)
+		s.mux.HandleFunc("PUT /v1/peer/cache/{key}", s.handlePeerPut)
+		s.mux.HandleFunc("PUT /v1/peer/family", s.handlePeerFamily)
+	}
 	return s
 }
 
@@ -250,12 +265,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.cancelBase()
-		s.engine.Close()
+		s.backend.Close()
 		return nil
 	case <-ctx.Done():
 		s.cancelBase()
 		<-done
-		s.engine.Close()
+		s.backend.Close()
 		return ctx.Err()
 	}
 }
@@ -282,25 +297,33 @@ type MetricsSnapshot struct {
 }
 
 func (s *Server) snapshot() MetricsSnapshot {
-	qd := s.pending.Load() - s.running.Load()
+	qd := s.gate.Pending() - s.gate.Running()
 	if qd < 0 {
 		qd = 0
 	}
 	qs := s.lat.Quantiles(0.5, 0.99)
+	counters := map[string]int64{
+		telemetry.CounterCacheHits:        s.ctr.hits.Load(),
+		telemetry.CounterCacheMisses:      s.ctr.misses.Load(),
+		telemetry.CounterCoalesced:        s.ctr.coalesced.Load(),
+		telemetry.CounterRejected:         s.ctr.rejected.Load(),
+		telemetry.CounterRCEvals:          s.ctr.rcEvals.Load(),
+		telemetry.CounterTraceStreams:     s.ctr.traceStreams.Load(),
+		telemetry.CounterTraceCheckpoints: s.ctr.traceCheckpoints.Load(),
+		"solve_failures":                  s.ctr.failures.Load(),
+	}
+	if s.peers != nil {
+		// Cluster mode: merge the peer hit/miss/hedge/fill counters so
+		// one /metrics scrape sees the whole lookup funnel.
+		for k, v := range s.peers.Stats() {
+			counters[k] = v
+		}
+	}
 	return MetricsSnapshot{
 		QueueDepth:   qd,
-		Running:      s.running.Load(),
-		CacheEntries: s.cache.Len(),
-		Counters: map[string]int64{
-			telemetry.CounterCacheHits:        s.hits.Load(),
-			telemetry.CounterCacheMisses:      s.misses.Load(),
-			telemetry.CounterCoalesced:        s.coalesced.Load(),
-			telemetry.CounterRejected:         s.rejected.Load(),
-			telemetry.CounterRCEvals:          s.rcEvals.Load(),
-			telemetry.CounterTraceStreams:     s.traceStreams.Load(),
-			telemetry.CounterTraceCheckpoints: s.traceCheckpoints.Load(),
-			"solve_failures":                  s.failures.Load(),
-		},
+		Running:      s.gate.Running(),
+		CacheEntries: s.caches.results.Len(),
+		Counters:     counters,
 		LatencyMS: map[string]any{
 			"count": s.lat.Count(),
 			"p50":   float64(qs[0]) / float64(time.Millisecond),
@@ -350,7 +373,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
-	s.rejected.Add(1)
+	s.ctr.rejected.Add(1)
 	s.cfg.Telemetry.Add(telemetry.CounterRejected, 1)
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
@@ -402,34 +425,50 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if hit, ok := s.cache.getSolved(key); ok {
-		s.hits.Add(1)
+	if hit, ok := s.caches.Lookup(key); ok {
+		s.ctr.hits.Add(1)
 		s.cfg.Telemetry.Add(telemetry.CounterCacheHits, 1)
 		s.respond(w, hit, start, true, false)
 		return
 	}
-	if ev == nil {
-		// Memoized key but evicted (or never cached) result: build the
-		// problem for the solve. The memo only holds keys of requests
-		// that built successfully, so failures here are 400s all the same.
-		if ev, err = specio.BuildEval(norm); err != nil {
-			writeJSON(w, http.StatusBadRequest, specio.EvalResponse{Error: err.Error()})
-			return
-		}
-	}
 
-	var leaderFromCache bool
+	var leaderHit bool // leader found the entry cached (locally or on a peer)
+	var buildErr error
 	sv, err, shared := s.flights.Do(key, func() (*solved, error) {
 		// Double-check: a concurrent flight may have finished (and
-		// populated the cache) between our Get miss and becoming leader.
-		if hit, ok := s.cache.getSolved(key); ok {
-			leaderFromCache = true
+		// populated the cache) between our Lookup miss and becoming
+		// leader.
+		if hit, ok := s.caches.Lookup(key); ok {
+			leaderHit = true
 			return hit, nil
+		}
+		// Cluster mode: ask the key's ring owner before solving. A hit
+		// is the owner's stored entry, bit-for-bit; a slow or dead peer
+		// is a miss, and the local solve proceeds.
+		if s.peers != nil {
+			if e, tf, ok := s.peers.Fetch(s.baseCtx, key); ok {
+				psv := solvedFromPeer(e, tf)
+				s.caches.Store(psv)
+				leaderHit = true
+				return psv, nil
+			}
+		}
+		if ev == nil {
+			// Memoized key but evicted (or never cached) result: build
+			// the problem for the solve. The memo only holds keys of
+			// requests that built successfully, so failures here are
+			// 400s all the same.
+			if ev, buildErr = specio.BuildEval(norm); buildErr != nil {
+				return nil, buildErr
+			}
 		}
 		return s.admitAndSolve(ev, key, famKey)
 	})
 	switch {
 	case err == nil:
+	case buildErr != nil && errors.Is(err, buildErr):
+		writeJSON(w, http.StatusBadRequest, specio.EvalResponse{Error: err.Error()})
+		return
 	case errors.Is(err, errBusy):
 		s.reject(w, http.StatusServiceUnavailable, "solve queue is full, retry later")
 		return
@@ -437,7 +476,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	default:
-		s.failures.Add(1)
+		s.ctr.failures.Add(1)
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
@@ -450,16 +489,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case shared:
-		s.coalesced.Add(1)
+		s.ctr.coalesced.Add(1)
 		s.cfg.Telemetry.Add(telemetry.CounterCoalesced, 1)
-	case leaderFromCache:
-		s.hits.Add(1)
+	case leaderHit:
+		s.ctr.hits.Add(1)
 		s.cfg.Telemetry.Add(telemetry.CounterCacheHits, 1)
 	default:
-		s.misses.Add(1)
+		s.ctr.misses.Add(1)
 		s.cfg.Telemetry.Add(telemetry.CounterCacheMisses, 1)
 	}
-	s.respond(w, sv, start, leaderFromCache && !shared, shared)
+	s.respond(w, sv, start, leaderHit && !shared, shared)
 }
 
 // resolveKeys returns the content and family addresses of a
@@ -473,7 +512,7 @@ func (s *Server) resolveKeys(norm specio.EvalRequest) (ev *specio.Eval, key, fam
 	var memoKey string
 	if normJSON, jerr := json.Marshal(norm); jerr == nil {
 		memoKey = string(normJSON)
-		if v, ok := s.keys.Get(memoKey); ok {
+		if v, ok := s.caches.keys.Get(memoKey); ok {
 			kp := v.(keyPair)
 			return nil, kp.key, kp.family, 0, nil
 		}
@@ -488,7 +527,7 @@ func (s *Server) resolveKeys(norm specio.EvalRequest) (ev *specio.Eval, key, fam
 		return nil, "", "", http.StatusInternalServerError, err
 	}
 	if memoKey != "" {
-		s.keys.Add(memoKey, keyPair{key: key, family: famKey})
+		s.caches.keys.Add(memoKey, keyPair{key: key, family: famKey})
 	}
 	return ev, key, famKey, 0, nil
 }
@@ -509,156 +548,10 @@ func (s *Server) respond(w http.ResponseWriter, sv *solved, start time.Time, cac
 // then solves. Only flight leaders get here, so coalesced duplicates
 // never consume queue slots.
 func (s *Server) admitAndSolve(ev *specio.Eval, key, famKey string) (*solved, error) {
-	if s.pending.Add(1) > int64(s.cfg.Parallel+s.cfg.QueueDepth) {
-		s.pending.Add(-1)
-		return nil, errBusy
-	}
-	defer s.pending.Add(-1)
-	select {
-	case s.sem <- struct{}{}:
-	case <-s.baseCtx.Done():
-		return nil, errDraining
-	}
-	defer func() { <-s.sem }()
-	s.running.Add(1)
-	defer s.running.Add(-1)
-	return s.solve(ev, key, famKey)
-}
-
-// solve runs the evaluation under its deadline and caches the result.
-func (s *Server) solve(ev *specio.Eval, key, famKey string) (*solved, error) {
-	if ev.RC() {
-		return s.solveRC(ev, key, famKey)
-	}
-	timeout := ev.Timeout
-	if timeout <= 0 {
-		timeout = s.cfg.DefaultTimeout
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
-	defer cancel()
-	opts := solver.Options{
-		Tol: ev.Tol, MaxIter: ev.MaxIter, Precond: ev.Precond,
-		Precision: ev.Precision,
-		Engine:    s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
-	}
-	warm := false
-	if !s.cfg.DisableWarmStart && ev.Steady() {
-		// A family neighbor differs only in its power map — its field
-		// is a few iterations from this problem's solution.
-		if prev, ok := s.family.getSolved(famKey); ok && len(prev.T) == ev.Problem.Grid.NumCells() {
-			opts.InitialGuess = prev.T
-			warm = true
-		}
-	}
-	solveStart := time.Now()
-	var (
-		field []float64
-		iters int
-		resid = math.NaN()
-	)
-	if ev.Steady() {
-		res, err := solver.SolveSteady(ev.Problem, opts)
-		if err != nil {
-			return nil, err
-		}
-		field, iters, resid = res.T, res.Iterations, res.Residual
-	} else {
-		tr, err := solver.NewTransient(ev.Problem, ev.InitialField(), opts)
-		if err != nil {
-			return nil, err
-		}
-		defer tr.Close()
-		field, err = tr.Run(ev.Req.Transient.Steps, ev.Req.Transient.DtS)
-		if err != nil {
-			return nil, err
-		}
-		iters = ev.Req.Transient.Steps
-	}
-	peak, mean := ev.FieldStats(field)
-	sv := &solved{
-		key: key,
-		T:   field,
-		resp: specio.EvalResponse{
-			Key:        key,
-			Mode:       ev.Mode(),
-			PeakT:      telemetry.Float(peak),
-			MeanT:      telemetry.Float(mean),
-			Tiers:      ev.TierProfile(field),
-			Iterations: iters,
-			Residual:   telemetry.Float(resid),
-			WarmStart:  warm,
-			WallNS:     time.Since(solveStart).Nanoseconds(),
-		},
-	}
-	s.cache.Add(key, sv)
-	if ev.Steady() {
-		s.family.Add(famKey, sv)
-	}
-	return sv, nil
-}
-
-// solveRC answers a request from the reduced-order tier: fetch (or
-// build) the family's reduced model, evaluate the request's source
-// field against it, and cache the certified answer under its
-// fidelity-tagged key. The response carries the certified peak bound
-// in BoundK; Iterations is 0 (the reduced solve is direct) and
-// Residual reports the relative defect of the reconstructed field.
-func (s *Server) solveRC(ev *specio.Eval, key, famKey string) (*solved, error) {
-	solveStart := time.Now()
-	m, err := s.romModel(ev, famKey)
+	release, err := s.gate.Admit(s.baseCtx.Done())
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Eval(ev.Problem.Q)
-	if err != nil {
-		return nil, err
-	}
-	s.rcEvals.Add(1)
-	s.cfg.Telemetry.Add(telemetry.CounterRCEvals, 1)
-	field := res.T()
-	peak, mean := ev.FieldStats(field)
-	sv := &solved{
-		key: key,
-		T:   field,
-		resp: specio.EvalResponse{
-			Key:      key,
-			Mode:     ev.Mode(),
-			PeakT:    telemetry.Float(peak),
-			MeanT:    telemetry.Float(mean),
-			Tiers:    ev.TierProfile(field),
-			Residual: telemetry.Float(res.RelResidual),
-			Fidelity: specio.FidelityRC,
-			BoundK:   telemetry.Float(res.Bound),
-			WallNS:   time.Since(solveStart).Nanoseconds(),
-		},
-	}
-	s.cache.Add(key, sv)
-	// Deliberately not added to the warm-start family: mixing
-	// piecewise-constant rc fields into the full tier's seed pool
-	// would let the rc tier perturb full-fidelity iteration paths.
-	return sv, nil
-}
-
-// romModel returns the family's cached reduced model, building it on
-// miss. The model depends only on geometry/materials/boundaries —
-// exactly what the family key fixes — so one model serves every power
-// map of the family. Aggregation is per physical tier in z (handle
-// wafer in its own band) at the default in-plane block resolution.
-func (s *Server) romModel(ev *specio.Eval, famKey string) (*rom.Model, error) {
-	if v, ok := s.roms.Get(famKey); ok {
-		return v.(*rom.Model), nil
-	}
-	bands := make([]int, len(ev.Layout.TierOfLayer))
-	for k, t := range ev.Layout.TierOfLayer {
-		bands[k] = t + 1
-	}
-	m, err := rom.Reduce(ev.Problem, rom.Options{ZBandOf: bands})
-	if err != nil {
-		return nil, err
-	}
-	s.roms.Add(famKey, m)
-	return m, nil
+	defer release()
+	return s.backend.Solve(ev, key, famKey)
 }

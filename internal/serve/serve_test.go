@@ -256,7 +256,8 @@ func TestServeTransient(t *testing.T) {
 func TestServeBackpressure(t *testing.T) {
 	s := New(Config{SolverWorkers: 1, Parallel: 1, QueueDepth: -1, DisableWarmStart: true})
 	defer s.Shutdown(context.Background())
-	s.sem <- struct{}{} // occupy the only solve slot
+	g := s.gate.(*gate)
+	g.sem <- struct{}{} // occupy the only solve slot
 
 	waiting, err := json.Marshal(testRequest(30))
 	if err != nil {
@@ -269,7 +270,7 @@ func TestServeBackpressure(t *testing.T) {
 		done <- rec.Code
 	}()
 	// The admitted request parks on the semaphore: pending settles at 1.
-	waitFor(t, func() bool { return s.pending.Load() == 1 })
+	waitFor(t, func() bool { return s.gate.Pending() == 1 })
 
 	raw, _ := json.Marshal(testRequest(55))
 	rec := httptest.NewRecorder()
@@ -284,7 +285,7 @@ func TestServeBackpressure(t *testing.T) {
 		t.Fatal("rejection not counted")
 	}
 
-	<-s.sem // release the slot; the parked request solves normally
+	<-g.sem // release the slot; the parked request solves normally
 	if code := <-done; code != http.StatusOK {
 		t.Fatalf("parked request finished with HTTP %d after the slot freed", code)
 	}

@@ -34,22 +34,7 @@ import (
 // queue slot for the whole trace, backpressure identical to
 // admitAndSolve. Returns the release function on success.
 func (s *Server) admitStream() (func(), error) {
-	if s.pending.Add(1) > int64(s.cfg.Parallel+s.cfg.QueueDepth) {
-		s.pending.Add(-1)
-		return nil, errBusy
-	}
-	select {
-	case s.sem <- struct{}{}:
-	case <-s.baseCtx.Done():
-		s.pending.Add(-1)
-		return nil, errDraining
-	}
-	s.running.Add(1)
-	return func() {
-		s.running.Add(-1)
-		<-s.sem
-		s.pending.Add(-1)
-	}, nil
+	return s.gate.Admit(s.baseCtx.Done())
 }
 
 // writeSSE emits one complete SSE frame (event name + single-line
@@ -134,14 +119,9 @@ func (s *Server) handleEvalTrace(w http.ResponseWriter, r *http.Request) {
 	if fl != nil {
 		fl.Flush()
 	}
-	s.traceStreams.Add(1)
+	s.ctr.traceStreams.Add(1)
 	s.cfg.Telemetry.Add(telemetry.CounterTraceStreams, 1)
 
-	opts := solver.Options{
-		Tol: te.Base.Tol, MaxIter: te.Base.MaxIter, Precond: te.Base.Precond,
-		Precision: te.Base.Precision,
-		Engine:    s.engine, Ctx: ctx, Telemetry: s.cfg.Telemetry,
-	}
 	nseg := len(te.Segments)
 	progress := 0
 	if te.Resume != nil {
@@ -165,14 +145,14 @@ func (s *Server) handleEvalTrace(w http.ResponseWriter, r *http.Request) {
 					State:   specio.EncodeTraceState(cp.T),
 				}
 			}
-			s.traceCheckpoints.Add(1)
+			s.ctr.traceCheckpoints.Add(1)
 			s.cfg.Telemetry.Add(telemetry.CounterTraceCheckpoints, 1)
 			return writeSSE(w, fl, specio.TraceEventCheckpoint, ev)
 		},
 	}
-	res, err := solver.SolveTrace(te.Base.Problem, te.Base.InitialField(), te.Segments, opts, topts)
+	res, err := s.backend.SolveTrace(ctx, te, topts)
 	if err != nil {
-		s.failures.Add(1)
+		s.ctr.failures.Add(1)
 		// Terminal error frame: always well-formed, even when the
 		// failure is the client's own disconnect (then the write is
 		// best-effort into a closed pipe).
