@@ -34,7 +34,8 @@ race:
 # randomized cross-fidelity problems whose certified bounds are a hard
 # contract against the full solver.
 equivalence:
-	$(GO) test -race -run 'Equivalence|Batch|Engine|TraceResume' -count=2 ./internal/solver/ ./internal/parallel/
+	$(GO) test -race -run 'Equivalence|Batch|Engine|TraceResume|Family' -count=2 ./internal/solver/ ./internal/parallel/
+	$(GO) test -race -run 'Equivalence|Window' -count=2 ./internal/serve/
 	$(GO) test -race -run 'Conformance' -count=2 ./internal/rom/
 	$(GO) test -race -run 'Conformance' -count=2 ./internal/cluster/
 
@@ -52,6 +53,7 @@ serve-stress:
 # plain test run too.
 fuzz-short:
 	$(GO) test -fuzz FuzzProblemValidate -fuzztime 10s -run '^$$' ./internal/solver/
+	$(GO) test -fuzz FuzzFamilyAssembly -fuzztime 10s -run '^$$' ./internal/solver/
 	$(GO) test -fuzz FuzzMeshNew -fuzztime 10s -run '^$$' ./internal/mesh/
 	$(GO) test -fuzz FuzzEvalKey -fuzztime 10s -run '^$$' ./internal/serve/
 	$(GO) test -fuzz FuzzROMReduce -fuzztime 10s -run '^$$' ./internal/rom/
@@ -83,11 +85,17 @@ bench-json:
 	  $(GO) test -run xxx -bench . -benchtime=100x -count=5 ./internal/rom/; } | $(GO) run ./cmd/benchjson > BENCH_solver.json
 
 # bench-serve snapshots the 100-request mixed hot/cold service
-# throughput pair (cache+coalescing vs cold-every-time) into
+# throughput pair (cache+coalescing vs cold-every-time) and the
+# cold-family storm pair (micro-batching window off vs on) into
 # BENCH_serve.json — the cached run must stay ≥5× the no-cache
-# baseline. Same -count=5 min/median protocol as bench-json.
+# baseline, and the window=on run ≥1.5× faster than window=0 on the
+# same storm. Same -count=5 min/median protocol as bench-json.
+# The cold-family pair runs at a longer -benchtime: each op is a
+# 32-request storm, and at 3x the one-time warmup (key memos, GC
+# growth) still dominates the per-op signal.
 bench-serve:
-	$(GO) test -run xxx -bench 'Serve100|ServeBatch' -benchtime=3x -count=5 ./internal/serve/ | $(GO) run ./cmd/benchjson > BENCH_serve.json
+	{ $(GO) test -run xxx -bench 'Serve100|ServeBatch' -benchtime=3x -count=5 ./internal/serve/ && \
+	  $(GO) test -run xxx -bench 'ServeColdFamily' -benchtime=8x -count=5 ./internal/serve/; } | $(GO) run ./cmd/benchjson > BENCH_serve.json
 
 # bench-cluster snapshots the shard-aware scale-out story into
 # BENCH_cluster.json: the mixed cache-heavy workload at 1/2/4
@@ -107,7 +115,7 @@ bench-cluster:
 bench-smoke:
 	$(GO) test -run xxx -bench 'SteadyPrecond/precond=multigrid/n=16|SteadyBatch|SmallNReduce|SteadyMG96Workers/precision=f32/workers=1|MGCyclePrecision|TransientTrace/workers=1/segments=4' -benchtime=1x ./internal/solver/ ./internal/parallel/
 	$(GO) test -run xxx -bench 'PlacementLoop' -benchtime=1x ./internal/pillar/
-	$(GO) test -run xxx -bench 'Serve100Mixed' -benchtime=1x ./internal/serve/
+	$(GO) test -run xxx -bench 'Serve100Mixed|ServeColdFamily/window=on|SteadyFamily/cached=on' -benchtime=1x ./internal/serve/ ./internal/solver/
 	$(GO) test -run xxx -bench 'ROMEval/n=16' -benchtime=1x ./internal/rom/
 	$(GO) test -run xxx -bench 'ClusterMixed/nodes=2' -benchtime=1x ./internal/cluster/
 

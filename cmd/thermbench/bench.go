@@ -52,7 +52,7 @@ type job struct {
 
 // mixWeights is the parsed -mix flag.
 type mixWeights struct {
-	steady, rc, batch float64
+	steady, rc, batch, coldfam float64
 }
 
 func parseMix(s string) (mixWeights, error) {
@@ -82,11 +82,13 @@ func parseMix(s string) (mixWeights, error) {
 			m.rc = w
 		case "batch":
 			m.batch = w
+		case "coldfam":
+			m.coldfam = w
 		default:
-			return m, fmt.Errorf("unknown mode %q (want steady, rc, or batch)", name)
+			return m, fmt.Errorf("unknown mode %q (want steady, rc, batch, or coldfam)", name)
 		}
 	}
-	if m.steady+m.rc+m.batch <= 0 {
+	if m.steady+m.rc+m.batch+m.coldfam <= 0 {
 		return m, fmt.Errorf("mix has no weight")
 	}
 	return m, nil
@@ -94,14 +96,16 @@ func parseMix(s string) (mixWeights, error) {
 
 // pick draws a mode from the weights.
 func (m mixWeights) pick(rng *rand.Rand) string {
-	x := rng.Float64() * (m.steady + m.rc + m.batch)
+	x := rng.Float64() * (m.steady + m.rc + m.batch + m.coldfam)
 	switch {
 	case x < m.steady:
 		return "steady"
 	case x < m.steady+m.rc:
 		return "rc"
-	default:
+	case x < m.steady+m.rc+m.batch:
 		return "batch"
+	default:
+		return "coldfam"
 	}
 }
 
@@ -117,23 +121,31 @@ func benchStack(power float64) specio.StackJSON {
 	}
 }
 
-// buildJobs pre-generates the whole request schedule: the hot/cold
-// key draws, mode draws, and round-robin target assignment.
+// buildJobs pre-generates the whole request schedule: the mode draws,
+// hot/cold key draws, and round-robin target assignment.
 func buildJobs(targets []string, n int, reuse float64, mix mixWeights, seed int64) ([]job, error) {
 	rng := rand.New(rand.NewSource(seed))
 	jobs := make([]job, 0, n)
 	var pool []float64 // powers already issued — the "hot" set
 	nextCold := 1.0
+	nextColdFam := 0.5 // offset so coldfam powers never collide with the pool
 	for i := 0; i < n; i++ {
+		mode := mix.pick(rng)
 		var power float64
-		if len(pool) > 0 && rng.Float64() < reuse {
+		if mode == "coldfam" {
+			// A guaranteed cold miss within the shared warm-start family:
+			// the power is fresh and never enters the reuse pool, so every
+			// coldfam request forces a solve — the window-batching storm
+			// workload.
+			power = nextColdFam
+			nextColdFam++
+		} else if len(pool) > 0 && rng.Float64() < reuse {
 			power = pool[rng.Intn(len(pool))]
 		} else {
 			power = nextCold
 			nextCold++
 			pool = append(pool, power)
 		}
-		mode := mix.pick(rng)
 		j := job{target: targets[i%len(targets)], mode: mode}
 		switch mode {
 		case "batch":
@@ -278,7 +290,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	n := fs.Int("n", 200, "total requests to issue")
 	concurrency := fs.Int("concurrency", 4, "worker goroutines")
 	reuse := fs.Float64("reuse", 0.8, "key-reuse ratio in [0,1]: fraction of requests replaying an already-issued key")
-	mixFlag := fs.String("mix", "steady=0.8,rc=0.15,batch=0.05", "request-mode weights")
+	mixFlag := fs.String("mix", "steady=0.8,rc=0.15,batch=0.05", "request-mode weights (steady, rc, batch, coldfam)")
 	rate := fs.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed-loop)")
 	seed := fs.Int64("seed", 1, "workload RNG seed (fixes the request sequence)")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request client timeout")

@@ -149,6 +149,71 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// TestColdFamMode: coldfam jobs are guaranteed cold misses within one
+// warm-start family — every body is unique (no reuse even at a high
+// -reuse ratio), all hit /v1/eval at full fidelity, and they differ
+// from each other only in power.
+func TestColdFamMode(t *testing.T) {
+	mix, err := parseMix("coldfam=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := buildJobs([]string{"http://x"}, 12, 0.95, mix, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var families []string
+	for i, j := range jobs {
+		if j.mode != "coldfam" || j.path != "/v1/eval" {
+			t.Fatalf("job %d: mode=%q path=%q", i, j.mode, j.path)
+		}
+		if seen[string(j.body)] {
+			t.Fatalf("job %d repeats an earlier body — coldfam powers must never be reused", i)
+		}
+		seen[string(j.body)] = true
+		req, err := specio.ParseEval(j.body)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if req.Fidelity == specio.FidelityRC {
+			t.Fatalf("job %d: coldfam must run at full fidelity", i)
+		}
+		req.Stack.UniformPower = 0
+		fam, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		families = append(families, string(fam))
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i] != families[0] {
+			t.Fatalf("job %d left the shared family: %s vs %s", i, families[i], families[0])
+		}
+	}
+	// Mixed with pooled modes, coldfam powers stay disjoint from the
+	// reuse pool.
+	mixed, err := parseMix("steady=0.5,coldfam=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = buildJobs([]string{"http://x"}, 40, 0.9, mixed, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyBodies := map[string]bool{}
+	for _, j := range jobs {
+		if j.mode == "steady" {
+			steadyBodies[string(j.body)] = true
+		}
+	}
+	for i, j := range jobs {
+		if j.mode == "coldfam" && steadyBodies[string(j.body)] {
+			t.Fatalf("job %d: coldfam body collides with the steady pool", i)
+		}
+	}
+}
+
 // TestSeedDeterminism: the same seed builds byte-identical schedules;
 // a different seed does not.
 func TestSeedDeterminism(t *testing.T) {

@@ -73,6 +73,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 1, "solver goroutines per solve (the service parallelizes across requests)")
 	queue := fs.Int("queue", 64, "solve queue depth beyond running; past it requests get 503 + Retry-After")
 	cache := fs.Int("cache", 256, "content-addressed result cache entries (negative disables)")
+	batchWindow := fs.Duration("batch-window", 0, "micro-batching window for cold misses sharing a warm-start family; 0 disables")
+	maxBatch := fs.Int("max-batch", 0, "max requests one batch window may gather before flushing early (0 = default 16)")
+	assemblyCache := fs.Int("assembly-cache", 0, "solver assembly cache: families whose stencils are reused across solves (0 = default, negative disables)")
 	noWarm := fs.Bool("no-warm-start", false, "disable warm-starting near-miss requests from cached neighbors")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget before in-flight solves are cancelled")
@@ -116,6 +119,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Parallel:         *parallel,
 		QueueDepth:       *queue,
 		CacheSize:        *cache,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		AssemblyCache:    *assemblyCache,
 		DisableWarmStart: *noWarm,
 		DefaultTimeout:   *timeout,
 		Telemetry:        tel,

@@ -111,6 +111,101 @@ func TestRunExample(t *testing.T) {
 
 var addrRE = regexp.MustCompile(`serving on http://([^/\s]+)`)
 
+// TestRunBatchWindowFlags boots the server with micro-batching and
+// the assembly cache enabled, fires two same-family requests through
+// the window, and asserts the window/assembly counters surface on
+// /metrics — the CLI contract for -batch-window, -max-batch and
+// -assembly-cache.
+func TestRunBatchWindowFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errb := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-workers", "1",
+			"-batch-window", "20ms", "-max-batch", "4", "-assembly-cache", "8",
+			"-drain", "10s",
+		}, &out, errb)
+	}()
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRE.FindStringSubmatch(errb.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address: %q", errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	example := specio.ExampleEval()
+	example.Stack.Tiers = 2
+	post := func(power float64) {
+		req := example
+		req.Stack.UniformPower = power
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := http.Post(base+"/v1/eval", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var resp specio.EvalResponse
+		if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", res.StatusCode, resp.Error)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			post(20 + float64(i))
+		}(i)
+	}
+	wg.Wait()
+
+	res, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&metrics)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"batch_window_flushes", "batch_window_occupancy", "family_assembly_hits", "family_assembly_misses"} {
+		if _, ok := metrics.Counters[key]; !ok {
+			t.Fatalf("/metrics counters missing %q: %v", key, metrics.Counters)
+		}
+	}
+	if metrics.Counters["batch_window_flushes"] < 1 {
+		t.Fatalf("batch_window_flushes = %v after windowed requests, want >= 1", metrics.Counters["batch_window_flushes"])
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d after graceful shutdown, want 0: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after context cancellation")
+	}
+}
+
 // TestRunServeLifecycle boots the real server on an ephemeral port,
 // POSTs the example request twice (solve, then cache hit), checks
 // /healthz and /metrics, and shuts down via context cancellation —

@@ -10,7 +10,9 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"thermalscaffold/internal/specio"
 )
@@ -73,6 +75,78 @@ func TestClusterConformance(t *testing.T) {
 				t.Fatal("warm pass never hit the peer cache — the ring routed nothing")
 			}
 		})
+	}
+}
+
+// TestClusterWindowConformance: a ring whose nodes micro-batch cold
+// misses (-batch-window on) answers bitwise identically to a plain
+// single-node server with the window off — the window must be
+// invisible in the response bytes even when a storm of same-family
+// requests is flushed as one batched solve, and warm peer-fetched
+// hits afterwards still match.
+func TestClusterWindowConformance(t *testing.T) {
+	ring := startRing(t, 2, ringOpts{batchWindow: 10 * time.Millisecond, maxBatch: 8})
+	single := startSingle(t, ringOpts{})
+
+	// One family, distinct powers: every request is a cold miss
+	// eligible for the window.
+	var corpus [][]byte
+	for _, p := range []float64{11, 17, 23, 29, 41, 47} {
+		raw, err := specio.MarshalEval(steadyReq(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, raw)
+	}
+
+	// Cold storm: all requests in flight at once, split across both
+	// nodes, so each node's window gathers siblings and flushes a
+	// batched solve.
+	type res struct {
+		code int
+		body []byte
+	}
+	got := make([]res, len(corpus))
+	var wg sync.WaitGroup
+	for k, raw := range corpus {
+		wg.Add(1)
+		go func(k int, raw []byte) {
+			defer wg.Done()
+			code, body := ring.post(t, k%2, "/v1/eval", raw)
+			got[k] = res{code, body}
+		}(k, raw)
+	}
+	wg.Wait()
+	for k, raw := range corpus {
+		wantCode, want := single.post(t, "/v1/eval", raw)
+		if got[k].code != wantCode || wantCode != 200 {
+			t.Fatalf("cold req %d: HTTP %d via windowed ring vs %d single-node: %s", k, got[k].code, wantCode, got[k].body)
+		}
+		if g, w := string(zeroWall(got[k].body)), string(zeroWall(want)); g != w {
+			t.Fatalf("windowed cold req %d not bitwise identical\n--- ring ---\n%s\n--- single ---\n%s", k, g, w)
+		}
+	}
+
+	ring.sync()
+
+	// Warm pass on the opposite node: peer-fetched hits of windowed
+	// solves still match the single-node cache hit bytes.
+	for k, raw := range corpus {
+		gotCode, gotBody := ring.post(t, (k+1)%2, "/v1/eval", raw)
+		wantCode, want := single.post(t, "/v1/eval", raw)
+		if gotCode != wantCode {
+			t.Fatalf("warm req %d: HTTP %d via ring vs %d single-node", k, gotCode, wantCode)
+		}
+		if g, w := string(zeroWall(gotBody)), string(zeroWall(want)); g != w {
+			t.Fatalf("warm req %d not bitwise identical\n--- ring ---\n%s\n--- single ---\n%s", k, g, w)
+		}
+		var resp specio.EvalResponse
+		if err := json.Unmarshal(gotBody, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Cached {
+			t.Fatalf("warm req %d: not served from cache", k)
+		}
 	}
 }
 

@@ -123,6 +123,8 @@ type ringOpts struct {
 	warmStart    bool          // enable warm starts (conformance runs without)
 	hedgeDelay   time.Duration // 0 → a generous 150ms (hedges off in practice)
 	fetchTimeout time.Duration // 0 → 5s (CI under -race is slow)
+	batchWindow  time.Duration // per-node micro-batching window (0 = off)
+	maxBatch     int           // per-node window capacity (0 → serve default)
 }
 
 // startRing boots an N-node cluster. Probing is disabled — fault
@@ -165,6 +167,8 @@ func startRing(tb testing.TB, n int, opts ringOpts) *testRing {
 			QueueDepth:       32,
 			CacheSize:        opts.cacheSize,
 			DisableWarmStart: !opts.warmStart,
+			BatchWindow:      opts.batchWindow,
+			MaxBatch:         opts.maxBatch,
 			Peers:            clu,
 		})
 		swaps[i].set(node.srv)

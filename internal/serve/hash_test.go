@@ -8,6 +8,7 @@ package serve
 // (corpus under testdata/fuzz, run in `make fuzz-short`).
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -182,6 +183,90 @@ func TestFamilyKey(t *testing.T) {
 	}
 }
 
+// TestKeysMatchSinglePass: the one-pass dual hash produces exactly
+// the addresses of the separate Key and FamilyKey passes — the
+// optimization must be invisible in the key space.
+func TestKeysMatchSinglePass(t *testing.T) {
+	reqs := []specio.EvalRequest{hashBase(), specio.ExampleEval()}
+	tr := hashBase()
+	tr.Transient = &specio.TransientJSON{DtS: 1e-4, Steps: 5}
+	reqs = append(reqs, tr)
+	for i, req := range reqs {
+		ev, err := specio.BuildEval(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		wantKey, wantFam := keyOf(t, req)
+		key, fam, err := Keys(ev)
+		if err != nil {
+			t.Fatalf("request %d: Keys: %v", i, err)
+		}
+		if key != wantKey || fam != wantFam {
+			t.Fatalf("request %d: Keys() = %s/%s, two-pass = %s/%s", i, key, fam, wantKey, wantFam)
+		}
+	}
+}
+
+// TestFamPrefixMemoMatches: the family-prefix memo is invisible in
+// the key space and in the problem — hits and misses both produce
+// exactly the two-pass addresses, and a cloned evaluation encodes
+// bitwise identically to a freshly built one, across power-only
+// variants (memo hits), geometry/option variants (new memo entries),
+// and repeated lookups.
+func TestFamPrefixMemoMatches(t *testing.T) {
+	memo := newFamPrefixMemo(famPrefixMemoCap)
+	reqs := []specio.EvalRequest{hashBase(), hashBase(), specio.ExampleEval()}
+	hotter := hashBase()
+	hotter.PowerBlocks[0].DensityWPerCm2 = 42 // same family, new sources
+	uniform := hashBase()
+	uniform.PowerBlocks = nil
+	uniform.Stack.UniformPower = 33
+	bigger := hashBase()
+	bigger.Stack.Tiers = 3
+	f32 := hashBase()
+	f32.Solver.Precision = "f32"
+	tr := hashBase()
+	tr.Transient = &specio.TransientJSON{DtS: 1e-4, Steps: 5}
+	rc := hashBase()
+	rc.Solver.Precond = "multigrid"
+	rc.Fidelity = specio.FidelityRC
+	reqs = append(reqs, hotter, uniform, bigger, f32, tr, rc)
+	for round := 0; round < 2; round++ {
+		for i, req := range reqs {
+			norm, err := req.Normalize()
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			wantKey, wantFam := keyOf(t, req)
+			ev, key, fam, _, err := memo.resolve(norm)
+			if err != nil {
+				t.Fatalf("round %d request %d: %v", round, i, err)
+			}
+			if key != wantKey || fam != wantFam {
+				t.Fatalf("round %d request %d: memo = %s/%s, two-pass = %s/%s",
+					round, i, key, fam, wantKey, wantFam)
+			}
+			built, err := specio.BuildEval(norm)
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			var got, want bytes.Buffer
+			if err := ev.Problem.WriteCanonical(&got, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := built.Problem.WriteCanonical(&want, true); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("round %d request %d: resolved problem bytes differ from a fresh build", round, i)
+			}
+			if ev.Timeout != built.Timeout || ev.Precision != built.Precision {
+				t.Fatalf("round %d request %d: resolved eval fields differ from a fresh build", round, i)
+			}
+		}
+	}
+}
+
 // TestKeyShape: addresses are 64 lowercase hex chars and key ≠ family.
 func TestKeyShape(t *testing.T) {
 	key, fam := keyOf(t, hashBase())
@@ -194,6 +279,10 @@ func TestKeyShape(t *testing.T) {
 		t.Fatal("key and family address coincide")
 	}
 }
+
+// fuzzMemo is shared across FuzzEvalKey inputs so the memo sees an
+// adversarial mix of families, like a long-lived server.
+var fuzzMemo = newFamPrefixMemo(famPrefixMemoCap)
 
 // FuzzEvalKey: for any request that builds, hashing is deterministic,
 // normalization is key-preserving (idempotent), and the family
@@ -241,6 +330,27 @@ func FuzzEvalKey(f *testing.F) {
 		k2, _ := Key(ev)
 		if k1 != k2 {
 			t.Fatalf("Key not deterministic: %s vs %s", k1, k2)
+		}
+		dk, df, err := Keys(ev)
+		if err != nil || dk != k1 || df != f1 {
+			t.Fatalf("single-pass Keys = %s/%s (%v), want %s/%s", dk, df, err, k1, f1)
+		}
+		// The family-prefix memo accumulates state across fuzz inputs in
+		// this process; a stale or colliding entry (wrong digest state or
+		// wrong cloned geometry) would surface here.
+		mev, mk, mf, _, err := fuzzMemo.resolve(ev.Req)
+		if err != nil || mk != k1 || mf != f1 {
+			t.Fatalf("memoized Keys = %s/%s (%v), want %s/%s", mk, mf, err, k1, f1)
+		}
+		var cloned, fresh bytes.Buffer
+		if err := mev.Problem.WriteCanonical(&cloned, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Problem.WriteCanonical(&fresh, true); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cloned.Bytes(), fresh.Bytes()) {
+			t.Fatal("memo-resolved problem bytes differ from a fresh build")
 		}
 		if len(k1) != 64 || len(f1) != 64 {
 			t.Fatalf("bad address lengths %d/%d", len(k1), len(f1))

@@ -166,6 +166,10 @@ type solveBackend interface {
 	// SolveTrace integrates a trace request under ctx, emitting
 	// checkpoints through topts. Traces are uncached by design.
 	SolveTrace(ctx context.Context, te *specio.TraceEval, topts solver.TraceOptions) (*solver.TraceResult, error)
+	// AssemblyStats reports the engine's family assembly-cache
+	// structural counters (operators built, lookup hits/misses) for
+	// /metrics.
+	AssemblyStats() (built, hits, misses int64)
 	// Close releases the solver engine after the last solve has
 	// finished.
 	Close()
@@ -182,9 +186,16 @@ type solverLayer struct {
 }
 
 func newSolverLayer(cfg Config, caches *cacheLayer, peers PeerCache, baseCtx context.Context, ctr *counters) *solverLayer {
+	engine := solver.NewEngine(cfg.SolverWorkers)
+	switch {
+	case cfg.AssemblyCache > 0:
+		engine.SetAssemblyCache(cfg.AssemblyCache)
+	case cfg.AssemblyCache < 0:
+		engine.SetAssemblyCache(0)
+	}
 	return &solverLayer{
 		cfg:     cfg,
-		engine:  solver.NewEngine(cfg.SolverWorkers),
+		engine:  engine,
 		caches:  caches,
 		peers:   peers,
 		baseCtx: baseCtx,
@@ -193,6 +204,11 @@ func newSolverLayer(cfg Config, caches *cacheLayer, peers PeerCache, baseCtx con
 }
 
 func (l *solverLayer) Close() { l.engine.Close() }
+
+// AssemblyStats surfaces the engine's family-cache counters.
+func (l *solverLayer) AssemblyStats() (built, hits, misses int64) {
+	return l.engine.AssemblyStats()
+}
 
 // deadline clamps the request's timeout to the configured bounds and
 // derives the solve context from the server's base context.
@@ -259,6 +275,12 @@ func (l *solverLayer) Solve(ev *specio.Eval, key, famKey string) (*solved, error
 	ctx, cancel := l.deadline(ev.Timeout)
 	defer cancel()
 	opts := l.options(ev, ctx)
+	// The family address hashes exactly the sources-free canonical
+	// bytes (plus solver options — a finer partition, never a coarser
+	// one), so it satisfies solver.Options.FamilyKey's contract: same
+	// key ⇒ bitwise-equal assembly. Solves in a family the engine has
+	// seen skip operator assembly and preconditioner setup.
+	opts.FamilyKey = famKey
 	warm := false
 	if seed := l.warmSeed(ev, famKey); seed != nil {
 		// A family neighbor differs only in its power map — its field
@@ -324,6 +346,17 @@ func (l *solverLayer) SolveBatch(evs []*specio.Eval, keys, famKeys []string) ([]
 	ctx, cancel := l.deadline(ev0.Timeout)
 	defer cancel()
 	opts := l.options(ev0, ctx)
+	// Batch items share one operator by construction; when their
+	// family addresses agree (they always do for windowed flushes,
+	// which group by family), route the whole batch through the
+	// engine's cached assembly.
+	opts.FamilyKey = famKeys[0]
+	for _, fk := range famKeys[1:] {
+		if fk != famKeys[0] {
+			opts.FamilyKey = ""
+			break
+		}
+	}
 	qs := make([][]float64, len(evs))
 	for i, ev := range evs {
 		qs[i] = ev.Problem.Q
@@ -363,6 +396,13 @@ func (l *solverLayer) SolveBatch(evs []*specio.Eval, keys, famKeys []string) ([]
 // nothing is stored.
 func (l *solverLayer) SolveTrace(ctx context.Context, te *specio.TraceEval, topts solver.TraceOptions) (*solver.TraceResult, error) {
 	opts := l.options(te.Base, ctx)
+	// Traces share the family assembly cache too: a stream against a
+	// known geometry skips steady assembly and reuses the per-Δt
+	// augmented hierarchies of earlier streams. Hash failures just
+	// leave the key empty (uncached path, as before).
+	if famKey, err := FamilyKey(te.Base); err == nil {
+		opts.FamilyKey = famKey
+	}
 	return solver.SolveTrace(te.Base.Problem, te.Base.InitialField(), te.Segments, opts, topts)
 }
 

@@ -96,6 +96,34 @@ type Config struct {
 	// DisableWarmStart turns off near-miss warm starting, making every
 	// solve start from zero regardless of arrival order.
 	DisableWarmStart bool
+	// BatchWindow, when positive, turns on cross-request solve
+	// batching: cold misses that share a warm-start family key wait up
+	// to this long (or until MaxBatch siblings gather) and execute as
+	// one multi-RHS solve against the family's cached assembly. A
+	// window that closes with a single request degrades to the plain
+	// solo path — warm starting and all. Windowed responses are
+	// bitwise identical to a solo cold solve of the same request (the
+	// /v1/evalbatch determinism contract, applied across requests).
+	// 0 disables batching. Production values are 2–5ms: long enough to
+	// catch a storm's siblings, short enough to vanish under solve
+	// latency.
+	BatchWindow time.Duration
+	// MaxBatch caps how many requests one window may gather before it
+	// flushes early (0 → 16).
+	MaxBatch int
+	// AssemblyCache sizes the solver engine's family-keyed assembly
+	// cache — how many distinct geometries keep their assembled
+	// operator, SoA stencil, and preconditioner hierarchies warm
+	// across requests (0 → the engine default of 8, negative
+	// disables: every cold solve assembles from scratch).
+	AssemblyCache int
+	// FamilyMemo sizes the family-prefix memo — how many families keep
+	// their built geometry and prefix digest state pinned so
+	// same-family requests skip problem assembly and prefix hashing
+	// (0 → 8, negative disables: every request builds and hashes from
+	// scratch, the pre-reuse cold path). Each entry pins one family's
+	// geometry arrays, so size it like AssemblyCache.
+	FamilyMemo int
 	// DefaultTimeout is the per-request solve deadline when the
 	// request does not carry one (0 → 30s).
 	DefaultTimeout time.Duration
@@ -132,6 +160,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ROMCacheSize == 0 {
 		c.ROMCacheSize = 32
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.FamilyMemo == 0 {
+		c.FamilyMemo = famPrefixMemoCap
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -175,6 +209,7 @@ type counters struct {
 	hits, misses, coalesced, rejected, failures atomic.Int64
 	rcEvals                                     atomic.Int64
 	traceStreams, traceCheckpoints              atomic.Int64
+	batchFlushes, batchOccupancy                atomic.Int64
 }
 
 // Server is the evaluation service. Create with New; it implements
@@ -187,6 +222,8 @@ type Server struct {
 	backend solveBackend
 	peers   PeerCache
 	flights flightGroup
+	win     *winBatcher // nil unless Config.BatchWindow > 0
+	famMemo *famPrefixMemo
 
 	mu       sync.Mutex // guards draining vs. inflight.Add
 	draining bool
@@ -211,12 +248,16 @@ func New(cfg Config) *Server {
 		caches:     caches,
 		gate:       newGate(cfg.Parallel, cfg.QueueDepth),
 		peers:      cfg.Peers,
+		famMemo:    newFamPrefixMemo(cfg.FamilyMemo),
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		lat:        telemetry.NewLatencyWindow(0),
 		mux:        http.NewServeMux(),
 	}
 	s.backend = newSolverLayer(cfg, caches, cfg.Peers, ctx, &s.ctr)
+	if cfg.BatchWindow > 0 {
+		s.win = newWinBatcher(cfg.BatchWindow, cfg.MaxBatch, s)
+	}
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
 	s.mux.HandleFunc("POST /v1/evaltrace", s.handleEvalTrace)
@@ -302,15 +343,21 @@ func (s *Server) snapshot() MetricsSnapshot {
 		qd = 0
 	}
 	qs := s.lat.Quantiles(0.5, 0.99)
+	built, famHits, famMisses := s.backend.AssemblyStats()
 	counters := map[string]int64{
-		telemetry.CounterCacheHits:        s.ctr.hits.Load(),
-		telemetry.CounterCacheMisses:      s.ctr.misses.Load(),
-		telemetry.CounterCoalesced:        s.ctr.coalesced.Load(),
-		telemetry.CounterRejected:         s.ctr.rejected.Load(),
-		telemetry.CounterRCEvals:          s.ctr.rcEvals.Load(),
-		telemetry.CounterTraceStreams:     s.ctr.traceStreams.Load(),
-		telemetry.CounterTraceCheckpoints: s.ctr.traceCheckpoints.Load(),
-		"solve_failures":                  s.ctr.failures.Load(),
+		telemetry.CounterCacheHits:            s.ctr.hits.Load(),
+		telemetry.CounterCacheMisses:          s.ctr.misses.Load(),
+		telemetry.CounterCoalesced:            s.ctr.coalesced.Load(),
+		telemetry.CounterRejected:             s.ctr.rejected.Load(),
+		telemetry.CounterRCEvals:              s.ctr.rcEvals.Load(),
+		telemetry.CounterTraceStreams:         s.ctr.traceStreams.Load(),
+		telemetry.CounterTraceCheckpoints:     s.ctr.traceCheckpoints.Load(),
+		telemetry.CounterFamilyAssemblyHits:   famHits,
+		telemetry.CounterFamilyAssemblyMisses: famMisses,
+		telemetry.CounterBatchWindowFlushes:   s.ctr.batchFlushes.Load(),
+		telemetry.CounterBatchWindowOccupancy: s.ctr.batchOccupancy.Load(),
+		"family_assemblies":                   built,
+		"solve_failures":                      s.ctr.failures.Load(),
 	}
 	if s.peers != nil {
 		// Cluster mode: merge the peer hit/miss/hedge/fill counters so
@@ -462,6 +509,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 				return nil, buildErr
 			}
 		}
+		// Cross-request batching: a cold steady full-fidelity miss
+		// parks in its family's window so concurrent siblings flush as
+		// one multi-RHS solve. Everything else (transient, rc, window
+		// off) solves solo as before.
+		if s.win != nil && ev.Steady() && !ev.RC() && famKey != "" {
+			return s.win.do(ev, key, famKey)
+		}
 		return s.admitAndSolve(ev, key, famKey)
 	})
 	switch {
@@ -504,10 +558,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 // resolveKeys returns the content and family addresses of a
 // normalized request, consulting the key memo first — a request whose
 // normalized form was addressed before skips problem assembly and
-// hashing entirely. ev is non-nil only when the problem had to be
-// assembled (memo miss); callers that go on to solve must BuildEval
-// themselves when it is nil and the result cache also misses. On
-// error, status is the HTTP status to answer with.
+// hashing entirely. Requests that miss the key memo but share a
+// family with a recent one skip geometry assembly and prefix hashing
+// through the family-prefix memo. ev is non-nil only when the problem
+// had to be assembled or cloned (key-memo miss); callers that go on
+// to solve must BuildEval themselves when it is nil and the result
+// cache also misses. On error, status is the HTTP status to answer
+// with.
 func (s *Server) resolveKeys(norm specio.EvalRequest) (ev *specio.Eval, key, famKey string, status int, err error) {
 	var memoKey string
 	if normJSON, jerr := json.Marshal(norm); jerr == nil {
@@ -517,14 +574,8 @@ func (s *Server) resolveKeys(norm specio.EvalRequest) (ev *specio.Eval, key, fam
 			return nil, kp.key, kp.family, 0, nil
 		}
 	}
-	if ev, err = specio.BuildEval(norm); err != nil {
-		return nil, "", "", http.StatusBadRequest, err
-	}
-	if key, err = Key(ev); err != nil {
-		return nil, "", "", http.StatusInternalServerError, err
-	}
-	if famKey, err = FamilyKey(ev); err != nil {
-		return nil, "", "", http.StatusInternalServerError, err
+	if ev, key, famKey, status, err = s.famMemo.resolve(norm); err != nil {
+		return nil, "", "", status, err
 	}
 	if memoKey != "" {
 		s.caches.keys.Add(memoKey, keyPair{key: key, family: famKey})

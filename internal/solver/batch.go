@@ -23,9 +23,16 @@ import (
 // An Engine is safe for concurrent use by multiple solves (the pool
 // multiplexes regions). Close releases the helper goroutines; the
 // engine must not be used afterwards.
+//
+// Beyond the pool, an engine carries the family-keyed assembly cache
+// (see family.go): solves that set Options.FamilyKey reuse the
+// assembled operator, SoA stencil, and preconditioner hierarchies of
+// every earlier solve in the same family. SetAssemblyCache sizes or
+// disables the cache; AssemblyStats exposes its structural counters.
 type Engine struct {
 	pool    *parallel.Pool
 	workers int
+	fam     familyCache
 }
 
 // NewEngine creates an engine with the given worker count; workers
@@ -35,14 +42,22 @@ func NewEngine(workers int) *Engine {
 	// engine's whole point is reuse across thousands of same-shaped
 	// solves, exactly where stable chunk→worker pinning pays most.
 	p := parallel.NewAffinePool(workers)
-	return &Engine{pool: p, workers: p.Workers()}
+	e := &Engine{pool: p, workers: p.Workers()}
+	e.fam.cap = defaultFamilyCap
+	return e
 }
 
 // Workers returns the engine's worker count (≥ 1).
 func (e *Engine) Workers() int { return e.workers }
 
-// Close releases the engine's helper goroutines. Idempotent.
-func (e *Engine) Close() { e.pool.Close() }
+// Close releases the engine's helper goroutines and drops the
+// assembly cache. Idempotent.
+func (e *Engine) Close() {
+	e.pool.Close()
+	e.fam.mu.Lock()
+	e.fam.families = nil
+	e.fam.mu.Unlock()
+}
 
 // SolveSteadyBatch solves the steady problem for K volumetric source
 // fields sharing p's grid, conductivities, and boundary conditions:
@@ -85,6 +100,11 @@ func SolveSteadyBatch(p *Problem, qs [][]float64, opts Options) ([]*Result, erro
 		}
 	}
 	opts = opts.withDefaults()
+	if opts.Engine != nil && opts.FamilyKey != "" {
+		if results, handled, err := opts.Engine.familySolveBatch(p, qs, opts); handled {
+			return results, err
+		}
+	}
 	op := assemble(p)
 	kr := newKern(opts, n)
 	defer kr.close()

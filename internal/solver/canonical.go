@@ -9,7 +9,15 @@ import (
 // canonicalVersion tags the WriteCanonical layout. Bump it whenever
 // the encoding changes shape — content-addressed caches keyed on the
 // encoding must never collide across layout revisions.
-const canonicalVersion = 1
+//
+// v2 moved the source section from the middle of the stream to the
+// end, making the family encoding a strict prefix of the full one:
+// both addresses now come from a single serialization and a single
+// hash pass over the shared bytes (the digest state is forked before
+// the source tail). The two encodings still can never be equal — the
+// full stream always carries a non-empty trailing 'Q' section the
+// family stream never emits.
+const canonicalVersion = 2
 
 // canonWriter buffers the canonical byte stream and latches the first
 // write error, so the encoder body stays free of per-field error
@@ -58,8 +66,26 @@ func (cw *canonWriter) f64(v float64) {
 func (cw *canonWriter) floats(tag uint8, v []float64) {
 	cw.u8(tag)
 	cw.u64(uint64(len(v)))
-	for _, x := range v {
-		cw.f64(x)
+	// Chunked fast path: reserve room once per buffer-full instead of
+	// once per element. Emits byte-for-byte what per-element f64 calls
+	// would (same −0 and NaN canonicalization).
+	for len(v) > 0 {
+		cw.room(8)
+		n := (cap(cw.buf) - len(cw.buf)) / 8
+		if n > len(v) {
+			n = len(v)
+		}
+		buf := cw.buf
+		for _, x := range v[:n] {
+			if x == 0 {
+				x = 0
+			} else if math.IsNaN(x) {
+				x = math.NaN()
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+		cw.buf = buf
+		v = v[n:]
 	}
 }
 
@@ -76,7 +102,10 @@ func (cw *canonWriter) floats(tag uint8, v []float64) {
 //
 // Excluding the sources yields the "family" encoding: two problems
 // with the same family bytes differ at most in their power map, which
-// is exactly when a previous solution is a good warm start.
+// is exactly when a previous solution is a good warm start. The full
+// encoding is exactly the family encoding followed by the
+// WriteCanonicalSources tail, so a consumer that needs both can
+// serialize (and hash) the shared bytes once.
 func (p *Problem) WriteCanonical(w io.Writer, includeSources bool) error {
 	cw := &canonWriter{w: w, buf: make([]byte, 0, 8192)}
 	cw.u8('P')
@@ -88,9 +117,6 @@ func (p *Problem) WriteCanonical(w io.Writer, includeSources bool) error {
 	cw.floats('L', p.KY)
 	cw.floats('M', p.KZ)
 	cw.floats('C', p.Cv)
-	if includeSources {
-		cw.floats('Q', p.Q)
-	}
 	cw.u8('B')
 	for f := Face(0); f < numFaces; f++ {
 		b := p.Bounds[f]
@@ -101,6 +127,22 @@ func (p *Problem) WriteCanonical(w io.Writer, includeSources bool) error {
 	if p.ZPlaneTBR != nil {
 		cw.floats('R', p.ZPlaneTBR)
 	}
+	if includeSources {
+		cw.floats('Q', p.Q)
+	}
+	cw.flush()
+	return cw.err
+}
+
+// WriteCanonicalSources writes only the trailing source section of
+// the canonical encoding: family bytes ‖ source bytes is bitwise the
+// full encoding. internal/serve uses this to derive the content and
+// family addresses from one hash pass over the shared prefix — it
+// forks the digest state before appending the tail, halving the
+// hashing cost the cold path pays on every request.
+func (p *Problem) WriteCanonicalSources(w io.Writer) error {
+	cw := &canonWriter{w: w, buf: make([]byte, 0, 8192)}
+	cw.floats('Q', p.Q)
 	cw.flush()
 	return cw.err
 }

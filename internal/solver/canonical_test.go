@@ -51,6 +51,19 @@ func TestCanonicalStable(t *testing.T) {
 	if bytes.Equal(a, fam) {
 		t.Fatal("source-free encoding equals the full encoding")
 	}
+	// Layout v2 invariant: the family encoding is a strict prefix of
+	// the full one, and the remainder is exactly the sources tail —
+	// the single-pass dual hashing in internal/serve depends on this.
+	if !bytes.HasPrefix(a, fam) {
+		t.Fatal("family encoding is not a prefix of the full encoding")
+	}
+	var tail bytes.Buffer
+	if err := p.WriteCanonicalSources(&tail); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a[len(fam):], tail.Bytes()) {
+		t.Fatal("full encoding is not family bytes followed by WriteCanonicalSources")
+	}
 	q0 := p.Q[3]
 	p.Q[3] += 1
 	if bytes.Equal(a, canonBytes(t, p, true)) {

@@ -138,6 +138,18 @@ func NewProblem(g *mesh.Grid) *Problem {
 	return p
 }
 
+// CloneBlankSources returns a shallow copy of the problem sharing the
+// grid, conductivity, heat-capacity, boundary, and interface-resistance
+// arrays, with a freshly allocated zero source field. The copy is how
+// a cached family geometry is re-targeted at a new power map without
+// rebuilding: the shared arrays must be treated as immutable by both
+// sides (the same contract the engine's assembly cache relies on).
+func (p *Problem) CloneBlankSources() *Problem {
+	q := *p
+	q.Q = make([]float64, len(p.Q))
+	return &q
+}
+
 // SetIsotropic sets all three conductivities of cell idx.
 func (p *Problem) SetIsotropic(idx int, k float64) {
 	p.KX[idx], p.KY[idx], p.KZ[idx] = k, k, k
@@ -408,6 +420,15 @@ func assemble(p *Problem) *operator {
 // of assemble, so an operator re-sourced with q is bitwise identical
 // to one assembled from a Problem carrying Q = q.
 func (op *operator) setSources(q []float64) {
+	op.sourcesInto(q, op.b)
+}
+
+// sourcesInto is setSources targeting a caller-provided RHS vector,
+// leaving op.b untouched — the family-cached solve path derives each
+// solve's RHS from the shared frozen assembly without mutating it.
+// Identical arithmetic, so dst is bitwise equal to the b a fresh
+// assembly with Q = q would carry.
+func (op *operator) sourcesInto(q, dst []float64) {
 	g := op.g
 	nx, ny, nz := op.nx, op.ny, op.nz
 	for k := 0; k < nz; k++ {
@@ -417,7 +438,7 @@ func (op *operator) setSources(q []float64) {
 			base := (k*ny + j) * nx
 			for i := 0; i < nx; i++ {
 				c := base + i
-				op.b[c] = op.bBound[c] + q[c]*g.DX(i)*dy*dz
+				dst[c] = op.bBound[c] + q[c]*g.DX(i)*dy*dz
 			}
 		}
 	}

@@ -180,6 +180,16 @@ type Options struct {
 	// identical with and without an engine: the pool only executes
 	// kernels, and chunking depends solely on the problem size.
 	Engine *Engine
+	// FamilyKey, when non-empty and Engine is set, routes the solve
+	// through the engine's family-keyed assembly cache: the assembled
+	// operator, SoA stencil, and preconditioner hierarchies are cached
+	// under the key and every later solve in the family skips setup.
+	// The caller guarantees the key contract (see family.go): two
+	// problems share a key only if all operator-determining fields are
+	// bitwise equal — exactly the sources-free canonical encoding of
+	// WriteCanonical. Results are bitwise identical with and without a
+	// key. Ignored without an Engine.
+	FamilyKey string
 }
 
 func (o Options) withDefaults() Options {
@@ -240,6 +250,11 @@ func SolveSteady(p *Problem, opts Options) (*Result, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	if opts.Engine != nil && opts.FamilyKey != "" {
+		if res, handled, err := opts.Engine.familySolveSteady(p, opts); handled {
+			return res, err
+		}
+	}
 	op := assemble(p)
 	out, fallbacks, err := solveOperator(op, op.b, opts, "pcg")
 	if err != nil {

@@ -43,6 +43,17 @@ type Transient struct {
 	aug    *operator // reused (C/Δt + A) system; valid for dt = lastDt
 	pcs    precondCache
 	lastDt float64 // dt the aug diagonal/stencil/preconditioner were built for
+
+	// Family-cached mode (Options.FamilyKey + Options.Engine): the
+	// steady assembly comes from the engine's family cache and the
+	// per-Δt augmented systems — matrix, stencil, preconditioner —
+	// are leased from it, so a trace in a known family skips both
+	// assembly and hierarchy setup, and concurrent traces of one
+	// family share the per-Δt preconditioner economics across
+	// requests. lease is the context for lastDt; nil fam selects the
+	// self-contained path above.
+	fam   *familyEntry
+	lease *augCtx
 }
 
 // NewTransient prepares a transient integrator starting from the
@@ -72,24 +83,45 @@ func NewTransient(p *Problem, t0 []float64, opts Options) (*Transient, error) {
 			}
 		}
 	}
-	op := assemble(p)
+	opts = opts.withDefaults()
+	var fam *familyEntry
+	var op *operator
+	if opts.Engine != nil && opts.FamilyKey != "" {
+		if fe := opts.Engine.family(opts.FamilyKey, p, opts.Telemetry); fe != nil {
+			// The family clone shares the frozen couplings, diagonal,
+			// and stencil; only the RHS is owned (SetSources rewrites
+			// it per segment). setSources on the clone reproduces
+			// assemble's RHS bit for bit.
+			fam = fe
+			op = fe.cloneForSources()
+			op.setSources(p.Q)
+		}
+	}
+	if op == nil {
+		op = assemble(p)
+	}
 	tr := &Transient{
 		p:    p,
 		op:   op,
 		cap:  heatCap,
 		T:    append([]float64(nil), t0...),
-		opts: opts.withDefaults(),
+		opts: opts,
 		pcs:  precondCache{},
+		fam:  fam,
 	}
 	tr.kr = newKern(tr.opts, n)
-	// The augmented operator shares the steady couplings (they never
-	// change) and owns only the Δt-dependent diagonal and the rhs.
-	tr.aug = &operator{
-		g: op.g, nx: op.nx, ny: op.ny, nz: op.nz,
-		sy: op.sy, sz: op.sz,
-		gxp: op.gxp, gyp: op.gyp, gzp: op.gzp,
-		diag: make([]float64, n),
-		b:    make([]float64, n),
+	if fam == nil {
+		// The augmented operator shares the steady couplings (they never
+		// change) and owns only the Δt-dependent diagonal and the rhs.
+		// In family mode the augmented systems are leased per Δt from
+		// the family entry instead (see Step).
+		tr.aug = &operator{
+			g: op.g, nx: op.nx, ny: op.ny, nz: op.nz,
+			sy: op.sy, sz: op.sz,
+			gxp: op.gxp, gyp: op.gyp, gzp: op.gzp,
+			diag: make([]float64, n),
+			b:    make([]float64, n),
+		}
 	}
 	if tr.kr.owned {
 		// Backstop for integrators dropped without Close: release the
@@ -104,6 +136,10 @@ func NewTransient(p *Problem, t0 []float64, opts Options) (*Transient, error) {
 // integrator must not be used afterwards. When Options.Engine supplied
 // the pool, Close releases nothing (the engine's owner closes it).
 func (tr *Transient) Close() {
+	if tr.fam != nil && tr.lease != nil {
+		tr.fam.releaseAug(tr.lastDt, tr.lease)
+		tr.lease = nil
+	}
 	tr.kr.close()
 	runtime.SetFinalizer(tr, nil)
 }
@@ -135,8 +171,22 @@ func (tr *Transient) Step(dt float64) error {
 		return errors.New("solver: non-positive time step")
 	}
 	n := len(tr.T)
-	aug := tr.aug
-	if dt != tr.lastDt {
+	aug, kr, pcs := tr.aug, tr.kr, tr.pcs
+	if tr.fam != nil {
+		// Family mode: per-Δt augmented systems are leased from the
+		// engine's family cache — a Δt seen before (by this trace or
+		// any earlier one in the family) reuses its matrix, stencil,
+		// and preconditioner instead of rebuilding. Bitwise-neutral:
+		// every leased value is a pure function of (family, Δt).
+		if dt != tr.lastDt {
+			if tr.lease != nil {
+				tr.fam.releaseAug(tr.lastDt, tr.lease)
+			}
+			tr.lease = tr.fam.leaseAug(dt, tr.cap, tr.opts)
+			tr.lastDt = dt
+		}
+		aug, kr, pcs = tr.lease.aug, tr.lease.kr, tr.lease.pcs
+	} else if dt != tr.lastDt {
 		// New Δt → new matrix: refresh the diagonal and drop the baked
 		// stencil, the positivity check, and every cached
 		// preconditioner (all three are functions of the matrix).
@@ -157,7 +207,7 @@ func (tr *Transient) Step(dt float64) error {
 	}
 	opts := tr.opts
 	opts.InitialGuess = tr.T
-	out, _, err := solveOperatorWith(aug, aug.b, opts, "transient", tr.kr, tr.pcs)
+	out, _, err := solveOperatorWith(aug, aug.b, opts, "transient", kr, pcs)
 	if err != nil {
 		return err
 	}

@@ -352,6 +352,39 @@ func BuildEval(r EvalRequest) (*Eval, error) {
 	}, nil
 }
 
+// CloneForPower builds the Eval of a request that differs from e at
+// most in its power fields (uniform power, power map, power blocks —
+// same family), reusing e's assembled geometry: the mesh, material,
+// boundary, and layout arrays are shared, and only the source field
+// is validated and painted. Bitwise identical to BuildEval(r) —
+// pinned by TestCloneForPower — at a fraction of the cost, which is
+// what lets a serving cold-miss storm over one family skip per-request
+// problem assembly. The caller is responsible for the same-family
+// precondition; a request that violates it gets a problem whose
+// non-source fields are e's, not its own.
+func (e *Eval) CloneForPower(r EvalRequest) (*Eval, error) {
+	norm, err := r.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := Build(norm.Stack)
+	if err != nil {
+		return nil, err
+	}
+	p := e.Problem.CloneBlankSources()
+	if err := spec.PaintSources(p, e.Layout); err != nil {
+		return nil, fmt.Errorf("specio: %w", err)
+	}
+	ne := *e
+	ne.Req = norm
+	ne.Spec = spec
+	ne.Problem = p
+	// Timeout is scheduling-only and excluded from family addressing,
+	// so it can differ within a family.
+	ne.Timeout = time.Duration(norm.Solver.TimeoutMS) * time.Millisecond
+	return &ne, nil
+}
+
 // TierProfile computes the per-tier device-layer profile of a solved
 // field: max and volume-weighted mean over each tier's device layers.
 func (e *Eval) TierProfile(field []float64) []TierTemps {

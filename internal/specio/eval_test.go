@@ -5,6 +5,7 @@ package specio
 // and the strict decoder.
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"strings"
@@ -177,4 +178,87 @@ func TestExampleEvalBuilds(t *testing.T) {
 	if n := ev.Problem.Grid.NumCells(); len(ev.InitialField()) != n {
 		t.Fatalf("initial field has %d cells, grid %d", len(ev.InitialField()), n)
 	}
+}
+
+// TestCloneForPower: a clone is bitwise indistinguishable from a
+// fresh build — same canonical problem bytes (full and family), same
+// derived fields — while sharing every array except the sources, and
+// it preserves the power validation of the full build path.
+func TestCloneForPower(t *testing.T) {
+	base := evalBase()
+	base.Solver.TimeoutMS = 2000
+	ev, err := BuildEval(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hotter := evalBase()
+	hotter.Stack.UniformPower = 0
+	hotter.PowerBlocks = []PowerBlock{
+		{X0: 0, Y0: 0, X1: 3, Y1: 3, DensityWPerCm2: 40},
+		{X0: 1, Y0: 2, X1: 4, Y1: 4, DensityWPerCm2: 15},
+	}
+	hotter.Solver.TimeoutMS = 750
+	clone, err := ev.CloneForPower(hotter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildEval(hotter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, includeSources := range []bool{true, false} {
+		var got, want bytes.Buffer
+		if err := clone.Problem.WriteCanonical(&got, includeSources); err != nil {
+			t.Fatal(err)
+		}
+		if err := built.Problem.WriteCanonical(&want, includeSources); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("clone canonical bytes (sources=%v) differ from fresh build", includeSources)
+		}
+	}
+	if !reflect.DeepEqual(clone.Req, built.Req) {
+		t.Fatal("clone normalized request differs from fresh build")
+	}
+	if clone.Timeout != built.Timeout || clone.Precision != built.Precision ||
+		clone.Precond != built.Precond || clone.Tol != built.Tol || clone.MaxIter != built.MaxIter {
+		t.Fatal("clone derived fields differ from fresh build")
+	}
+	// Geometry arrays are shared, sources are not, and the parent's
+	// sources are untouched.
+	if &clone.Problem.KX[0] != &ev.Problem.KX[0] {
+		t.Fatal("clone does not share the parent's conductivity arrays")
+	}
+	if &clone.Problem.Q[0] == &ev.Problem.Q[0] {
+		t.Fatal("clone shares the parent's source array")
+	}
+	if ev.Problem.Q[0] != built0(t, base) {
+		t.Fatal("cloning mutated the parent's sources")
+	}
+
+	// Validation still runs: a negative power block is rejected by the
+	// clone path exactly like the build path.
+	bad := hotter
+	bad.PowerBlocks = []PowerBlock{{X0: 0, Y0: 0, X1: 2, Y1: 2, DensityWPerCm2: -5}}
+	if _, err := ev.CloneForPower(bad); err == nil {
+		t.Fatal("negative power block accepted by CloneForPower")
+	}
+	badMap := hotter
+	badMap.PowerBlocks = nil
+	badMap.Stack.PowerMap = []float64{1, 2, 3} // wrong length for 4×4 grid
+	if _, err := ev.CloneForPower(badMap); err == nil {
+		t.Fatal("short power map accepted by CloneForPower")
+	}
+}
+
+// built0 returns Q[0] of a freshly built evaluation of r.
+func built0(t *testing.T, r EvalRequest) float64 {
+	t.Helper()
+	ev, err := BuildEval(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev.Problem.Q[0]
 }

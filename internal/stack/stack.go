@@ -269,7 +269,6 @@ func (s *Spec) Build() (*solver.Problem, *Layout, error) {
 	for k := 0; k < g.NZ(); k++ {
 		tag := tags[k]
 		tier := -1
-		powered := false
 		isBEOL := false
 		var kLat, kVert, cv float64
 		kind := tag
@@ -288,7 +287,6 @@ func (s *Spec) Build() (*solver.Problem, *Layout, error) {
 		case "si":
 			kLat, kVert, cv = deviceSi.KLateral, deviceSi.KVertical, deviceSi.VolHeatCapacity
 			lay.DeviceLayers[tier] = append(lay.DeviceLayers[tier], k)
-			powered = true
 		case "msi":
 			kLat, kVert, cv = deviceSi.KLateral, deviceSi.KVertical, deviceSi.VolHeatCapacity
 		case "lower", "mlower":
@@ -310,7 +308,6 @@ func (s *Spec) Build() (*solver.Problem, *Layout, error) {
 				pillars = s.Pillars
 			}
 		}
-		dz := g.DZ(k)
 		for j := 0; j < s.NY; j++ {
 			for i := 0; i < s.NX; i++ {
 				c := g.Index(i, j, k)
@@ -324,15 +321,11 @@ func (s *Spec) Build() (*solver.Problem, *Layout, error) {
 				}
 				p.SetAniso(c, kl, kv)
 				p.Cv[c] = cv
-				if powered {
-					pmIdx := 0
-					if len(s.PowerMaps) > 1 {
-						pmIdx = tier
-					}
-					p.Q[c] = s.PowerMaps[pmIdx][j*s.NX+i] / dz
-				}
 			}
 		}
+	}
+	if err := s.PaintSources(p, lay); err != nil {
+		return nil, nil, err
 	}
 	p.Bounds[solver.ZMin] = solver.ConvectiveBC(s.Sink.H, s.Sink.Ambient())
 	if s.InterTierTBR > 0 {
@@ -345,6 +338,42 @@ func (s *Spec) Build() (*solver.Problem, *Layout, error) {
 		p.ZPlaneTBR = tbr
 	}
 	return p, lay, nil
+}
+
+// PaintSources writes the spec's power maps into p.Q: each tier's
+// device layers receive that tier's map (W/m²) divided by the layer
+// thickness. p must share lay's grid. Build calls this as its final
+// source step; it is also the fast path for re-targeting a cached
+// family geometry at a new power map (solver.Problem.CloneBlankSources
+// plus PaintSources is bitwise identical to a full Build).
+func (s *Spec) PaintSources(p *solver.Problem, lay *Layout) error {
+	switch len(s.PowerMaps) {
+	case 1, s.Tiers:
+	default:
+		return fmt.Errorf("stack: %d power maps for %d tiers", len(s.PowerMaps), s.Tiers)
+	}
+	for t, pm := range s.PowerMaps {
+		if len(pm) != s.NX*s.NY {
+			return fmt.Errorf("stack: power map %d has %d cells, want %d", t, len(pm), s.NX*s.NY)
+		}
+	}
+	g := lay.Grid
+	for tier, layers := range lay.DeviceLayers {
+		pmIdx := 0
+		if len(s.PowerMaps) > 1 {
+			pmIdx = tier
+		}
+		pm := s.PowerMaps[pmIdx]
+		for _, k := range layers {
+			dz := g.DZ(k)
+			for j := 0; j < s.NY; j++ {
+				for i := 0; i < s.NX; i++ {
+					p.Q[g.Index(i, j, k)] = pm[j*s.NX+i] / dz
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // LayeredView extracts the per-layer thicknesses, conductivities,

@@ -74,6 +74,22 @@ const (
 	// CounterPeerGossip counts family-key gossip messages sent (one per
 	// peer per eligible fill, best-effort).
 	CounterPeerGossip = "peer_gossip"
+	// CounterFamilyAssemblyHits counts solves that found their
+	// operator family already assembled in the engine's family cache
+	// and skipped assembly + preconditioner-hierarchy setup.
+	CounterFamilyAssemblyHits = "family_assembly_hits"
+	// CounterFamilyAssemblyMisses counts solves whose family key was
+	// not cached yet — they paid the one assembly that later solves
+	// in the family reuse.
+	CounterFamilyAssemblyMisses = "family_assembly_misses"
+	// CounterBatchWindowFlushes counts batching-window flushes: groups
+	// of same-family cold misses executed as one multi-RHS batch (a
+	// lone request flushing solo also counts one).
+	CounterBatchWindowFlushes = "batch_window_flushes"
+	// CounterBatchWindowOccupancy accumulates the number of requests
+	// carried by all window flushes; occupancy/flushes is the mean
+	// batch size the window achieved.
+	CounterBatchWindowOccupancy = "batch_window_occupancy"
 	// CounterThrottleEvents counts DTM throttle engagements — segments
 	// where the controller cut block power because the predicted peak
 	// crossed the trip threshold.
